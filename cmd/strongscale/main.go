@@ -1,0 +1,111 @@
+// Command strongscale regenerates Figure 17: the strong-scaling study of
+// the one-pass 2:1 balance on the synthetic ice-sheet mesh (the stand-in
+// for the paper's Antarctica mesh, see Figure 16 and DESIGN.md).  The mesh
+// is fixed and the rank count swept; absolute per-phase seconds are printed
+// for the old and new algorithms, plus the ideal-scaling reference column.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+
+	octbalance "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("strongscale: ")
+	var (
+		ranksF = flag.String("ranks", "1,2,4,8,16,32", "comma-separated rank counts")
+		grid   = flag.Int("grid", 10, "tree grid extent of the ice sheet domain")
+		level  = flag.Int("level", 7, "grounding line refinement level")
+		dim    = flag.Int("dim", 2, "dimension: 2, or 3 for a thin-sheet domain")
+		notify = flag.String("notify", "notify", "pattern reversal: naive, ranges, notify")
+	)
+	flag.Parse()
+
+	scheme := octbalance.SchemeNotify
+	switch *notify {
+	case "naive":
+		scheme = octbalance.SchemeNaive
+	case "ranges":
+		scheme = octbalance.SchemeRanges
+	}
+
+	var ranks []int
+	for _, s := range strings.Split(*ranksF, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || p < 1 {
+			log.Fatalf("bad rank count %q", s)
+		}
+		ranks = append(ranks, p)
+	}
+
+	is := octbalance.NewIceSheet(*dim, *grid, *level)
+	fmt.Printf("strong scaling, ice sheet mesh on %v (Figures 16/17)\n\n", is.Conn)
+
+	phases := []string{"total", "local balance", "query/response", "rebalance", "notify"}
+	tables := make([]*stats.Table, len(phases))
+	for i, ph := range phases {
+		tables[i] = stats.NewTable(fmt.Sprintf("(%c) %s [seconds]", 'a'+i, ph),
+			"ranks", "perfect", "old", "new", "speedup")
+	}
+	var base [2][]float64 // per phase, old/new at the smallest rank count
+
+	var meshBefore, meshAfter int64
+	for i, p := range ranks {
+		run := func(algo octbalance.Algo) octbalance.Result {
+			return octbalance.Experiment{
+				Conn:      is.Conn,
+				Ranks:     p,
+				BaseLevel: 1,
+				MaxLevel:  is.MaxLevel(),
+				Refine:    is.Refine,
+				Options:   octbalance.BalanceOptions{Algo: algo, Notify: scheme},
+			}.Run()
+		}
+		oldRes := run(octbalance.AlgoOld)
+		newRes := run(octbalance.AlgoNew)
+		if oldRes.OctantsAfter != newRes.OctantsAfter {
+			log.Fatalf("P=%d: algorithms disagree", p)
+		}
+		meshBefore, meshAfter = newRes.OctantsBefore, newRes.OctantsAfter
+		sel := func(r octbalance.Result, phase string) float64 {
+			d := r.MaxPhases.Total()
+			switch phase {
+			case "local balance":
+				d = r.MaxPhases.LocalBalance
+			case "query/response":
+				d = r.MaxPhases.QueryResponse
+			case "rebalance":
+				d = r.MaxPhases.Rebalance
+			case "notify":
+				d = r.MaxPhases.Notify
+			}
+			return d.Seconds()
+		}
+		for j, ph := range phases {
+			o, n := sel(oldRes, ph), sel(newRes, ph)
+			if i == 0 {
+				base[0] = append(base[0], o)
+				base[1] = append(base[1], n)
+			}
+			perfect := base[1][j] * float64(ranks[0]) / float64(p)
+			ratio := "-"
+			if n > 0 {
+				ratio = fmt.Sprintf("%.2fx", o/n)
+			}
+			tables[j].AddRow(p, perfect, o, n, ratio)
+		}
+	}
+	fmt.Printf("mesh: %d octants refined, %d after balance (the paper's 55M -> 85M growth analogue: %.2fx)\n\n",
+		meshBefore, meshAfter, float64(meshAfter)/float64(meshBefore))
+	for _, tbl := range tables {
+		fmt.Println(tbl)
+	}
+}

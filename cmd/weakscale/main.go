@@ -1,0 +1,116 @@
+// Command weakscale regenerates Figure 15: the weak-scaling study of the
+// one-pass 2:1 balance on the six-tree fractal forest.  The rank count is
+// swept while the octant count per rank is held roughly constant by
+// incrementing the refinement level, and the per-phase times of the old and
+// new algorithms are printed normalized to seconds per (million octants per
+// rank) — constant bars mean perfect weak scaling.
+//
+// The paper runs 12 .. 112,128 cores with ~1.3M octants per core on Jaguar;
+// this driver runs simulated ranks in one process, so the default sweep is
+// laptop sized.  Pass -ranks to change it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+
+	octbalance "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("weakscale: ")
+	var (
+		dim    = flag.Int("dim", 3, "dimension (2 or 3)")
+		ranksF = flag.String("ranks", "1,2,4,8,16", "comma-separated rank counts")
+		level  = flag.Int("level", 2, "base level at the smallest rank count")
+		notify = flag.String("notify", "notify", "pattern reversal: naive, ranges, notify")
+	)
+	flag.Parse()
+
+	scheme := octbalance.SchemeNotify
+	switch *notify {
+	case "naive":
+		scheme = octbalance.SchemeNaive
+	case "ranges":
+		scheme = octbalance.SchemeRanges
+	}
+
+	var ranks []int
+	for _, s := range strings.Split(*ranksF, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || p < 1 {
+			log.Fatalf("bad rank count %q", s)
+		}
+		ranks = append(ranks, p)
+	}
+
+	conn := octbalance.FractalForest(*dim)
+	fmt.Printf("weak scaling, %v, fractal refinement (Figure 15)\n", conn)
+	fmt.Printf("normalization: seconds per (million octants / rank); constant = ideal\n\n")
+
+	phases := []string{"total", "local balance", "query/response", "rebalance", "notify"}
+	tables := make([]*stats.Table, len(phases))
+	for i, ph := range phases {
+		tables[i] = stats.NewTable(fmt.Sprintf("(%c) %s", 'a'+i, ph),
+			"ranks", "octants", "oct/rank", "old [s/(M/rank)]", "new [s/(M/rank)]", "speedup")
+	}
+
+	// Increase the level by one every 2^dim-fold increase in ranks to keep
+	// octants per rank roughly constant.
+	for _, p := range ranks {
+		lvl := *level
+		grown := ranks[0]
+		for grown*(1<<uint(*dim)) <= p {
+			grown *= 1 << uint(*dim)
+			lvl++
+		}
+		run := func(algo octbalance.Algo) octbalance.Result {
+			return octbalance.Experiment{
+				Conn:      conn,
+				Ranks:     p,
+				BaseLevel: lvl,
+				MaxLevel:  lvl + 4,
+				Refine:    octbalance.FractalRefine(lvl + 4),
+				Options:   octbalance.BalanceOptions{Algo: algo, Notify: scheme},
+			}.Run()
+		}
+		oldRes := run(octbalance.AlgoOld)
+		newRes := run(octbalance.AlgoNew)
+		if oldRes.OctantsAfter != newRes.OctantsAfter {
+			log.Fatalf("P=%d: algorithms disagree (%d vs %d octants)",
+				p, oldRes.OctantsAfter, newRes.OctantsAfter)
+		}
+		n := newRes.OctantsAfter
+		sel := func(r octbalance.Result, phase string) float64 {
+			var d = r.MaxPhases.Total()
+			switch phase {
+			case "local balance":
+				d = r.MaxPhases.LocalBalance
+			case "query/response":
+				d = r.MaxPhases.QueryResponse
+			case "rebalance":
+				d = r.MaxPhases.Rebalance
+			case "notify":
+				d = r.MaxPhases.Notify
+			}
+			return stats.Normalized(d, n, p)
+		}
+		for j, ph := range phases {
+			o, nn := sel(oldRes, ph), sel(newRes, ph)
+			ratio := "-"
+			if nn > 0 {
+				ratio = fmt.Sprintf("%.2fx", o/nn)
+			}
+			tables[j].AddRow(p, n, n/int64(p), o, nn, ratio)
+		}
+	}
+	for _, tbl := range tables {
+		fmt.Println(tbl)
+	}
+}

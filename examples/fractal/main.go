@@ -1,0 +1,91 @@
+// Fractal: the weak-scaling workload of Figures 14 and 15 at laptop scale.
+// The six-octree forest is refined by the recursive child-{0,3,5,6} rule,
+// partitioned across simulated ranks, and 2:1 corner balanced.  The example
+// prints the partition layout and verifies the parallel result against the
+// serial reference balance.
+package main
+
+import (
+	"fmt"
+
+	octbalance "repro"
+)
+
+func main() {
+	const (
+		dim   = 3
+		base  = 2
+		depth = 3
+		ranks = 6
+	)
+	conn := octbalance.FractalForest(dim)
+	refine := octbalance.FractalRefine(base + depth)
+	fmt.Printf("fractal forest (Figure 14): %v, %d ranks\n\n", conn, ranks)
+
+	// Run the distributed pipeline and keep per-rank ownership info.
+	w := octbalance.NewWorld(ranks)
+	counts := make([]int64, ranks)
+	chunks := make([][]octbalance.TreeChunk, ranks)
+	var forests []*octbalance.Forest = make([]*octbalance.Forest, ranks)
+	w.Run(func(c *octbalance.Comm) {
+		f := octbalance.NewUniformForest(conn, c, base)
+		f.Refine(c, base+depth, refine)
+		f.Partition(c, nil)
+		f.Balance(c, dim, octbalance.BalanceOptions{})
+		counts[c.Rank()] = f.NumLocal()
+		chunks[c.Rank()] = f.Local
+		forests[c.Rank()] = f
+	})
+
+	fmt.Println("partition after balance (space-filling-curve segments):")
+	for r := 0; r < ranks; r++ {
+		treeSpan := ""
+		if len(chunks[r]) > 0 {
+			first := chunks[r][0].Tree
+			last := chunks[r][len(chunks[r])-1].Tree
+			treeSpan = fmt.Sprintf("trees %d..%d", first, last)
+		}
+		fmt.Printf("  rank %d: %7d octants  %s\n", r, counts[r], treeSpan)
+	}
+
+	// Gather and validate against the serial reference.
+	trees := make([][]octbalance.Octant, conn.NumTrees())
+	var total int64
+	for r := 0; r < ranks; r++ {
+		for _, tc := range chunks[r] {
+			trees[tc.Tree] = append(trees[tc.Tree], tc.Leaves...)
+		}
+		total += counts[r]
+	}
+	before := octbalance.GatherGlobal(conn, 1, base, func(c *octbalance.Comm, f *octbalance.Forest) {
+		f.Refine(c, base+depth, refine)
+	})
+	ref := octbalance.RefBalance(conn, before, dim)
+	var refTotal int64
+	match := true
+	for t := range ref {
+		refTotal += int64(len(ref[t]))
+		if len(ref[t]) != len(trees[t]) {
+			match = false
+		}
+	}
+	fmt.Printf("\nglobal octants: %d (serial reference: %d, match: %v)\n", total, refTotal, match)
+	if err := octbalance.CheckForest(conn, trees, dim); err != nil {
+		panic(err)
+	}
+	fmt.Println("forest is corner balanced across all trees")
+
+	// Level histogram: the fractal rule yields a geometric level mix.
+	hist := map[int8]int{}
+	for t := range trees {
+		for _, o := range trees[t] {
+			hist[o.Level]++
+		}
+	}
+	fmt.Println("\nleaf level histogram:")
+	for l := int8(0); l <= base+depth+1; l++ {
+		if hist[l] > 0 {
+			fmt.Printf("  level %d: %8d\n", l, hist[l])
+		}
+	}
+}

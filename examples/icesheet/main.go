@@ -1,0 +1,94 @@
+// Ice sheet: the strong-scaling workload of Figures 16 and 17 at laptop
+// scale.  A cap-shaped forest of trees (the synthetic Antarctica) is
+// refined along a wandering grounding line, partitioned, and 2:1 corner
+// balanced with both the old and new one-pass algorithms.  The example
+// prints the mesh growth under balance (the paper's 55M -> 85M octants
+// phenomenon), the per-phase timings, and an ASCII map of the domain.
+package main
+
+import (
+	"fmt"
+
+	octbalance "repro"
+)
+
+func main() {
+	const (
+		grid     = 10 // 10x10 tree grid masked to the sheet outline
+		maxLevel = 7
+		ranks    = 8
+	)
+	is := octbalance.NewIceSheet(2, grid, maxLevel)
+	fmt.Printf("synthetic ice sheet: %v, refined to level %d along the grounding line\n\n",
+		is.Conn, maxLevel)
+
+	for _, algo := range []octbalance.Algo{octbalance.AlgoOld, octbalance.AlgoNew} {
+		res := octbalance.Experiment{
+			Conn:      is.Conn,
+			Ranks:     ranks,
+			BaseLevel: 1,
+			MaxLevel:  maxLevel,
+			Refine:    is.Refine,
+			Options:   octbalance.BalanceOptions{Algo: algo},
+		}.Run()
+		fmt.Printf("%v algorithm: %d octants -> %d after balance (%.2fx growth)\n",
+			algo, res.OctantsBefore, res.OctantsAfter,
+			float64(res.OctantsAfter)/float64(res.OctantsBefore))
+		fmt.Printf("  phases [s]: local balance %.4f, notify %.4f, query/response %.4f, rebalance %.4f\n",
+			res.MaxPhases.LocalBalance.Seconds(), res.MaxPhases.Notify.Seconds(),
+			res.MaxPhases.QueryResponse.Seconds(), res.MaxPhases.Rebalance.Seconds())
+	}
+
+	// Validate the result against the serial reference and draw the mesh
+	// resolution map.
+	trees := octbalance.GatherGlobal(is.Conn, ranks, 1, func(c *octbalance.Comm, f *octbalance.Forest) {
+		f.Refine(c, maxLevel, is.Refine)
+		f.Partition(c, nil)
+		f.Balance(c, 2, octbalance.BalanceOptions{})
+	})
+	if err := octbalance.CheckForest(is.Conn, trees, 2); err != nil {
+		panic(err)
+	}
+	fmt.Println("\nresolution map (finest leaf level per cell; '.' = outside the domain):")
+	renderForest(is.Conn, trees, grid)
+}
+
+// renderForest rasterizes the finest refinement level of each region of the
+// masked forest.
+func renderForest(conn *octbalance.Connectivity, trees [][]octbalance.Octant, grid int) {
+	const perTree = 8 // raster cells per tree side
+	n := grid * perTree
+	img := make([][]byte, n)
+	for i := range img {
+		img[i] = make([]byte, n)
+		for j := range img[i] {
+			img[i][j] = '.'
+		}
+	}
+	root := int64(1) << 30
+	for t := int32(0); t < conn.NumTrees(); t++ {
+		tx, ty, _ := conn.TreeCell(t)
+		for _, o := range trees[t] {
+			x0 := int64(tx)*perTree + int64(o.X)*perTree/root
+			y0 := int64(ty)*perTree + int64(o.Y)*perTree/root
+			h := int64(o.Len()) * perTree / root
+			if h < 1 {
+				h = 1
+			}
+			ch := byte('0' + o.Level)
+			if o.Level > 9 {
+				ch = byte('a' + o.Level - 10)
+			}
+			for y := y0; y < y0+h && y < int64(n); y++ {
+				for x := x0; x < x0+h && x < int64(n); x++ {
+					if img[y][x] == '.' || img[y][x] < ch {
+						img[y][x] = ch
+					}
+				}
+			}
+		}
+	}
+	for y := n - 1; y >= 0; y-- {
+		fmt.Println(string(img[y]))
+	}
+}

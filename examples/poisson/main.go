@@ -1,0 +1,108 @@
+// Poisson: the reason 2:1 balance exists.  An adaptive quadtree mesh is
+// refined toward a sharp ring source, corner balanced (so that every
+// T-intersection carries exactly one hanging node), numbered with
+// hanging-node constraints, and a Poisson problem is solved on it with
+// bilinear finite elements.  Uniform meshes and the adaptive mesh are
+// compared against a fine reference solve at their common grid points,
+// showing the accuracy-per-node advantage that adaptivity + balance buy.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	octbalance "repro"
+)
+
+// A sharp ring source: f(x,y) = exp(-800 (r - 0.5)^2), r = |(x,y)|.
+func rhs(x, y float64) float64 {
+	r := math.Hypot(x, y)
+	d := r - 0.5
+	return math.Exp(-800 * d * d)
+}
+
+// solve runs the FEM solve on the given trees.
+func solve(conn *octbalance.Connectivity, trees [][]octbalance.Octant) *octbalance.FEMSolution {
+	sol, err := octbalance.SolveFEM(octbalance.FEMProblem{Conn: conn, Trees: trees, F: rhs}, 1e-10, 40000)
+	if err != nil {
+		panic(err)
+	}
+	return sol
+}
+
+// sample extracts the solution at the level-`cmp` lattice points (which are
+// nodes of every mesh in this comparison), keyed by integer lattice index.
+func sample(sol *octbalance.FEMSolution, cmp int) map[[2]int]float64 {
+	n := 1 << uint(cmp)
+	out := make(map[[2]int]float64)
+	for id, c := range sol.Coords {
+		fx, fy := c[0]*float64(n), c[1]*float64(n)
+		ix, iy := math.Round(fx), math.Round(fy)
+		if math.Abs(fx-ix) < 1e-9 && math.Abs(fy-iy) < 1e-9 {
+			out[[2]int{int(ix), int(iy)}] = sol.U[id]
+		}
+	}
+	return out
+}
+
+func main() {
+	conn := octbalance.NewBrick(2, 1, 1, 1, [3]bool{})
+	const cmpLevel = 4 // compare at the level-4 lattice, shared by all meshes
+
+	fmt.Println("-Δu = ring source, u = 0 on the boundary of the unit square")
+	fmt.Println("error = max deviation from a uniform level-7 reference solve,")
+	fmt.Println("measured at the common level-4 grid points")
+	fmt.Println()
+
+	// Reference: uniform level 7 (16,384 elements).
+	refTrees := octbalance.GatherGlobal(conn, 1, 7, func(c *octbalance.Comm, f *octbalance.Forest) {})
+	ref := sample(solve(conn, refTrees), cmpLevel)
+
+	report := func(name string, trees [][]octbalance.Octant) {
+		sol := solve(conn, trees)
+		got := sample(sol, cmpLevel)
+		var maxErr, frontErr float64
+		n := float64(int(1) << cmpLevel)
+		for key, v := range ref {
+			u, ok := got[key]
+			if !ok {
+				continue
+			}
+			e := math.Abs(u - v)
+			if e > maxErr {
+				maxErr = e
+			}
+			r := math.Hypot(float64(key[0])/n, float64(key[1])/n)
+			if math.Abs(r-0.5) < 0.12 && e > frontErr {
+				frontErr = e
+			}
+		}
+		leaves := 0
+		for _, tr := range trees {
+			leaves += len(tr)
+		}
+		fmt.Printf("%-10s %8d leaves %8d nodes %6d hangings   err %.3e   err@front %.3e\n",
+			name, leaves, sol.Nodes.NumIndependent, len(sol.Nodes.Hangings), maxErr, frontErr)
+	}
+
+	for _, level := range []int{4, 5, 6} {
+		trees := octbalance.GatherGlobal(conn, 1, level, func(c *octbalance.Comm, f *octbalance.Forest) {})
+		report(fmt.Sprintf("uniform-%d", level), trees)
+	}
+
+	// Adaptive: refine cells crossing the ring, then corner balance.
+	trees := octbalance.GatherGlobal(conn, 1, 4, func(c *octbalance.Comm, f *octbalance.Forest) {
+		f.Refine(c, 7, func(tree int32, o octbalance.Octant) bool {
+			h := float64(o.Len()) / float64(int64(1)<<30)
+			x := float64(o.X)/float64(int64(1)<<30) + h/2
+			y := float64(o.Y)/float64(int64(1)<<30) + h/2
+			return math.Abs(math.Hypot(x, y)-0.5) < 1.2*h
+		})
+		f.Balance(c, 2, octbalance.BalanceOptions{})
+	})
+	report("adaptive", trees)
+
+	fmt.Println("\nThe adaptive mesh resolves the source ring at level-7 resolution with a")
+	fmt.Println("fraction of the elements; hanging-node constraints (enabled by 2:1")
+	fmt.Println("balance) keep the discretization conforming across element size jumps.")
+}

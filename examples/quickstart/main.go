@@ -1,0 +1,70 @@
+// Quickstart: build a quadtree, refine it adaptively, enforce the 2:1
+// balance condition, and print the mesh — the smallest end-to-end use of
+// the library (compare Figure 1 of the paper: unbalanced, face balanced,
+// corner balanced).
+package main
+
+import (
+	"fmt"
+
+	octbalance "repro"
+)
+
+func main() {
+	// A single quadtree (2D), refined around a point of interest.
+	conn := octbalance.NewBrick(2, 1, 1, 1, [3]bool{})
+	const maxLevel = 6
+
+	// The refinement callback splits octants containing the focus point.
+	focusX, focusY := 0.3, 0.62
+	refine := func(tree int32, o octbalance.Octant) bool {
+		h := float64(o.Len()) / float64(int64(1)<<30)
+		x := float64(o.X) / float64(int64(1)<<30)
+		y := float64(o.Y) / float64(int64(1)<<30)
+		return focusX >= x && focusX < x+h && focusY >= y && focusY < y+h
+	}
+
+	for _, k := range []int{1, 2} {
+		kind := "face balance (Figure 1b)"
+		if k == 2 {
+			kind = "corner balance (Figure 1c)"
+		}
+		trees := octbalance.GatherGlobal(conn, 1, 0, func(c *octbalance.Comm, f *octbalance.Forest) {
+			f.Refine(c, maxLevel, refine)
+			before := f.NumGlobal
+			f.Balance(c, k, octbalance.BalanceOptions{Algo: octbalance.AlgoNew})
+			fmt.Printf("%s: %d octants refined -> %d after balance\n", kind, before, f.NumGlobal)
+		})
+		if err := octbalance.CheckForest(conn, trees, k); err != nil {
+			panic(err)
+		}
+		render(trees[0])
+	}
+}
+
+// render draws the quadtree leaves as an ASCII grid of level digits.
+func render(leaves []octbalance.Octant) {
+	const cells = 32 // 32x32 character raster
+	grid := make([][]byte, cells)
+	for i := range grid {
+		grid[i] = make([]byte, cells)
+	}
+	root := int64(1) << 30
+	for _, o := range leaves {
+		h := int64(o.Len()) * cells / root
+		if h < 1 {
+			h = 1
+		}
+		x0 := int64(o.X) * cells / root
+		y0 := int64(o.Y) * cells / root
+		for y := y0; y < y0+h && y < cells; y++ {
+			for x := x0; x < x0+h && x < cells; x++ {
+				grid[y][x] = byte('0' + o.Level)
+			}
+		}
+	}
+	for y := cells - 1; y >= 0; y-- { // y axis upward
+		fmt.Println(string(grid[y]))
+	}
+	fmt.Println()
+}

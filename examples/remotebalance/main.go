@@ -1,0 +1,123 @@
+// Remotebalance: a visual tour of Section IV.  It draws
+//
+//  1. the coarsest balanced octree Tk(o) around an octant for k = 1 and
+//     k = 2 (Figure 3) — note the diamond (L1) vs square (L-inf) ripples;
+//  2. the λ(δ̄) contour layers of Table II (Figure 11);
+//  3. the seed construction: a remote octant o, a query region r, the O(1)
+//     seeds, and the reconstruction of Tk(o) ∩ r from the seeds alone
+//     (Figure 9), verified against the ripple oracle.
+package main
+
+import (
+	"fmt"
+
+	octbalance "repro"
+	"repro/internal/balance"
+	"repro/internal/linear"
+	"repro/internal/octant"
+)
+
+func main() {
+	root := octant.Root(2)
+	const lvl = 5
+	h := octant.Len(lvl)
+	o := octant.New(2, lvl, 13*h, 18*h, 0)
+
+	for _, k := range []int{1, 2} {
+		fmt.Printf("T%d(o): the coarsest %d-balanced quadtree containing o (Figure 3%c)\n",
+			k, k, 'a'+k-1)
+		tree := balance.Tk(root, o, k)
+		render(tree, o, nil, nil)
+		fmt.Println()
+	}
+
+	fmt.Println("λ(δ̄) layer structure (Figure 11): size of the closest balanced")
+	fmt.Println("octant a as a function of the distance between o and r, 2D:")
+	lambdaContours()
+
+	fmt.Println("seed reconstruction (Figure 9):")
+	r := octant.New(2, 1, 1<<29, 0, 0) // upper-left quadrant... (x=0.5R, y=0)
+	seeds, splits := balance.Seeds(o, r, 2)
+	fmt.Printf("  o = %v (level %d), query octant r = %v (level %d)\n", o, o.Level, r, r.Level)
+	fmt.Printf("  o splits r: %v, |seeds| = %d (bound 3^(d-1) = 3)\n", splits, len(seeds))
+	recon := balance.TkOverlap(o, r, 2)
+	tk := balance.Tk(root, o, 2)
+	lo, hi := linear.OverlapRange(tk, r)
+	fmt.Printf("  reconstruction from seeds: %d leaves; oracle overlap: %d leaves\n",
+		len(recon), hi-lo)
+	match := len(recon) == hi-lo
+	for i := range recon {
+		if recon[i] != tk[lo+i] {
+			match = false
+		}
+	}
+	fmt.Printf("  exact match with Tk(o) ∩ r: %v\n\n", match)
+	fmt.Println("the reconstructed subtree inside r (seeds marked *):")
+	render(recon, o, seeds, &r)
+}
+
+// render draws a set of 2D octants as level digits on a 32x32 raster; o is
+// marked 'o', seeds are marked '*', and cells outside region are blank.
+func render(leaves []octant.Octant, o octant.Octant, seeds []octant.Octant, region *octant.Octant) {
+	const cells = 32
+	grid := make([][]byte, cells)
+	for i := range grid {
+		grid[i] = make([]byte, cells)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	rootLen := int64(octant.RootLen)
+	put := func(q octant.Octant, ch byte, force bool) {
+		hh := int64(q.Len()) * cells / rootLen
+		if hh < 1 {
+			hh = 1
+		}
+		x0 := int64(q.X) * cells / rootLen
+		y0 := int64(q.Y) * cells / rootLen
+		for y := y0; y < y0+hh && y < cells; y++ {
+			for x := x0; x < x0+hh && x < cells; x++ {
+				if y < 0 || x < 0 {
+					continue
+				}
+				if force || grid[y][x] == ' ' {
+					grid[y][x] = ch
+				}
+			}
+		}
+	}
+	for _, q := range leaves {
+		put(q, byte('0'+q.Level), true)
+	}
+	for _, s := range seeds {
+		put(s, '*', true)
+	}
+	put(o, 'o', true)
+	for y := cells - 1; y >= 0; y-- {
+		fmt.Println("  " + string(grid[y]))
+	}
+}
+
+// lambdaContours prints ⌊log2 λ⌋ over a grid of parent-grid distances for
+// both 2D balance conditions, visualizing the diamond vs square layers.
+func lambdaContours() {
+	const n = 24
+	sz := 3 // size of o: parent grid spacing 2^(sz+1)
+	hb := int64(1) << uint(sz+1)
+	oo := octant.Root(2).FirstDescendant(int8(octant.MaxLevel - sz))
+	for _, k := range []int{1, 2} {
+		fmt.Printf("  k = %d:\n", k)
+		for row := n - 1; row >= 0; row-- {
+			line := "    "
+			for col := 0; col < n; col++ {
+				d := [3]int64{hb * int64(col), hb * int64(row), 0}
+				s := balance.SizeOfA(oo, balance.Lambda(2, k, d))
+				line += string(rune('0' + (s-sz)%10))
+			}
+			fmt.Println(line)
+		}
+	}
+	fmt.Println()
+}
+
+var _ = octbalance.MaxLevel // keep the public API import (documentation cross-reference)

@@ -1,0 +1,53 @@
+// Package balance implements the 2:1 balance algorithms of Isaac, Burstedde
+// & Ghattas, "Low-Cost Parallel Algorithms for 2:1 Octree Balance" (IPDPS
+// 2012): the old (Figure 6) and new (Figure 7) subtree balance algorithms,
+// the O(1) remote-balance size formulas of Table II, and the seed-octant
+// construction of Section IV.
+//
+// Throughout, the balance condition is identified by an integer k in 1..d
+// as in the paper: k-balance enforces a 2:1 size relation between octants
+// sharing a boundary object of codimension at most k (2D: 1 = faces,
+// 2 = faces+corners; 3D: 1 = faces, 2 = +edges, 3 = +corners).
+package balance
+
+import (
+	"fmt"
+
+	"repro/internal/linear"
+	"repro/internal/octant"
+)
+
+// Check verifies that the sorted linear octree octs (a complete subtree of
+// root) is k-balanced.  It returns nil if balanced, or an error identifying
+// the first violating pair.
+//
+// For each leaf o and each same-size neighbor direction, the leaf covering
+// that neighbor may be at most one level coarser than o; finer leaves are
+// checked from their own (finer) side, so this single-sided test is
+// complete.  The cost is O(n 3^d log n).
+func Check(root octant.Octant, octs []octant.Octant, k int) error {
+	dim := int(root.Dim)
+	dirs := octant.Directions(dim, k)
+	for _, o := range octs {
+		for _, d := range dirs {
+			n := o.Neighbor(d)
+			if !root.IsAncestorOrEqual(n) {
+				continue // outside the subtree
+			}
+			lo, hi := linear.OverlapRange(octs, n)
+			if hi == lo+1 && octs[lo].IsAncestorOrEqual(n) {
+				r := octs[lo]
+				if int(o.Level)-int(r.Level) > 1 {
+					return fmt.Errorf("balance: %v (level %d) adjacent to %v (level %d) violates %d-balance",
+						o, o.Level, r, r.Level, k)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IsBalanced reports whether octs is k-balanced within root.
+func IsBalanced(root octant.Octant, octs []octant.Octant, k int) bool {
+	return Check(root, octs, k) == nil
+}

@@ -1,0 +1,139 @@
+package balance
+
+import (
+	"math/bits"
+
+	"repro/internal/octant"
+)
+
+// This file implements Section IV: the O(1) decision of how coarse an
+// octant inside a remote region r may be while remaining balanced with a
+// distant octant o, via the λ(δ̄) formulas of Table II and the Carry3
+// binary operation (equation (1)).
+
+// Carry3 is the binary "carry only on three ones" addition of equation (1):
+// a form of adding three binary numbers that carries a 1 to the next bit
+// only when at least three 1s occupy the current bit.  Only the most
+// significant bit of the true Carry3 result matters for λ, for which
+//
+//	Carry3(α, β, γ) = max{α, β, γ, α+β+γ−(α|β|γ)}
+//
+// is an equivalent formulation using bitwise OR.
+func Carry3(a, b, c int64) int64 {
+	m := a
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	if s := a + b + c - (a | b | c); s > m {
+		m = s
+	}
+	return m
+}
+
+// Lambda evaluates the Table II function λ(δ̄) for the k-balance condition
+// in dim dimensions (dim = 1, 2, 3; 1 <= k <= dim).  The components of
+// dbar are the parent-grid distances δ̄ (non-negative).  The size of the
+// sought octant a is ⌊log2 λ⌋; λ = 0 means a has o's own size.
+func Lambda(dim, k int, dbar [3]int64) int64 {
+	dx, dy, dz := dbar[0], dbar[1], dbar[2]
+	switch dim {
+	case 1:
+		return dx
+	case 2:
+		if k == 1 {
+			return dx + dy
+		}
+		return max2(dx, dy)
+	case 3:
+		switch k {
+		case 1:
+			return Carry3(dy+dz, dz+dx, dx+dy)
+		case 2:
+			return Carry3(dx, dy, dz)
+		default:
+			return max2(max2(dx, dy), dz)
+		}
+	}
+	panic("balance: invalid dimension")
+}
+
+func max2(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ClosestSameSizeDescendant returns ō: the descendant of r of o's size that
+// is closest to o (Figure 10).  It clamps o's coordinates into r; r must be
+// at least as coarse as o.
+func ClosestSameSizeDescendant(r, o octant.Octant) octant.Octant {
+	if r.Level > o.Level {
+		panic("balance: r finer than o")
+	}
+	ob := o
+	span := r.Len() - o.Len()
+	for i := 0; i < int(o.Dim); i++ {
+		c := o.Coord(i)
+		lo := r.Coord(i)
+		hi := lo + span
+		if c < lo {
+			c = lo
+		}
+		if c > hi {
+			c = hi
+		}
+		ob = ob.WithCoord(i, c)
+	}
+	return ob
+}
+
+// DeltaBar returns the parent-grid distance vector δ̄ between o and the
+// same-size octant ob: δ̄_i = 2^(l+1) ⌈δ_i / 2^(l+1)⌉ where δ_i = |ob_i −
+// o_i| and 2^l is o's side length.  δ̄ maps parent(o) to parent(ob) and is
+// invariant under replacing o by any of its siblings, which is why it (and
+// not δ) determines balance (Tk(o) = Tk(s) for siblings s).
+func DeltaBar(o, ob octant.Octant) [3]int64 {
+	h2 := 2 * int64(o.Len())
+	var dbar [3]int64
+	for i := 0; i < int(o.Dim); i++ {
+		d := int64(ob.Coord(i)) - int64(o.Coord(i))
+		if d < 0 {
+			d = -d
+		}
+		dbar[i] = h2 * ((d + h2 - 1) / h2)
+	}
+	return dbar
+}
+
+// SizeOfA returns the paper's size(a) = ⌊log2 λ⌋ for λ > 0, and o's size
+// for λ = 0 (ō in o's own family).
+func SizeOfA(o octant.Octant, lambda int64) int {
+	if lambda <= 0 {
+		return o.Size()
+	}
+	return bits.Len64(uint64(lambda)) - 1
+}
+
+// ClosestBalancedAncestor computes the octant a of Section IV: the coarsest
+// descendant of r that contains ō (the closest same-size descendant of r to
+// o) and is balanced with o under the k-balance condition.  In Tk(o), a is
+// the leaf overlapping ō; it is the closest and therefore smallest octant
+// of Tk(o) ∩ r (Figure 10).  If a == r, then o does not cause r to split.
+//
+// o and r must not overlap and r must be at least as coarse as o.  The
+// computation is O(1): coordinate arithmetic and the Table II formulas
+// only, with no tree traversal — this is what makes the Local rebalance
+// work independent of the distance between o and r.
+func ClosestBalancedAncestor(r, o octant.Octant, k int) octant.Octant {
+	ob := ClosestSameSizeDescendant(r, o)
+	lam := Lambda(int(o.Dim), k, DeltaBar(o, ob))
+	size := SizeOfA(o, lam)
+	if size > r.Size() {
+		size = r.Size()
+	}
+	return ob.Ancestor(int8(octant.MaxLevel - size))
+}

@@ -1,0 +1,59 @@
+package balance
+
+import (
+	"repro/internal/linear"
+	"repro/internal/octant"
+)
+
+// Ripple computes the coarsest k-balanced complete linear octree of root
+// that contains every octant of the sorted linear array S as a leaf (leaves
+// are refined where balance demands, never coarsened).
+//
+// This is the classical ripple algorithm of Section II-B: any octant that
+// violates the balance condition with a neighbor is split, and the split
+// may in turn cause further splits, until a fixed point is reached.  Its
+// simplicity makes it the ground-truth oracle for the optimized algorithms
+// in this package; it is O(n^2 polylog) in the worst case and not meant for
+// production use.
+func Ripple(root octant.Octant, S []octant.Octant, k int) []octant.Octant {
+	cur := linear.Complete(root, S)
+	dim := int(root.Dim)
+	dirs := octant.Directions(dim, k)
+	for {
+		split := make(map[octant.Octant]bool)
+		for _, o := range cur {
+			for _, d := range dirs {
+				n := o.Neighbor(d)
+				if !root.IsAncestorOrEqual(n) {
+					continue
+				}
+				lo, hi := linear.OverlapRange(cur, n)
+				if hi == lo+1 && cur[lo].IsAncestorOrEqual(n) {
+					if r := cur[lo]; int(o.Level)-int(r.Level) > 1 {
+						split[r] = true
+					}
+				}
+			}
+		}
+		if len(split) == 0 {
+			return cur
+		}
+		next := make([]octant.Octant, 0, len(cur)+len(split)*(1<<uint(dim)-1))
+		for _, o := range cur {
+			if split[o] {
+				for c := 0; c < octant.NumChildren(dim); c++ {
+					next = append(next, o.Child(c))
+				}
+			} else {
+				next = append(next, o)
+			}
+		}
+		cur = next // replacing an octant by its children preserves order
+	}
+}
+
+// Tk returns the coarsest k-balanced octree of root that contains o as a
+// leaf: the tree written Tk(o) in the paper (Figure 3).
+func Tk(root, o octant.Octant, k int) []octant.Octant {
+	return Ripple(root, []octant.Octant{o}, k)
+}

@@ -1,0 +1,79 @@
+package balance
+
+import (
+	"repro/internal/linear"
+	"repro/internal/octant"
+)
+
+// This file implements the seed-octant construction of Section IV: a remote
+// octant o is replaced, as a response to a query octant r, by a small set of
+// seed octants inside r from which the receiver reconstructs the overlap
+// S = Tk(o) ∩ r by running a subtree balance rooted at r (Figure 9).  The
+// work to build the seeds is O(1) and the work to reconstruct S is
+// proportional to |S| — in particular, independent of the distance between
+// o and r, eliminating the auxiliary-octant construction of the old
+// algorithm (Figure 4b).
+
+// Seeds returns seed octants for the influence of octant o on region r
+// under the k-balance condition, and whether o causes any split inside r
+// at all.  If o does not split r (the overlap of Tk(o) with r is r itself,
+// or o is not coarser than r's interior demands), it returns (nil, false).
+//
+// All seeds are leaves of Tk(o) contained in r.  Their count is O(3^(d-1))
+// as shown in the paper (our candidate set is the full coarse neighborhood
+// of a clipped to r, a constant-size superset of the paper's, which keeps
+// the construction O(1) while simplifying the boundary-portion analysis).
+//
+// o and r must be non-overlapping octants of the same dimension.
+func Seeds(o, r octant.Octant, k int) ([]octant.Octant, bool) {
+	if o.Overlaps(r) {
+		panic("balance: Seeds requires non-overlapping octants")
+	}
+	if r.Level >= o.Level {
+		// r is as fine as o or finer: the leaf of Tk(o) covering r is
+		// at least as coarse as o, hence at least as coarse as r.
+		return nil, false
+	}
+	a := ClosestBalancedAncestor(r, o, k)
+	if a == r {
+		return nil, false
+	}
+	seeds := []octant.Octant{a}
+	if a.Level >= r.Level+2 {
+		for _, s := range a.CoarseNeighborhood(k) {
+			if !r.IsAncestor(s) {
+				continue // outside r (or as coarse as r)
+			}
+			t := ClosestBalancedAncestor(s, o, k)
+			if t != s {
+				// s is unbalanced with o: the true leaf of Tk(o)
+				// there is t, finer than s; t (like a) is a seed.
+				seeds = append(seeds, t)
+			}
+		}
+	}
+	linear.Sort(seeds)
+	return dedupSorted(seeds), true
+}
+
+func dedupSorted(octs []octant.Octant) []octant.Octant {
+	out := octs[:0]
+	for i, o := range octs {
+		if i == 0 || o != octs[i-1] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// TkOverlap reconstructs S = Tk(o) ∩ r from scratch: it computes the seeds
+// of o within r and completes them to the coarsest k-balanced subtree of r,
+// exactly as the receiver of a seed response does in the Local rebalance
+// phase.  If o does not split r, the result is the single octant r.
+func TkOverlap(o, r octant.Octant, k int) []octant.Octant {
+	seeds, splits := Seeds(o, r, k)
+	if !splits {
+		return []octant.Octant{r}
+	}
+	return SubtreeNew(r, seeds, k)
+}

@@ -1,0 +1,47 @@
+package comm
+
+import "encoding/binary"
+
+// Byte-slice encoding helpers shared by message payloads.  All integers are
+// little-endian.
+
+// AppendInt64 appends v to b.
+func AppendInt64(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+// Int64At decodes the int64 at byte offset off and returns it with the
+// offset just past it.
+func Int64At(b []byte, off int) (int64, int) {
+	return int64(binary.LittleEndian.Uint64(b[off:])), off + 8
+}
+
+// AppendInt32 appends v to b.
+func AppendInt32(b []byte, v int32) []byte {
+	return binary.LittleEndian.AppendUint32(b, uint32(v))
+}
+
+// Int32At decodes the int32 at byte offset off and returns it with the
+// offset just past it.
+func Int32At(b []byte, off int) (int32, int) {
+	return int32(binary.LittleEndian.Uint32(b[off:])), off + 4
+}
+
+// AppendInt32s appends a length-prefixed int32 slice to b.
+func AppendInt32s(b []byte, vs []int32) []byte {
+	b = AppendInt32(b, int32(len(vs)))
+	for _, v := range vs {
+		b = AppendInt32(b, v)
+	}
+	return b
+}
+
+// Int32sAt decodes a length-prefixed int32 slice at byte offset off.
+func Int32sAt(b []byte, off int) ([]int32, int) {
+	n, off := Int32At(b, off)
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i], off = Int32At(b, off)
+	}
+	return vs, off
+}

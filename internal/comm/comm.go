@@ -1,0 +1,324 @@
+// Package comm provides an in-process message-passing runtime that stands
+// in for MPI: ranks are goroutines, point-to-point messages are tagged byte
+// slices delivered through per-rank mailboxes, and the collective
+// operations used by the paper (barrier, Allgather, Allgatherv, Allreduce)
+// are implemented on top of the point-to-point layer with standard
+// algorithms so that message counts and byte volumes are meaningful.
+//
+// Every send is metered (message count and payload bytes, attributed to the
+// sender's current phase label), which is how this reproduction measures
+// the communication-volume claims of the paper without physical hardware.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// message is a point-to-point payload in flight.
+type message struct {
+	src, tag int
+	data     []byte
+}
+
+// inbox is an unbounded mailbox owned by a single receiving rank.
+type inbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []message
+}
+
+func newInbox() *inbox {
+	ib := &inbox{}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) put(m message) {
+	ib.mu.Lock()
+	ib.msgs = append(ib.msgs, m)
+	ib.mu.Unlock()
+	ib.cond.Broadcast()
+}
+
+// take removes and returns the first message matching (src, tag), blocking
+// until one arrives.  src < 0 matches any source.
+func (ib *inbox) take(src, tag int) message {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for {
+		for i, m := range ib.msgs {
+			if m.tag == tag && (src < 0 || m.src == src) {
+				ib.msgs = append(ib.msgs[:i], ib.msgs[i+1:]...)
+				return m
+			}
+		}
+		ib.cond.Wait()
+	}
+}
+
+// Stats counts messages and payload bytes.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Messages += other.Messages
+	s.Bytes += other.Bytes
+}
+
+// World is a group of P communicating ranks.
+type World struct {
+	size    int
+	inboxes []*inbox
+	timeout time.Duration
+
+	statsMu sync.Mutex
+	stats   map[string]Stats // per phase label
+}
+
+// NewWorld creates a world of p ranks.
+func NewWorld(p int) *World {
+	if p < 1 {
+		panic("comm: world size must be positive")
+	}
+	w := &World{size: p, stats: make(map[string]Stats)}
+	w.inboxes = make([]*inbox, p)
+	for i := range w.inboxes {
+		w.inboxes[i] = newInbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// SetTimeout arms a deadlock watchdog: if a subsequent Run does not finish
+// within d, it panics instead of blocking forever.  The most common cause
+// is an SPMD discipline violation — ranks calling a collective operation a
+// different number of times, or a Recv whose matching Send never happens.
+// Zero (the default) disables the watchdog.
+func (w *World) SetTimeout(d time.Duration) { w.timeout = d }
+
+// Run executes fn concurrently on every rank and blocks until all ranks
+// return.  A panic on any rank is re-raised on the caller.
+func (w *World) Run(fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make(chan interface{}, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- fmt.Sprintf("rank %d: %v", rank, p)
+				}
+			}()
+			fn(&Comm{rank: rank, world: w, phase: "default"})
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	if w.timeout > 0 {
+		select {
+		case <-done:
+		case <-time.After(w.timeout):
+			panic(fmt.Sprintf("comm: world of %d ranks did not finish within %v "+
+				"(likely deadlock: mismatched collectives or unmatched Recv)", w.size, w.timeout))
+		}
+	} else {
+		<-done
+	}
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}
+
+// PhaseStats returns the accumulated statistics for one phase label.
+func (w *World) PhaseStats(phase string) Stats {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	return w.stats[phase]
+}
+
+// TotalStats returns statistics accumulated over all phases.
+func (w *World) TotalStats() Stats {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	var t Stats
+	for _, s := range w.stats {
+		t.Add(s)
+	}
+	return t
+}
+
+// Phases returns the phase labels with recorded traffic.
+func (w *World) Phases() []string {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	out := make([]string, 0, len(w.stats))
+	for k := range w.stats {
+		out = append(out, k)
+	}
+	return out
+}
+
+func (w *World) record(phase string, bytes int) {
+	w.statsMu.Lock()
+	s := w.stats[phase]
+	s.Messages++
+	s.Bytes += int64(bytes)
+	w.stats[phase] = s
+	w.statsMu.Unlock()
+}
+
+// Comm is one rank's endpoint into a World.  It must only be used from the
+// goroutine that Run started for that rank.
+type Comm struct {
+	rank  int
+	world *World
+	phase string
+	seq   int // collective sequence number for tag generation
+}
+
+// Rank returns this endpoint's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.size }
+
+// SetPhase labels subsequent traffic for statistics attribution.
+func (c *Comm) SetPhase(phase string) { c.phase = phase }
+
+// Send delivers data to rank dst with the given tag.  It never blocks
+// (mailboxes are unbounded).  Tags must be non-negative; negative tags are
+// reserved for collectives.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	if tag < 0 {
+		panic("comm: negative tags are reserved")
+	}
+	c.send(dst, tag, data)
+}
+
+func (c *Comm) send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("comm: send to invalid rank %d", dst))
+	}
+	c.world.record(c.phase, len(data))
+	c.world.inboxes[dst].put(message{src: c.rank, tag: tag, data: data})
+}
+
+// Recv blocks until a message with the given tag arrives from rank src and
+// returns its payload.
+func (c *Comm) Recv(src, tag int) []byte {
+	if tag < 0 {
+		panic("comm: negative tags are reserved")
+	}
+	return c.world.inboxes[c.rank].take(src, tag).data
+}
+
+// RecvAny blocks until a message with the given tag arrives from any rank
+// and returns its source and payload.
+func (c *Comm) RecvAny(tag int) (src int, data []byte) {
+	if tag < 0 {
+		panic("comm: negative tags are reserved")
+	}
+	m := c.world.inboxes[c.rank].take(-1, tag)
+	return m.src, m.data
+}
+
+// collectiveTag produces a fresh reserved tag for one collective call.  All
+// ranks must invoke collectives in the same order (SPMD discipline), which
+// keeps their sequence numbers aligned.
+func (c *Comm) collectiveTag(op int) int {
+	c.seq++
+	return -(c.seq*8 + op)
+}
+
+const (
+	opBarrier = iota + 1
+	opGather
+	opNotify
+)
+
+// Barrier blocks until all ranks have entered it.  It uses a dissemination
+// barrier: ceil(log2 P) point-to-point rounds.
+func (c *Comm) Barrier() {
+	tag := c.collectiveTag(opBarrier)
+	p := c.world.size
+	for dist := 1; dist < p; dist *= 2 {
+		dst := (c.rank + dist) % p
+		src := (c.rank - dist + p) % p
+		c.sendCollective(dst, tag, nil)
+		c.recvCollective(src, tag)
+	}
+}
+
+func (c *Comm) sendCollective(dst, tag int, data []byte) {
+	c.world.record(c.phase, len(data))
+	c.world.inboxes[dst].put(message{src: c.rank, tag: tag, data: data})
+}
+
+func (c *Comm) recvCollective(src, tag int) []byte {
+	return c.world.inboxes[c.rank].take(src, tag).data
+}
+
+// Allgatherv gathers each rank's variable-length byte block on every rank,
+// indexed by rank.  It uses a ring algorithm: P-1 rounds in which each rank
+// forwards the most recently received block to its successor.
+func (c *Comm) Allgatherv(own []byte) [][]byte {
+	tag := c.collectiveTag(opGather)
+	p := c.world.size
+	blocks := make([][]byte, p)
+	blocks[c.rank] = own
+	if p == 1 {
+		return blocks
+	}
+	next := (c.rank + 1) % p
+	prev := (c.rank - 1 + p) % p
+	cur := c.rank
+	for step := 1; step < p; step++ {
+		c.sendCollective(next, tag, blocks[cur])
+		cur = (cur - 1 + p) % p
+		blocks[cur] = c.recvCollective(prev, tag)
+	}
+	return blocks
+}
+
+// AllgatherInt64 gathers one int64 from every rank.
+func (c *Comm) AllgatherInt64(v int64) []int64 {
+	blocks := c.Allgatherv(AppendInt64(nil, v))
+	out := make([]int64, len(blocks))
+	for i, b := range blocks {
+		out[i], _ = Int64At(b, 0)
+	}
+	return out
+}
+
+// AllreduceSumInt64 returns the sum of v over all ranks, on every rank.
+func (c *Comm) AllreduceSumInt64(v int64) int64 {
+	var s int64
+	for _, x := range c.AllgatherInt64(v) {
+		s += x
+	}
+	return s
+}
+
+// AllreduceMaxInt64 returns the maximum of v over all ranks, on every rank.
+func (c *Comm) AllreduceMaxInt64(v int64) int64 {
+	m := v
+	for _, x := range c.AllgatherInt64(v) {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,342 @@
+// Package fem assembles and solves Poisson problems with bilinear finite
+// elements on balanced adaptive quadtree meshes, using the hanging-node
+// numbering of package mesh.  It exists to demonstrate (and test) the
+// downstream purpose of 2:1 balance: with at most one hanging node per
+// face, standard interpolation constraints at T-intersections yield a
+// conforming discretization (paper Section II-B and reference [24]).
+//
+// The solver is 2D, single- or multi-tree (non-periodic bricks), with
+// homogeneous Dirichlet boundary conditions, and uses an unpreconditioned
+// conjugate-gradient iteration on a CSR matrix.
+package fem
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/forest"
+	"repro/internal/mesh"
+	"repro/internal/octant"
+)
+
+// Problem is a Poisson problem -Δu = f on the forest's domain with u = 0 on
+// the boundary.  Coordinates passed to F are global: x in [0, nx], y in
+// [0, ny] in tree-grid units.
+type Problem struct {
+	Conn  *forest.Connectivity
+	Trees [][]octant.Octant
+	F     func(x, y float64) float64
+}
+
+// Solution is a solved Poisson problem.
+type Solution struct {
+	Nodes *mesh.Nodes
+	// U holds the solution coefficient of every independent node.
+	U []float64
+	// Coords holds the global (x, y) position of every independent node.
+	Coords [][2]float64
+	// Iterations is the number of CG iterations performed.
+	Iterations int
+	// Residual is the final relative residual.
+	Residual float64
+}
+
+// dof is one (node, weight) pair in the expansion of an element corner.
+type dof struct {
+	id NodeID
+	w  float64
+}
+
+// NodeID aliases mesh.NodeID for brevity.
+type NodeID = mesh.NodeID
+
+// Solve assembles the stiffness system and runs CG until the relative
+// residual drops below tol or maxIter iterations elapse.
+func Solve(p Problem, tol float64, maxIter int) (*Solution, error) {
+	if p.Conn.Dim() != 2 {
+		return nil, fmt.Errorf("fem: only 2D problems are supported")
+	}
+	nodes, err := mesh.BuildNodes(p.Conn, p.Trees)
+	if err != nil {
+		return nil, err
+	}
+	n := nodes.NumIndependent
+
+	coords, onBoundary, err := nodeGeometry(p.Conn, p.Trees, nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	// Corner expansion: independent corners carry weight 1; hanging
+	// corners split evenly across their dependencies.
+	expand := func(entry int32) []dof {
+		if entry >= 0 {
+			return []dof{{id: NodeID(entry), w: 1}}
+		}
+		h := nodes.Hangings[-1-entry]
+		w := 1.0 / float64(len(h.Deps))
+		out := make([]dof, len(h.Deps))
+		for i, d := range h.Deps {
+			out[i] = dof{id: d, w: w}
+		}
+		return out
+	}
+
+	// Assemble in triplet form.  The reference bilinear stiffness matrix
+	// on a square is size independent in 2D; corners are in z order
+	// (0,0), (1,0), (0,1), (1,1).
+	kRef := [4][4]float64{
+		{4, -1, -1, -2},
+		{-1, 4, -2, -1},
+		{-1, -2, 4, -1},
+		{-2, -1, -1, 4},
+	}
+	for i := range kRef {
+		for j := range kRef[i] {
+			kRef[i][j] /= 6
+		}
+	}
+
+	tri := newTriplets(n)
+	rhs := make([]float64, n)
+	rootLen := float64(octant.RootLen)
+	for t := range p.Trees {
+		tx, ty, _ := p.Conn.TreeCell(int32(t))
+		for ei, o := range p.Trees[t] {
+			en := nodes.ElementNodes[t][ei]
+			h := float64(o.Len()) / rootLen
+			// Load vector: one-point quadrature at the element center,
+			// lumped evenly onto the corners: f(c) * h^2 / 4.
+			cx := float64(tx) + float64(o.X)/rootLen + h/2
+			cy := float64(ty) + float64(o.Y)/rootLen + h/2
+			fl := p.F(cx, cy) * h * h / 4
+			var exp [4][]dof
+			for c := 0; c < 4; c++ {
+				exp[c] = expand(en[c])
+			}
+			for a := 0; a < 4; a++ {
+				for _, da := range exp[a] {
+					rhs[da.id] += da.w * fl
+					for b := 0; b < 4; b++ {
+						if kRef[a][b] == 0 {
+							continue
+						}
+						for _, db := range exp[b] {
+							tri.add(int(da.id), int(db.id), da.w*db.w*kRef[a][b])
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Dirichlet boundary: pin boundary rows/columns to the identity.
+	for id := 0; id < n; id++ {
+		if onBoundary[id] {
+			rhs[id] = 0
+		}
+	}
+	mat := tri.toCSR(onBoundary)
+
+	u := make([]float64, n)
+	it, res := cg(mat, rhs, u, tol, maxIter)
+	return &Solution{
+		Nodes:      nodes,
+		U:          u,
+		Coords:     coords,
+		Iterations: it,
+		Residual:   res,
+	}, nil
+}
+
+// nodeGeometry recovers the global coordinates of every independent node
+// and flags nodes on the domain boundary.
+func nodeGeometry(conn *forest.Connectivity, trees [][]octant.Octant, nodes *mesh.Nodes) ([][2]float64, []bool, error) {
+	n := nodes.NumIndependent
+	coords := make([][2]float64, n)
+	seen := make([]bool, n)
+	rootLen := float64(octant.RootLen)
+	gx, gy, _ := gridExtent(conn)
+	onBoundary := make([]bool, n)
+	const eps = 1e-9
+	for t := range trees {
+		tx, ty, _ := conn.TreeCell(int32(t))
+		for ei, o := range trees[t] {
+			en := nodes.ElementNodes[t][ei]
+			h := float64(o.Len()) / rootLen
+			for c := 0; c < 4; c++ {
+				if en[c] < 0 {
+					continue
+				}
+				id := en[c]
+				x := float64(tx) + float64(o.X)/rootLen
+				y := float64(ty) + float64(o.Y)/rootLen
+				if c&1 != 0 {
+					x += h
+				}
+				if c&2 != 0 {
+					y += h
+				}
+				coords[id] = [2]float64{x, y}
+				seen[id] = true
+				if x < eps || y < eps || x > float64(gx)-eps || y > float64(gy)-eps {
+					onBoundary[id] = true
+				}
+			}
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			return nil, nil, fmt.Errorf("fem: node %d has no owning element corner", id)
+		}
+	}
+	return coords, onBoundary, nil
+}
+
+// gridExtent returns the brick extents.  Masked bricks are supported as
+// long as boundary detection by bounding box is acceptable; for the demo
+// problems we use full bricks.
+func gridExtent(conn *forest.Connectivity) (int, int, int) {
+	maxX, maxY, maxZ := 0, 0, 0
+	for t := int32(0); t < conn.NumTrees(); t++ {
+		x, y, z := conn.TreeCell(t)
+		if x+1 > maxX {
+			maxX = x + 1
+		}
+		if y+1 > maxY {
+			maxY = y + 1
+		}
+		if z+1 > maxZ {
+			maxZ = z + 1
+		}
+	}
+	return maxX, maxY, maxZ
+}
+
+// triplets accumulates duplicate-summed matrix entries.
+type triplets struct {
+	n    int
+	vals []map[int32]float64
+}
+
+func newTriplets(n int) *triplets {
+	t := &triplets{n: n, vals: make([]map[int32]float64, n)}
+	return t
+}
+
+func (t *triplets) add(i, j int, v float64) {
+	m := t.vals[i]
+	if m == nil {
+		m = make(map[int32]float64, 9)
+		t.vals[i] = m
+	}
+	m[int32(j)] += v
+}
+
+// csr is a compressed sparse row matrix.
+type csr struct {
+	rowPtr []int32
+	colIdx []int32
+	val    []float64
+}
+
+// toCSR finalizes the matrix, replacing constrained rows and columns by the
+// identity (Dirichlet elimination).
+func (t *triplets) toCSR(constrained []bool) *csr {
+	m := &csr{rowPtr: make([]int32, t.n+1)}
+	for i := 0; i < t.n; i++ {
+		if constrained[i] {
+			m.colIdx = append(m.colIdx, int32(i))
+			m.val = append(m.val, 1)
+			m.rowPtr[i+1] = int32(len(m.val))
+			continue
+		}
+		row := t.vals[i]
+		cols := make([]int32, 0, len(row))
+		for j := range row {
+			if constrained[int(j)] && int(j) != i {
+				continue // eliminated column (zero Dirichlet value)
+			}
+			cols = append(cols, j)
+		}
+		// insertion sort (rows are short)
+		for a := 1; a < len(cols); a++ {
+			for b := a; b > 0 && cols[b] < cols[b-1]; b-- {
+				cols[b], cols[b-1] = cols[b-1], cols[b]
+			}
+		}
+		for _, j := range cols {
+			m.colIdx = append(m.colIdx, j)
+			m.val = append(m.val, row[j])
+		}
+		m.rowPtr[i+1] = int32(len(m.val))
+	}
+	return m
+}
+
+// apply computes y = A x.
+func (m *csr) apply(x, y []float64) {
+	for i := 0; i+1 < len(m.rowPtr); i++ {
+		var s float64
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			s += m.val[k] * x[m.colIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// cg runs conjugate gradients, returning iterations and relative residual.
+func cg(a *csr, b, x []float64, tol float64, maxIter int) (int, float64) {
+	n := len(b)
+	r := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	a.apply(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+		p[i] = r[i]
+	}
+	rr := dot(r, r)
+	b2 := math.Sqrt(dot(b, b))
+	if b2 == 0 {
+		b2 = 1
+	}
+	it := 0
+	for ; it < maxIter && math.Sqrt(rr)/b2 > tol; it++ {
+		a.apply(p, ap)
+		alpha := rr / dot(p, ap)
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rr2 := dot(r, r)
+		beta := rr2 / rr
+		rr = rr2
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+	}
+	return it, math.Sqrt(rr) / b2
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// NodalError compares the solution against an exact field at the nodes and
+// returns the maximum error and the discrete (area-weighted) L2 error.
+func (s *Solution) NodalError(exact func(x, y float64) float64) (linf, l2 float64) {
+	var sum float64
+	for id, c := range s.Coords {
+		e := math.Abs(s.U[id] - exact(c[0], c[1]))
+		if e > linf {
+			linf = e
+		}
+		sum += e * e
+	}
+	return linf, math.Sqrt(sum / float64(len(s.U)))
+}

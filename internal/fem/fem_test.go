@@ -1,0 +1,151 @@
+package fem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/balance"
+	"repro/internal/forest"
+	"repro/internal/octant"
+)
+
+func uniformTrees(conn *forest.Connectivity, level int) [][]octant.Octant {
+	trees := make([][]octant.Octant, conn.NumTrees())
+	per := uint64(1) << uint(conn.Dim()*level)
+	for t := range trees {
+		for m := uint64(0); m < per; m++ {
+			trees[t] = append(trees[t], octant.FromMortonIndex(conn.Dim(), level, m))
+		}
+	}
+	return trees
+}
+
+// sinProblem is -Δu = 2π² sin(πx)sin(πy) with exact solution
+// u = sin(πx)sin(πy), zero on the boundary of the unit square.
+func sinProblem(conn *forest.Connectivity, trees [][]octant.Octant) Problem {
+	return Problem{
+		Conn:  conn,
+		Trees: trees,
+		F: func(x, y float64) float64 {
+			return 2 * math.Pi * math.Pi * math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+		},
+	}
+}
+
+func exactSin(x, y float64) float64 {
+	return math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+}
+
+func TestPoissonUniformConvergence(t *testing.T) {
+	conn := forest.NewBrick(2, 1, 1, 1, [3]bool{})
+	var prev float64
+	for i, level := range []int{3, 4, 5} {
+		trees := uniformTrees(conn, level)
+		sol, err := Solve(sinProblem(conn, trees), 1e-10, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Residual > 1e-9 {
+			t.Fatalf("level %d: CG did not converge (res %.2e after %d its)", level, sol.Residual, sol.Iterations)
+		}
+		linf, l2 := sol.NodalError(exactSin)
+		t.Logf("level %d: %d nodes, %d CG its, Linf %.3e, L2 %.3e", level, sol.Nodes.NumIndependent, sol.Iterations, linf, l2)
+		if i > 0 {
+			ratio := prev / linf
+			if ratio < 2.5 {
+				t.Fatalf("level %d: error ratio %.2f, want >= 2.5 (second order)", level, ratio)
+			}
+		}
+		prev = linf
+	}
+}
+
+func TestPoissonAdaptiveHangingNodes(t *testing.T) {
+	// Adaptive mesh with hanging nodes: the constrained discretization
+	// must remain consistent (comparable accuracy to the uniform mesh at
+	// the same fine level near the refined region).
+	conn := forest.NewBrick(2, 1, 1, 1, [3]bool{})
+	root := octant.Root(2)
+	var leaves []octant.Octant
+	var rec func(o octant.Octant)
+	rec = func(o octant.Octant) {
+		// Refine every cell that intersects a ball around the center.
+		h := float64(o.Len()) / float64(octant.RootLen)
+		cx := float64(o.X)/float64(octant.RootLen) + 0.5*h
+		cy := float64(o.Y)/float64(octant.RootLen) + 0.5*h
+		d := math.Hypot(cx-0.5, cy-0.5)
+		if int(o.Level) < 5 && d < 0.25+0.75*h {
+			for c := 0; c < 4; c++ {
+				rec(o.Child(c))
+			}
+			return
+		}
+		leaves = append(leaves, o)
+	}
+	rec(root)
+	trees := [][]octant.Octant{balance.SubtreeNew(root, leaves, 2)}
+	sol, err := Solve(sinProblem(conn, trees), 1e-10, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Nodes.Hangings) == 0 {
+		t.Fatal("expected hanging nodes on the adaptive mesh")
+	}
+	linf, _ := sol.NodalError(exactSin)
+	t.Logf("adaptive: %d nodes, %d hangings, Linf %.3e", sol.Nodes.NumIndependent, len(sol.Nodes.Hangings), linf)
+	if linf > 0.02 {
+		t.Fatalf("adaptive solution error %.3e too large: hanging constraints broken?", linf)
+	}
+}
+
+func TestPoissonMultiTree(t *testing.T) {
+	// A 2x1 brick spanning [0,2]x[0,1]: exact solution
+	// sin(πx/2)sin(πy) with matching f.
+	conn := forest.NewBrick(2, 2, 1, 1, [3]bool{})
+	trees := uniformTrees(conn, 4)
+	p := Problem{
+		Conn:  conn,
+		Trees: trees,
+		F: func(x, y float64) float64 {
+			return (math.Pi*math.Pi/4 + math.Pi*math.Pi) * math.Sin(math.Pi*x/2) * math.Sin(math.Pi*y)
+		},
+	}
+	sol, err := Solve(p, 1e-10, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linf, _ := sol.NodalError(func(x, y float64) float64 {
+		return math.Sin(math.Pi*x/2) * math.Sin(math.Pi*y)
+	})
+	t.Logf("multi-tree: %d nodes, Linf %.3e", sol.Nodes.NumIndependent, linf)
+	if linf > 0.01 {
+		t.Fatalf("multi-tree solution error %.3e too large: inter-tree node identification broken?", linf)
+	}
+}
+
+func TestPoissonRejects3D(t *testing.T) {
+	conn := forest.NewBrick(3, 1, 1, 1, [3]bool{})
+	trees := uniformTrees(conn, 1)
+	if _, err := Solve(Problem{Conn: conn, Trees: trees, F: func(x, y float64) float64 { return 1 }}, 1e-8, 10); err == nil {
+		t.Fatal("3D problem accepted by the 2D solver")
+	}
+}
+
+func TestCSRAndCG(t *testing.T) {
+	// Solve a tiny SPD system directly: A = [[4,1],[1,3]], b = [1,2].
+	tri := newTriplets(2)
+	tri.add(0, 0, 4)
+	tri.add(0, 1, 1)
+	tri.add(1, 0, 1)
+	tri.add(1, 1, 3)
+	m := tri.toCSR([]bool{false, false})
+	x := make([]float64, 2)
+	it, res := cg(m, []float64{1, 2}, x, 1e-12, 100)
+	if res > 1e-10 {
+		t.Fatalf("CG residual %.2e after %d its", res, it)
+	}
+	// Exact solution: x = (1/11, 7/11).
+	if math.Abs(x[0]-1.0/11) > 1e-9 || math.Abs(x[1]-7.0/11) > 1e-9 {
+		t.Fatalf("CG solution %v", x)
+	}
+}

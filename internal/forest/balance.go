@@ -1,0 +1,516 @@
+package forest
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/balance"
+	"repro/internal/comm"
+	"repro/internal/linear"
+	"repro/internal/notify"
+	"repro/internal/octant"
+)
+
+// Algo selects the one-pass balance variant.
+type Algo int
+
+const (
+	// AlgoNew is the paper's algorithm: seed octants in responses and
+	// per-query-octant reconstruction in the rebalance.  It is the zero
+	// value, so BalanceOptions{} selects it.
+	AlgoNew Algo = iota
+	// AlgoOld is the pre-paper algorithm: raw octants in responses and
+	// full-partition rebalancing with auxiliary octants.
+	AlgoOld
+)
+
+func (a Algo) String() string {
+	if a == AlgoOld {
+		return "old"
+	}
+	return "new"
+}
+
+// StageOverride optionally pins one stage of the one-pass algorithm to a
+// specific variant, independent of BalanceOptions.Algo.  It exists for the
+// ablation studies in DESIGN.md §5: the paper attributes roughly half of
+// its speedup to the new Local balance and the rest to the new response
+// encoding and Local rebalance; overriding one stage at a time isolates
+// each contribution.
+type StageOverride int
+
+const (
+	// StageDefault inherits BalanceOptions.Algo.
+	StageDefault StageOverride = iota
+	// StageOld pins the stage to the old variant.
+	StageOld
+	// StageNew pins the stage to the new variant.
+	StageNew
+)
+
+func (s StageOverride) resolve(def Algo) Algo {
+	switch s {
+	case StageOld:
+		return AlgoOld
+	case StageNew:
+		return AlgoNew
+	}
+	return def
+}
+
+// NotifyScheme selects the pattern-reversal algorithm of Section V.
+type NotifyScheme int
+
+const (
+	// NotifyNaive is the Allgather/Allgatherv scheme of Figure 12.
+	NotifyNaive NotifyScheme = iota
+	// NotifyRanges encodes receivers in bounded rank ranges.
+	NotifyRanges
+	// NotifyDC is the divide-and-conquer Notify algorithm of Figure 13.
+	NotifyDC
+)
+
+func (s NotifyScheme) String() string {
+	switch s {
+	case NotifyNaive:
+		return "naive"
+	case NotifyRanges:
+		return "ranges"
+	}
+	return "notify"
+}
+
+// BalanceOptions configures a Balance call.  The zero value selects the
+// paper's new algorithm with the divide-and-conquer Notify.
+type BalanceOptions struct {
+	Algo   Algo
+	Notify NotifyScheme
+	// MaxRanges bounds the range count for NotifyRanges (default 8).
+	MaxRanges int
+	// LocalStage overrides the Local balance algorithm (ablation).
+	LocalStage StageOverride
+	// RemoteStage overrides the response encoding and Local rebalance
+	// algorithm together — they must agree, since seeds and raw octants
+	// are interpreted differently by the receiver (ablation).
+	RemoteStage StageOverride
+}
+
+// PhaseTimes records wall-clock durations of the one-pass balance phases as
+// reported in Figures 15 and 17 of the paper: Local balance, Notify
+// (encoding the communication pattern), Query and Response (message
+// exchange plus response computation), and Local rebalance.
+type PhaseTimes struct {
+	LocalBalance  time.Duration
+	Notify        time.Duration
+	QueryResponse time.Duration
+	Rebalance     time.Duration
+}
+
+// Total returns the sum over all phases.
+func (p PhaseTimes) Total() time.Duration {
+	return p.LocalBalance + p.Notify + p.QueryResponse + p.Rebalance
+}
+
+// Max returns the elementwise maximum of two phase timings.
+func (p PhaseTimes) Max(q PhaseTimes) PhaseTimes {
+	m := p
+	if q.LocalBalance > m.LocalBalance {
+		m.LocalBalance = q.LocalBalance
+	}
+	if q.Notify > m.Notify {
+		m.Notify = q.Notify
+	}
+	if q.QueryResponse > m.QueryResponse {
+		m.QueryResponse = q.QueryResponse
+	}
+	if q.Rebalance > m.Rebalance {
+		m.Rebalance = q.Rebalance
+	}
+	return m
+}
+
+// Message tags used by the balance exchange.
+const (
+	tagQuery    = 100
+	tagResponse = 101
+)
+
+// query identifies one balance query: a leaf octant r expressed in the
+// responder tree's coordinate frame (r may lie outside that tree's root
+// cube when the interaction crosses a tree boundary).
+type query struct {
+	Tree int32
+	R    octant.Octant
+}
+
+// Balance enforces the k-balance condition across the entire forest using
+// the one-pass parallel algorithm of Section II-B with the selected
+// variants.  Collective.  It returns this rank's phase timings; reduce with
+// AllreducePhaseTimes for the global maximum.
+func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
+	if k < 1 || k > f.Conn.dim {
+		panic("forest: invalid balance condition")
+	}
+	var times PhaseTimes
+	root := octant.Root(f.Conn.dim)
+	localAlgo := opt.LocalStage.resolve(opt.Algo)
+	remoteAlgo := opt.RemoteStage.resolve(opt.Algo)
+
+	// Phase 1: Local balance.  Balance each local tree chunk as a
+	// subtree, clipped back to the owned curve range.
+	c.SetPhase("local-balance")
+	t0 := time.Now()
+	for i := range f.Local {
+		tc := &f.Local[i]
+		tc.Leaves = localBalanceChunk(root, tc.Leaves, k, localAlgo)
+	}
+	times.LocalBalance = time.Since(t0)
+
+	// Phase 2: Query construction.  For each local leaf whose insulation
+	// layer leaves the local partition, build query messages for the
+	// owners of the overlapped regions.
+	c.SetPhase("query")
+	t0 = time.Now()
+	peers := make(map[int]map[query]struct{}) // peer rank -> query set
+	selfQueries := make(map[query]struct{})
+	type origin struct {
+		shift Shift
+		tree  int32 // local tree the query octant is a leaf of
+	}
+	origins := make(map[query]origin) // every issued query -> provenance
+	dirs := octant.Directions(f.Conn.dim, f.Conn.dim)
+	for _, tc := range f.Local {
+		for _, r := range tc.Leaves {
+			for _, d := range dirs {
+				ins := r.Neighbor(d)
+				ti, ins2, shift, ok := f.Conn.Canonicalize(tc.Tree, ins)
+				if !ok {
+					continue // domain boundary
+				}
+				first, last := f.OwnersOfRegion(ti, ins2)
+				for rank := first; rank <= last; rank++ {
+					q := query{Tree: ti, R: shift.Apply(r)}
+					if rank == c.Rank() {
+						if ti != tc.Tree {
+							selfQueries[q] = struct{}{}
+							origins[q] = origin{shift: shift, tree: tc.Tree}
+						}
+						// Same-tree self interactions were handled
+						// by the local balance phase.
+						continue
+					}
+					set := peers[rank]
+					if set == nil {
+						set = make(map[query]struct{})
+						peers[rank] = set
+					}
+					set[q] = struct{}{}
+					origins[q] = origin{shift: shift, tree: tc.Tree}
+				}
+			}
+		}
+	}
+	queryBuildTime := time.Since(t0)
+
+	// Phase 3: Notify — reverse the asymmetric pattern.
+	c.SetPhase("notify")
+	t0 = time.Now()
+	receivers := make([]int, 0, len(peers))
+	for rank := range peers {
+		receivers = append(receivers, rank)
+	}
+	sort.Ints(receivers)
+	var senders []int
+	sendTo := receivers
+	switch opt.Notify {
+	case NotifyNaive:
+		senders = notify.Naive(c, receivers)
+	case NotifyRanges:
+		mr := opt.MaxRanges
+		if mr <= 0 {
+			mr = 8
+		}
+		senders = notify.Ranges(c, receivers, mr)
+		// The sender lists contain false positives; match them with
+		// zero-length queries so every expected message exists.
+		sendTo = notify.RangeCover(receivers, mr, c.Size(), c.Rank())
+	default:
+		senders = notify.Notify(c, receivers)
+	}
+	times.Notify = time.Since(t0)
+
+	// Phase 4: Query and Response exchange.
+	c.SetPhase("query-response")
+	t0 = time.Now()
+	for _, rank := range sendTo {
+		var payload []byte
+		qs := sortedQueries(peers[rank])
+		payload = comm.AppendInt32(payload, int32(len(qs)))
+		for _, q := range qs {
+			payload = comm.AppendInt32(payload, q.Tree)
+			payload = appendOctant(payload, q.R)
+		}
+		c.Send(rank, tagQuery, payload)
+	}
+	// Answer incoming queries (senders may include false positives with
+	// empty query lists under the Ranges scheme).
+	for _, rank := range senders {
+		data := c.Recv(rank, tagQuery)
+		c.Send(rank, tagResponse, f.respond(data, k, remoteAlgo))
+	}
+	// Handle self queries (inter-tree interactions within this rank)
+	// through the same response path, without messages.
+	selfResponses := f.respondQueries(sortedQueries(selfQueries), k, remoteAlgo)
+	// Collect responses.
+	type response struct {
+		q    query
+		octs []octant.Octant
+	}
+	var responses []response
+	for _, rank := range sendTo {
+		data := c.Recv(rank, tagResponse)
+		for off := 0; off < len(data); {
+			var t int32
+			t, off = comm.Int32At(data, off)
+			var r octant.Octant
+			r, off = octantAt(data, off)
+			var octs []octant.Octant
+			octs, off = octantsAt(data, off)
+			responses = append(responses, response{q: query{Tree: t, R: r}, octs: octs})
+		}
+	}
+	for q, octs := range selfResponses {
+		responses = append(responses, response{q: q, octs: octs})
+	}
+	times.QueryResponse = time.Since(t0) + queryBuildTime
+
+	// Phase 5: Local rebalance.  Transform the response octants back into
+	// the local frames and merge their influence into the partition.
+	c.SetPhase("rebalance")
+	t0 = time.Now()
+	// Group response octants by local tree after inverse transformation.
+	perTree := make(map[int32]map[octant.Octant][]octant.Octant) // tree -> local leaf r -> octants
+	for _, resp := range responses {
+		if len(resp.octs) == 0 {
+			continue
+		}
+		org, ok := origins[resp.q]
+		if !ok {
+			panic("forest: response for unknown query")
+		}
+		inv := org.shift.Inverse()
+		localR := inv.Apply(resp.q.R)
+		m := perTree[org.tree]
+		if m == nil {
+			m = make(map[octant.Octant][]octant.Octant)
+			perTree[org.tree] = m
+		}
+		for _, o := range resp.octs {
+			m[localR] = append(m[localR], inv.Apply(o))
+		}
+	}
+	for i := range f.Local {
+		tc := &f.Local[i]
+		groups := perTree[tc.Tree]
+		if len(groups) == 0 {
+			continue
+		}
+		if remoteAlgo == AlgoNew {
+			tc.Leaves = rebalanceNew(tc.Leaves, groups, k)
+		} else {
+			tc.Leaves = rebalanceOld(root, tc.Leaves, groups, k)
+		}
+	}
+	times.Rebalance = time.Since(t0)
+
+	c.SetPhase("default")
+	f.NumGlobal = c.AllreduceSumInt64(f.NumLocal())
+	return times
+}
+
+// sortedQueries returns the query set in a deterministic order.
+func sortedQueries(set map[query]struct{}) []query {
+	qs := make([]query, 0, len(set))
+	for q := range set {
+		qs = append(qs, q)
+	}
+	sort.Slice(qs, func(i, j int) bool {
+		if qs[i].Tree != qs[j].Tree {
+			return qs[i].Tree < qs[j].Tree
+		}
+		a, b := qs[i].R, qs[j].R
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		if a.Z != b.Z {
+			return a.Z < b.Z
+		}
+		return a.Level < b.Level
+	})
+	return qs
+}
+
+// localBalanceChunk balances one rank's contiguous leaf range of a tree:
+// the subtree spanned by the range is balanced and the result clipped back
+// to the range (Section III).
+func localBalanceChunk(root octant.Octant, leaves []octant.Octant, k int, algo Algo) []octant.Octant {
+	if len(leaves) <= 1 {
+		return leaves
+	}
+	sub := octant.NearestCommonAncestor(leaves[0], leaves[len(leaves)-1])
+	var bal []octant.Octant
+	if algo == AlgoNew {
+		bal = balance.SubtreeNew(sub, leaves, k)
+	} else {
+		bal = balance.SubtreeOld(sub, leaves, k)
+	}
+	return clipToRange(bal, leaves[0], leaves[len(leaves)-1])
+}
+
+// clipToRange keeps the octants lying within the curve range spanned by the
+// original first and last leaves.
+func clipToRange(octs []octant.Octant, first, last octant.Octant) []octant.Octant {
+	fd := first.FirstDescendant(octant.MaxLevel)
+	ld := last.LastDescendant(octant.MaxLevel)
+	out := octs[:0]
+	for _, o := range octs {
+		if octant.Compare(o.FirstDescendant(octant.MaxLevel), fd) >= 0 &&
+			octant.Compare(o.LastDescendant(octant.MaxLevel), ld) <= 0 {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// respond processes one incoming query message and produces the response
+// payload: for each query octant, the local octants (old algorithm) or
+// seed octants (new algorithm) that encode how the query octant must split.
+func (f *Forest) respond(data []byte, k int, algo Algo) []byte {
+	n, off := comm.Int32At(data, 0)
+	qs := make([]query, n)
+	for i := range qs {
+		qs[i].Tree, off = comm.Int32At(data, off)
+		qs[i].R, off = octantAt(data, off)
+	}
+	resp := f.respondQueries(qs, k, algo)
+	var payload []byte
+	for _, q := range qs {
+		octs := resp[q]
+		if len(octs) == 0 {
+			continue
+		}
+		payload = comm.AppendInt32(payload, q.Tree)
+		payload = appendOctant(payload, q.R)
+		payload = appendOctants(payload, octs)
+	}
+	return payload
+}
+
+// respondQueries computes response octants for a list of queries against
+// the local partition.
+func (f *Forest) respondQueries(qs []query, k int, algo Algo) map[query][]octant.Octant {
+	out := make(map[query][]octant.Octant, len(qs))
+	root := octant.Root(f.Conn.dim)
+	dirs := octant.Directions(f.Conn.dim, f.Conn.dim)
+	for _, q := range qs {
+		tc := f.chunkFor(q.Tree)
+		if tc == nil {
+			continue
+		}
+		// Candidate local octants: leaves overlapping the insulation
+		// layer of the query octant (restricted to this tree's root).
+		seen := make(map[octant.Octant]bool)
+		var resp []octant.Octant
+		consider := func(region octant.Octant) {
+			lo, hi := linear.OverlapRange(tc.Leaves, region)
+			for _, o := range tc.Leaves[lo:hi] {
+				if seen[o] || int(o.Level) < int(q.R.Level)+2 {
+					continue
+				}
+				seen[o] = true
+				if algo == AlgoNew {
+					if seeds, splits := balance.Seeds(o, q.R, k); splits {
+						resp = append(resp, seeds...)
+					}
+				} else {
+					resp = append(resp, o)
+				}
+			}
+		}
+		if root.IsAncestorOrEqual(q.R) {
+			consider(q.R) // only possible if R overlaps local leaves: skipped by ownership, but safe
+		}
+		for _, d := range dirs {
+			ins := q.R.Neighbor(d)
+			if !root.IsAncestorOrEqual(ins) {
+				continue // other trees handle their own portion
+			}
+			consider(ins)
+		}
+		if len(resp) > 0 {
+			linear.Sort(resp)
+			resp = dedupOctants(resp)
+			out[q] = resp
+		}
+	}
+	return out
+}
+
+func dedupOctants(octs []octant.Octant) []octant.Octant {
+	out := octs[:0]
+	for i, o := range octs {
+		if i == 0 || o != octs[i-1] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// rebalanceNew is the paper's Local rebalance: for every query octant r,
+// the seeds received for r are balanced inside r (reconstructing
+// Tk(o) ∩ r for all influencing octants o at once), and the resulting
+// subtrees replace r in the partition.
+func rebalanceNew(leaves []octant.Octant, groups map[octant.Octant][]octant.Octant, k int) []octant.Octant {
+	extra := make([]octant.Octant, 0, len(groups)*4)
+	for r, seeds := range groups {
+		linear.Sort(seeds)
+		seeds = dedupOctants(seeds)
+		sub := balance.SubtreeNew(r, seeds, k)
+		if len(sub) == 1 && sub[0] == r {
+			continue
+		}
+		extra = append(extra, sub...)
+	}
+	if len(extra) == 0 {
+		return leaves
+	}
+	merged := append(append(make([]octant.Octant, 0, len(leaves)+len(extra)), leaves...), extra...)
+	linear.Sort(merged)
+	return linear.Linearize(merged)
+}
+
+// rebalanceOld is the pre-paper Local rebalance: the whole partition chunk
+// is rebalanced at tree scope together with all received raw octants, using
+// auxiliary octants for out-of-root and distant influences, and the result
+// is clipped back to the owned range.
+func rebalanceOld(root octant.Octant, leaves []octant.Octant, groups map[octant.Octant][]octant.Octant, k int) []octant.Octant {
+	var inRoot, outside []octant.Octant
+	for _, octs := range groups {
+		for _, o := range octs {
+			if root.IsAncestorOrEqual(o) {
+				inRoot = append(inRoot, o)
+			} else {
+				outside = append(outside, o)
+			}
+		}
+	}
+	first, last := leaves[0], leaves[len(leaves)-1]
+	in := append(append(make([]octant.Octant, 0, len(leaves)+len(inRoot)), leaves...), inRoot...)
+	linear.Sort(in)
+	in = dedupOctants(in)
+	bal := balance.SubtreeOldExtended(root, in, outside, k)
+	return clipToRange(bal, first, last)
+}

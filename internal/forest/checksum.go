@@ -1,0 +1,55 @@
+package forest
+
+import (
+	"repro/internal/comm"
+	"repro/internal/octant"
+)
+
+// Checksum returns a digest of the global forest that is invariant under
+// partitioning (the analogue of p4est_checksum): two forests have the same
+// checksum iff they consist of the same set of (tree, leaf) pairs, up to
+// hash collisions.  Collective.
+//
+// The digest is the XOR of a strong per-leaf mix, so it can be combined
+// across ranks in any order.
+func (f *Forest) Checksum(c *comm.Comm) uint64 {
+	var local uint64
+	for _, tc := range f.Local {
+		for _, o := range tc.Leaves {
+			local ^= leafDigest(tc.Tree, o)
+		}
+	}
+	var global uint64
+	for _, part := range c.AllgatherInt64(int64(local)) {
+		global ^= uint64(part)
+	}
+	return global
+}
+
+// ChecksumGlobal computes the same digest from a gathered global forest,
+// for serial validation.
+func ChecksumGlobal(trees [][]octant.Octant) uint64 {
+	var sum uint64
+	for t, leaves := range trees {
+		for _, o := range leaves {
+			sum ^= leafDigest(int32(t), o)
+		}
+	}
+	return sum
+}
+
+// leafDigest mixes one (tree, octant) pair with splitmix64 rounds.
+func leafDigest(tree int32, o octant.Octant) uint64 {
+	h := uint64(uint32(tree))
+	h = mix(h ^ uint64(uint32(o.X)))
+	h = mix(h ^ uint64(uint32(o.Y)))
+	h = mix(h ^ uint64(uint32(o.Z)))
+	return mix(h ^ uint64(uint8(o.Level)))
+}
+
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,78 @@
+package forest
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/octant"
+)
+
+func TestChecksumPartitionInvariant(t *testing.T) {
+	conn := NewBrick(2, 3, 2, 1, [3]bool{})
+	sums := map[uint64]bool{}
+	for _, p := range []int{1, 3, 7} {
+		var sum, sum2 uint64
+		runForest(t, conn, p, 1, func(c *comm.Comm, f *Forest) {
+			// All ranks call the collective the same number of times.
+			s := f.Checksum(c)
+			f.Refine(c, 4, fractalRefine(4))
+			f.Partition(c, nil)
+			s2 := f.Checksum(c)
+			if c.Rank() == 0 {
+				sum, sum2 = s2, s
+			}
+			_ = s
+		})
+		if sum == sum2 {
+			t.Fatal("checksum unchanged by refinement")
+		}
+		sums[sum] = true
+	}
+	if len(sums) != 1 {
+		t.Fatalf("checksum not partition invariant: %d distinct values", len(sums))
+	}
+}
+
+func TestChecksumMatchesGlobal(t *testing.T) {
+	conn := NewBrick(3, 2, 1, 1, [3]bool{})
+	var sum uint64
+	forests := runForest(t, conn, 4, 1, func(c *comm.Comm, f *Forest) {
+		f.Refine(c, 3, fractalRefine(3))
+		if c.Rank() == 0 {
+			sum = f.Checksum(c)
+		} else {
+			f.Checksum(c)
+		}
+	})
+	if got := ChecksumGlobal(gather(conn, forests)); got != sum {
+		t.Fatalf("distributed checksum %x != serial %x", sum, got)
+	}
+}
+
+func TestChecksumDetectsChanges(t *testing.T) {
+	conn := NewBrick(2, 1, 1, 1, [3]bool{})
+	base := uniformGlobal(conn, 2)
+	a := ChecksumGlobal(base)
+	// Refining a single leaf must change the digest.
+	mod := make([][]octant.Octant, len(base))
+	for t2 := range base {
+		mod[t2] = append([]octant.Octant(nil), base[t2]...)
+	}
+	o := mod[0][3]
+	repl := []octant.Octant{o.Child(0), o.Child(1), o.Child(2), o.Child(3)}
+	mod[0] = append(append(append([]octant.Octant(nil), mod[0][:3]...), repl...), mod[0][4:]...)
+	if b := ChecksumGlobal(mod); b == a {
+		t.Fatal("checksum collision on modified forest")
+	}
+}
+
+func uniformGlobal(conn *Connectivity, level int) [][]octant.Octant {
+	trees := make([][]octant.Octant, conn.NumTrees())
+	per := uint64(1) << uint(conn.dim*level)
+	for t := range trees {
+		for m := uint64(0); m < per; m++ {
+			trees[t] = append(trees[t], octant.FromMortonIndex(conn.dim, level, m))
+		}
+	}
+	return trees
+}

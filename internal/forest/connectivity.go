@@ -1,0 +1,171 @@
+// Package forest implements a distributed forest of octrees in the style of
+// p4est: multiple octrees connected into a macro-mesh, leaves stored in
+// space-filling-curve order, partitioned across ranks of a comm.World, with
+// refinement, coarsening, repartitioning, and the paper's one-pass parallel
+// 2:1 balance in both the old and the new variant.
+//
+// Connectivity is restricted to "brick" macro-meshes: an nx × ny (× nz)
+// grid of unit trees, optionally periodic per axis, optionally with a mask
+// that deactivates grid cells to carve irregular domains (used for the
+// ice-sheet workload).  Inter-tree coordinate transforms are then pure
+// translations, which exercises every multi-tree code path of the balance
+// algorithm while avoiding the orientation bookkeeping of fully general
+// connectivities (see DESIGN.md for the substitution rationale).
+package forest
+
+import (
+	"fmt"
+
+	"repro/internal/octant"
+)
+
+// Connectivity describes how trees are laid out in a brick grid.
+type Connectivity struct {
+	dim      int
+	n        [3]int // grid extent per axis (n[2] == 1 in 2D)
+	periodic [3]bool
+
+	// cellTree maps a raster grid index to a tree id, or -1 if the cell
+	// is masked out.  treeCell is the inverse.
+	cellTree []int32
+	treeCell [][3]int
+}
+
+// NewBrick creates a brick connectivity of nx × ny (× nz) unit trees.  In
+// 2D, nz must be 1 and periodic[2] false.
+func NewBrick(dim, nx, ny, nz int, periodic [3]bool) *Connectivity {
+	if dim != 2 && dim != 3 {
+		panic("forest: invalid dimension")
+	}
+	if nx < 1 || ny < 1 || nz < 1 {
+		panic("forest: brick extents must be positive")
+	}
+	if dim == 2 && (nz != 1 || periodic[2]) {
+		panic("forest: 2D brick must have nz == 1 and no z periodicity")
+	}
+	for i := 0; i < dim; i++ {
+		ext := []int{nx, ny, nz}[i]
+		if periodic[i] && ext < 3 {
+			// With fewer than three cells a periodic tree would be its
+			// own neighbor (or a neighbor in two directions at once),
+			// making inter-tree shifts ambiguous.
+			panic("forest: periodic axes require an extent of at least 3 trees")
+		}
+	}
+	c := &Connectivity{dim: dim, n: [3]int{nx, ny, nz}, periodic: periodic}
+	c.buildIndex(nil)
+	return c
+}
+
+// NewMaskedBrick is NewBrick with a mask: only grid cells for which keep
+// returns true become trees.  At least one cell must survive.
+func NewMaskedBrick(dim, nx, ny, nz int, periodic [3]bool, keep func(x, y, z int) bool) *Connectivity {
+	c := NewBrick(dim, nx, ny, nz, periodic)
+	c.buildIndex(keep)
+	if len(c.treeCell) == 0 {
+		panic("forest: mask removed all trees")
+	}
+	return c
+}
+
+func (c *Connectivity) buildIndex(keep func(x, y, z int) bool) {
+	c.cellTree = make([]int32, c.n[0]*c.n[1]*c.n[2])
+	c.treeCell = c.treeCell[:0]
+	id := int32(0)
+	for z := 0; z < c.n[2]; z++ {
+		for y := 0; y < c.n[1]; y++ {
+			for x := 0; x < c.n[0]; x++ {
+				i := c.rasterIndex(x, y, z)
+				if keep != nil && !keep(x, y, z) {
+					c.cellTree[i] = -1
+					continue
+				}
+				c.cellTree[i] = id
+				c.treeCell = append(c.treeCell, [3]int{x, y, z})
+				id++
+			}
+		}
+	}
+}
+
+func (c *Connectivity) rasterIndex(x, y, z int) int {
+	return (z*c.n[1]+y)*c.n[0] + x
+}
+
+// Dim returns the dimension of the forest (2 or 3).
+func (c *Connectivity) Dim() int { return c.dim }
+
+// NumTrees returns the number of active trees.
+func (c *Connectivity) NumTrees() int32 { return int32(len(c.treeCell)) }
+
+// TreeCell returns the grid coordinates of tree t.
+func (c *Connectivity) TreeCell(t int32) (x, y, z int) {
+	cell := c.treeCell[t]
+	return cell[0], cell[1], cell[2]
+}
+
+// String describes the connectivity.
+func (c *Connectivity) String() string {
+	return fmt.Sprintf("brick %dD %dx%dx%d, %d trees", c.dim, c.n[0], c.n[1], c.n[2], c.NumTrees())
+}
+
+// Shift is the lattice translation that maps one tree's coordinate frame to
+// a neighboring tree's frame.  Applying a Shift to an octant expresses it
+// in the neighbor's coordinates.
+type Shift [3]int32
+
+// Apply translates o by the shift.
+func (s Shift) Apply(o octant.Octant) octant.Octant {
+	return o.Translated(s[0], s[1], s[2])
+}
+
+// Inverse returns the opposite translation.
+func (s Shift) Inverse() Shift { return Shift{-s[0], -s[1], -s[2]} }
+
+// Canonicalize maps an octant that may lie outside its tree's root cube to
+// the tree that actually contains it.  If o is inside the root it is
+// returned unchanged with a zero shift.  If o lies in a neighboring grid
+// cell, the neighbor tree id, the translated octant, and the applied shift
+// are returned; the same shift expresses any companion octant of the source
+// tree in the neighbor's frame.  ok is false when the octant falls outside
+// the domain (past a non-periodic boundary or into a masked-out cell).
+//
+// Out-of-root octants never straddle the root boundary: their side length
+// divides the root length and their corners are grid aligned, so each one
+// lies in exactly one grid cell.
+func (c *Connectivity) Canonicalize(tree int32, o octant.Octant) (nt int32, no octant.Octant, shift Shift, ok bool) {
+	var off [3]int
+	for i := 0; i < c.dim; i++ {
+		switch {
+		case o.Coord(i) < 0:
+			off[i] = -1
+		case o.Coord(i) >= octant.RootLen:
+			off[i] = 1
+		}
+	}
+	if off == [3]int{} {
+		return tree, o, Shift{}, true
+	}
+	cell := c.treeCell[tree]
+	var ncell [3]int
+	for i := 0; i < 3; i++ {
+		v := cell[i] + off[i]
+		if v < 0 || v >= c.n[i] {
+			if !c.periodic[i] {
+				return 0, octant.Octant{}, Shift{}, false
+			}
+			v = (v + c.n[i]) % c.n[i]
+		}
+		ncell[i] = v
+	}
+	nt = c.cellTree[c.rasterIndex(ncell[0], ncell[1], ncell[2])]
+	if nt < 0 {
+		return 0, octant.Octant{}, Shift{}, false
+	}
+	shift = Shift{
+		-int32(off[0]) * octant.RootLen,
+		-int32(off[1]) * octant.RootLen,
+		-int32(off[2]) * octant.RootLen,
+	}
+	return nt, shift.Apply(o), shift, true
+}

@@ -1,0 +1,293 @@
+package forest
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/linear"
+	"repro/internal/octant"
+)
+
+// Pos is a global position on the forest's space-filling curve: a tree id
+// and a lattice anchor (the first corner of a MaxLevel cell).  Positions
+// order first by tree, then by Morton order of the anchor.  The partition
+// of the forest is described by one Pos per rank (the first position owned
+// by that rank), exactly like p4est's global_first_position array.
+type Pos struct {
+	Tree    int32
+	X, Y, Z int32
+}
+
+// PosOf returns the global position of octant o in tree t (the position of
+// o's first corner).
+func PosOf(t int32, o octant.Octant) Pos {
+	return Pos{Tree: t, X: o.X, Y: o.Y, Z: o.Z}
+}
+
+// anchor returns the MaxLevel octant at p's coordinates.
+func (p Pos) anchor(dim int) octant.Octant {
+	return octant.Octant{X: p.X, Y: p.Y, Z: p.Z, Level: octant.MaxLevel, Dim: int8(dim)}
+}
+
+// ComparePos orders positions along the global space-filling curve.
+func ComparePos(a, b Pos, dim int) int {
+	if a.Tree != b.Tree {
+		return int(a.Tree) - int(b.Tree)
+	}
+	return octant.Compare(a.anchor(dim), b.anchor(dim))
+}
+
+// TreeChunk is the local storage for one tree: a sorted linear array of the
+// leaves this rank owns within that tree (a contiguous segment of the
+// tree's space-filling curve).
+type TreeChunk struct {
+	Tree   int32
+	Leaves []octant.Octant
+}
+
+// Forest is one rank's view of a distributed forest of octrees.  All
+// methods taking a *comm.Comm are collective: every rank of the world must
+// call them in the same order.
+type Forest struct {
+	Conn *Connectivity
+
+	// Local holds the chunks of trees this rank owns leaves in, in
+	// ascending tree order.  Empty chunks are not stored.
+	Local []TreeChunk
+
+	// GFP are the global first positions: GFP[r] is the first position
+	// owned by rank r and GFP[P] is the end sentinel.  Ranks may be
+	// empty (GFP[r] == GFP[r+1]).
+	GFP []Pos
+
+	// NumGlobal is the global leaf count, maintained by the collective
+	// operations.
+	NumGlobal int64
+}
+
+// NewUniform builds a forest uniformly refined to the given level,
+// partitioned equally (by leaf count) across the ranks of c.  It is a
+// collective call.
+func NewUniform(conn *Connectivity, c *comm.Comm, level int) *Forest {
+	if level < 0 || conn.dim*level > 62 {
+		panic("forest: invalid uniform level")
+	}
+	perTree := int64(1) << uint(conn.dim*level)
+	total := int64(conn.NumTrees()) * perTree
+	p := int64(c.Size())
+	rank := int64(c.Rank())
+	lo := total * rank / p
+	hi := total * (rank + 1) / p
+
+	f := &Forest{Conn: conn, NumGlobal: total}
+	for g := lo; g < hi; {
+		t := int32(g / perTree)
+		first := g % perTree
+		last := perTree
+		if remaining := hi - g; first+remaining < last {
+			last = first + remaining
+		}
+		leaves := make([]octant.Octant, 0, last-first)
+		for m := first; m < last; m++ {
+			leaves = append(leaves, octant.FromMortonIndex(conn.dim, level, uint64(m)))
+		}
+		f.Local = append(f.Local, TreeChunk{Tree: t, Leaves: leaves})
+		g += last - first
+	}
+	f.SyncGFP(c)
+	return f
+}
+
+// NumLocal returns the number of leaves this rank owns.
+func (f *Forest) NumLocal() int64 {
+	var n int64
+	for _, tc := range f.Local {
+		n += int64(len(tc.Leaves))
+	}
+	return n
+}
+
+// FirstPos returns this rank's first owned position and true, or false if
+// the rank is empty.
+func (f *Forest) FirstPos() (Pos, bool) {
+	if len(f.Local) == 0 {
+		return Pos{}, false
+	}
+	tc := f.Local[0]
+	return PosOf(tc.Tree, tc.Leaves[0]), true
+}
+
+// SyncGFP recomputes the global first positions and the global leaf count.
+// Collective.  Ranks with no leaves inherit the next non-empty rank's
+// position, preserving the invariant that GFP is non-decreasing.
+func (f *Forest) SyncGFP(c *comm.Comm) {
+	p := c.Size()
+	dim := f.Conn.dim
+	// Encode (hasLeaves, pos, count).
+	var buf []byte
+	pos, ok := f.FirstPos()
+	flag := int32(0)
+	if ok {
+		flag = 1
+	}
+	buf = comm.AppendInt32(buf, flag)
+	buf = appendPos(buf, pos)
+	buf = comm.AppendInt64(buf, f.NumLocal())
+	blocks := c.Allgatherv(buf)
+
+	gfp := make([]Pos, p+1)
+	var total int64
+	end := endPos(f.Conn)
+	next := end
+	for r := p - 1; r >= 0; r-- {
+		b := blocks[r]
+		fl, off := comm.Int32At(b, 0)
+		ps, off := posAt(b, off)
+		n, _ := comm.Int64At(b, off)
+		total += n
+		if fl != 0 {
+			next = ps
+		}
+		gfp[r] = next
+	}
+	gfp[p] = end
+	// Sanity: non-decreasing.
+	for r := 0; r < p; r++ {
+		if ComparePos(gfp[r], gfp[r+1], dim) > 0 {
+			panic("forest: global first positions out of order")
+		}
+	}
+	f.GFP = gfp
+	f.NumGlobal = total
+}
+
+// endPos is the sentinel one past the last position of the forest.
+func endPos(conn *Connectivity) Pos {
+	return Pos{Tree: conn.NumTrees(), X: 0, Y: 0, Z: 0}
+}
+
+// OwnerOf returns the rank owning the given global position.
+func (f *Forest) OwnerOf(p Pos) int {
+	dim := f.Conn.dim
+	lo, hi := 0, len(f.GFP)-1
+	// Find the last r with GFP[r] <= p.
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if ComparePos(f.GFP[mid], p, dim) <= 0 {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// OwnersOfRegion returns the inclusive rank range whose partitions overlap
+// octant region in tree t.
+func (f *Forest) OwnersOfRegion(t int32, region octant.Octant) (first, last int) {
+	fd := region.FirstDescendant(octant.MaxLevel)
+	ld := region.LastDescendant(octant.MaxLevel)
+	return f.OwnerOf(PosOf(t, fd)), f.OwnerOf(PosOf(t, ld))
+}
+
+// Refine refines local leaves recursively: fn is called for each leaf and
+// may return true to split it; children are then reconsidered until fn
+// declines or maxLevel is reached.  Refinement is local (no communication)
+// and keeps the partition boundary positions unchanged, so GFP remains
+// valid; only the global count must be refreshed, which is why Refine is
+// still collective (it ends with an Allreduce).
+func (f *Forest) Refine(c *comm.Comm, maxLevel int, fn func(tree int32, o octant.Octant) bool) {
+	for i := range f.Local {
+		tc := &f.Local[i]
+		out := make([]octant.Octant, 0, len(tc.Leaves))
+		var rec func(o octant.Octant)
+		rec = func(o octant.Octant) {
+			if int(o.Level) < maxLevel && fn(tc.Tree, o) {
+				for ci := 0; ci < octant.NumChildren(f.Conn.dim); ci++ {
+					rec(o.Child(ci))
+				}
+				return
+			}
+			out = append(out, o)
+		}
+		for _, o := range tc.Leaves {
+			rec(o)
+		}
+		tc.Leaves = out
+	}
+	f.NumGlobal = c.AllreduceSumInt64(f.NumLocal())
+}
+
+// Coarsen replaces complete local families by their parent when fn approves
+// of the family.  Families straddling a partition boundary are not
+// coarsened (as in p4est, where Coarsen is usually preceded by Partition).
+// Collective for the same reason as Refine; coarsening can change this
+// rank's first position only if the first leaf is absorbed into a parent
+// whose anchor it shares, which leaves the position unchanged, so GFP
+// remains valid.
+func (f *Forest) Coarsen(c *comm.Comm, fn func(tree int32, family []octant.Octant) bool) {
+	nc := octant.NumChildren(f.Conn.dim)
+	for i := range f.Local {
+		tc := &f.Local[i]
+		for {
+			out := make([]octant.Octant, 0, len(tc.Leaves))
+			changed := false
+			j := 0
+			for j < len(tc.Leaves) {
+				if j+nc <= len(tc.Leaves) && tc.Leaves[j].Level > 0 && tc.Leaves[j].ChildID() == 0 &&
+					octant.IsFamily(tc.Leaves[j:j+nc]) && fn(tc.Tree, tc.Leaves[j:j+nc]) {
+					out = append(out, tc.Leaves[j].Parent())
+					j += nc
+					changed = true
+					continue
+				}
+				out = append(out, tc.Leaves[j])
+				j++
+			}
+			tc.Leaves = out
+			if !changed {
+				break
+			}
+		}
+	}
+	f.NumGlobal = c.AllreduceSumInt64(f.NumLocal())
+}
+
+// Validate checks structural invariants of the local forest state: chunks
+// in ascending tree order, leaves sorted, linear and inside their root.
+func (f *Forest) Validate() error {
+	root := octant.Root(f.Conn.dim)
+	for i, tc := range f.Local {
+		if i > 0 && tc.Tree <= f.Local[i-1].Tree {
+			return fmt.Errorf("forest: tree chunks out of order (%d after %d)", tc.Tree, f.Local[i-1].Tree)
+		}
+		if tc.Tree < 0 || tc.Tree >= f.Conn.NumTrees() {
+			return fmt.Errorf("forest: invalid tree id %d", tc.Tree)
+		}
+		if len(tc.Leaves) == 0 {
+			return fmt.Errorf("forest: empty chunk for tree %d", tc.Tree)
+		}
+		if !linear.IsLinear(tc.Leaves) {
+			return fmt.Errorf("forest: tree %d leaves not linear", tc.Tree)
+		}
+		for _, o := range tc.Leaves {
+			if err := o.Check(); err != nil {
+				return fmt.Errorf("forest: tree %d: %w", tc.Tree, err)
+			}
+			if !root.IsAncestorOrEqual(o) {
+				return fmt.Errorf("forest: tree %d leaf %v outside root", tc.Tree, o)
+			}
+		}
+	}
+	return nil
+}
+
+// chunkFor returns the chunk of tree t, or nil.
+func (f *Forest) chunkFor(t int32) *TreeChunk {
+	for i := range f.Local {
+		if f.Local[i].Tree == t {
+			return &f.Local[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package forest
+
+import (
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/linear"
+	"repro/internal/notify"
+	"repro/internal/octant"
+)
+
+// GhostOctant is a remote leaf adjacent to the local partition, expressed
+// in the canonical coordinates of its own tree.
+type GhostOctant struct {
+	Tree  int32
+	Oct   octant.Octant
+	Owner int
+}
+
+// GhostLayer is one layer of remote leaves around the local partition: for
+// every local leaf, all remote leaves sharing a face, edge or corner with
+// it are present.  This is the data structure numerical applications use to
+// apply operators near partition boundaries, and a natural companion of the
+// balance algorithm (on a balanced forest, ghost leaves differ by at most
+// one level from their local neighbors).
+type GhostLayer struct {
+	// Octants are sorted by (tree, space-filling curve position).
+	Octants []GhostOctant
+}
+
+// NumGhosts returns the number of ghost octants.
+func (g *GhostLayer) NumGhosts() int { return len(g.Octants) }
+
+// ByOwner groups the ghost octants by owning rank.
+func (g *GhostLayer) ByOwner() map[int][]GhostOctant {
+	m := make(map[int][]GhostOctant)
+	for _, go_ := range g.Octants {
+		m[go_.Owner] = append(m[go_.Owner], go_)
+	}
+	return m
+}
+
+const tagGhost = 102
+
+// BuildGhost constructs the ghost layer collectively: every rank sends each
+// of its boundary leaves to the owners of the regions adjacent to it, and
+// keeps the received leaves that are adjacent to one of its own.  The
+// asymmetric pattern is reversed with the Notify algorithm of Section V.
+func (f *Forest) BuildGhost(c *comm.Comm) *GhostLayer {
+	dirs := octant.Directions(f.Conn.dim, f.Conn.dim)
+	type entry struct {
+		Tree int32
+		Oct  octant.Octant
+	}
+	out := make(map[int]map[entry]struct{})
+	for _, tc := range f.Local {
+		for _, o := range tc.Leaves {
+			for _, d := range dirs {
+				n := o.Neighbor(d)
+				ti, n2, _, ok := f.Conn.Canonicalize(tc.Tree, n)
+				if !ok {
+					continue
+				}
+				first, last := f.OwnersOfRegion(ti, n2)
+				for rank := first; rank <= last; rank++ {
+					if rank == c.Rank() {
+						continue
+					}
+					set := out[rank]
+					if set == nil {
+						set = make(map[entry]struct{})
+						out[rank] = set
+					}
+					set[entry{Tree: tc.Tree, Oct: o}] = struct{}{}
+				}
+			}
+		}
+	}
+
+	c.SetPhase("ghost")
+	receivers := make([]int, 0, len(out))
+	for rank := range out {
+		receivers = append(receivers, rank)
+	}
+	sort.Ints(receivers)
+	senders := notify.Notify(c, receivers)
+
+	for _, rank := range receivers {
+		entries := make([]entry, 0, len(out[rank]))
+		for e := range out[rank] {
+			entries = append(entries, e)
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].Tree != entries[j].Tree {
+				return entries[i].Tree < entries[j].Tree
+			}
+			return octant.Less(entries[i].Oct, entries[j].Oct)
+		})
+		var payload []byte
+		for _, e := range entries {
+			payload = comm.AppendInt32(payload, e.Tree)
+			payload = appendOctant(payload, e.Oct)
+		}
+		c.Send(rank, tagGhost, payload)
+	}
+
+	var ghosts []GhostOctant
+	for _, rank := range senders {
+		data := c.Recv(rank, tagGhost)
+		for off := 0; off < len(data); {
+			var t int32
+			t, off = comm.Int32At(data, off)
+			var o octant.Octant
+			o, off = octantAt(data, off)
+			if f.adjacentToLocal(t, o) {
+				ghosts = append(ghosts, GhostOctant{Tree: t, Oct: o, Owner: rank})
+			}
+		}
+	}
+	sort.Slice(ghosts, func(i, j int) bool {
+		if ghosts[i].Tree != ghosts[j].Tree {
+			return ghosts[i].Tree < ghosts[j].Tree
+		}
+		return octant.Less(ghosts[i].Oct, ghosts[j].Oct)
+	})
+	c.SetPhase("default")
+	return &GhostLayer{Octants: ghosts}
+}
+
+// adjacentToLocal reports whether the leaf o of tree t (possibly remote)
+// shares a boundary object with one of this rank's leaves.  The candidate
+// leaves are found by walking o's neighbor regions, including across tree
+// boundaries.
+func (f *Forest) adjacentToLocal(t int32, o octant.Octant) bool {
+	dirs := octant.Directions(f.Conn.dim, f.Conn.dim)
+	for _, d := range dirs {
+		n := o.Neighbor(d)
+		ti, n2, shift, ok := f.Conn.Canonicalize(t, n)
+		if !ok {
+			continue
+		}
+		tc := f.chunkFor(ti)
+		if tc == nil {
+			continue
+		}
+		lo, hi := linear.OverlapRange(tc.Leaves, n2)
+		for _, leaf := range tc.Leaves[lo:hi] {
+			// Verify true adjacency in a common frame (o expressed in
+			// the neighbor tree's coordinates).
+			oin := shift.Apply(o)
+			if octant.Adjacency(oin, leaf) >= 1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Mirrors returns the local leaves that appear in other ranks' ghost
+// layers (the senders of a ghost data exchange), grouped by the peer rank
+// that needs them.  It is computed with the same owner search as BuildGhost
+// and therefore matches the peers' ghost sets exactly.
+func (f *Forest) Mirrors(c *comm.Comm) map[int][]GhostOctant {
+	dirs := octant.Directions(f.Conn.dim, f.Conn.dim)
+	out := make(map[int][]GhostOctant)
+	seen := make(map[int]map[GhostOctant]bool)
+	for _, tc := range f.Local {
+		for _, o := range tc.Leaves {
+			for _, d := range dirs {
+				n := o.Neighbor(d)
+				ti, n2, _, ok := f.Conn.Canonicalize(tc.Tree, n)
+				if !ok {
+					continue
+				}
+				first, last := f.OwnersOfRegion(ti, n2)
+				for rank := first; rank <= last; rank++ {
+					if rank == c.Rank() {
+						continue
+					}
+					g := GhostOctant{Tree: tc.Tree, Oct: o, Owner: c.Rank()}
+					m := seen[rank]
+					if m == nil {
+						m = make(map[GhostOctant]bool)
+						seen[rank] = m
+					}
+					if !m[g] {
+						m[g] = true
+						out[rank] = append(out[rank], g)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+const tagGhostData = 103
+
+// ExchangeData transfers per-leaf payloads to the ranks that hold those
+// leaves as ghosts (the analogue of p4est_ghost_exchange_data): payload is
+// called for every local leaf that some peer needs; the result maps each
+// ghost octant of this rank's ghost layer to the payload provided by its
+// owner.  Collective; must be called with the ghost layer this rank built
+// on the current forest.
+//
+// Payloads that a peer sends speculatively (because the owner search is
+// region-based) but that are not in this rank's ghost layer are dropped.
+func (f *Forest) ExchangeData(c *comm.Comm, ghost *GhostLayer, payload func(tree int32, o octant.Octant) []byte) map[GhostOctant][]byte {
+	c.SetPhase("ghost-data")
+	mirrors := f.Mirrors(c)
+	peers := make([]int, 0, len(mirrors))
+	for rank := range mirrors {
+		peers = append(peers, rank)
+	}
+	sort.Ints(peers)
+	senders := notify.Notify(c, peers)
+	for _, rank := range peers {
+		ms := mirrors[rank]
+		sort.Slice(ms, func(i, j int) bool {
+			if ms[i].Tree != ms[j].Tree {
+				return ms[i].Tree < ms[j].Tree
+			}
+			return octant.Less(ms[i].Oct, ms[j].Oct)
+		})
+		var buf []byte
+		for _, m := range ms {
+			buf = comm.AppendInt32(buf, m.Tree)
+			buf = appendOctant(buf, m.Oct)
+			data := payload(m.Tree, m.Oct)
+			buf = comm.AppendInt32(buf, int32(len(data)))
+			buf = append(buf, data...)
+		}
+		c.Send(rank, tagGhostData, buf)
+	}
+	// Index the ghost layer for acceptance filtering.
+	inGhost := make(map[GhostOctant]bool, len(ghost.Octants))
+	for _, g := range ghost.Octants {
+		inGhost[g] = true
+	}
+	out := make(map[GhostOctant][]byte)
+	for _, rank := range senders {
+		data := c.Recv(rank, tagGhostData)
+		for off := 0; off < len(data); {
+			var t int32
+			t, off = comm.Int32At(data, off)
+			var o octant.Octant
+			o, off = octantAt(data, off)
+			var n int32
+			n, off = comm.Int32At(data, off)
+			body := data[off : off+int(n)]
+			off += int(n)
+			g := GhostOctant{Tree: t, Oct: o, Owner: rank}
+			if inGhost[g] {
+				out[g] = body
+			}
+		}
+	}
+	c.SetPhase("default")
+	return out
+}

@@ -1,0 +1,177 @@
+package forest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/linear"
+	"repro/internal/octant"
+)
+
+// This file implements forest serialization, the analogue of
+// p4est_save/p4est_load: a gathered global forest and its brick
+// connectivity round-trip through a compact binary format, so meshes can be
+// checkpointed and reloaded independently of the partition that produced
+// them.
+
+const (
+	ioMagic   = 0x0c7ba1a0 // "octbal" spirit
+	ioVersion = 1
+)
+
+// SaveGlobal writes the connectivity and the gathered global forest to w.
+// trees[t] must be the complete sorted leaf array of tree t.
+func SaveGlobal(w io.Writer, conn *Connectivity, trees [][]octant.Octant) error {
+	if int32(len(trees)) != conn.NumTrees() {
+		return fmt.Errorf("forest: save: %d trees for connectivity with %d", len(trees), conn.NumTrees())
+	}
+	bw := bufio.NewWriter(w)
+	put := func(v int32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(v))
+		bw.Write(b[:])
+	}
+	put(ioMagic)
+	put(ioVersion)
+	put(int32(conn.dim))
+	for i := 0; i < 3; i++ {
+		put(int32(conn.n[i]))
+	}
+	var pbits int32
+	for i := 0; i < 3; i++ {
+		if conn.periodic[i] {
+			pbits |= 1 << uint(i)
+		}
+	}
+	put(pbits)
+	// Mask bitmap: one int32 per grid cell (1 = active).
+	for _, t := range conn.cellTree {
+		if t >= 0 {
+			put(1)
+		} else {
+			put(0)
+		}
+	}
+	// Leaves.
+	for _, leaves := range trees {
+		put(int32(len(leaves)))
+		for _, o := range leaves {
+			put(o.X)
+			put(o.Y)
+			put(o.Z)
+			put(int32(o.Level))
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadGlobal reads a forest written by SaveGlobal and validates it: each
+// tree must be a complete linear octree.
+func LoadGlobal(r io.Reader) (*Connectivity, [][]octant.Octant, error) {
+	br := bufio.NewReader(r)
+	get := func() (int32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return int32(binary.LittleEndian.Uint32(b[:])), nil
+	}
+	expect := func(want int32, what string) error {
+		v, err := get()
+		if err != nil {
+			return err
+		}
+		if v != want {
+			return fmt.Errorf("forest: load: bad %s (%#x)", what, v)
+		}
+		return nil
+	}
+	if err := expect(ioMagic, "magic"); err != nil {
+		return nil, nil, err
+	}
+	if err := expect(ioVersion, "version"); err != nil {
+		return nil, nil, err
+	}
+	dim32, err := get()
+	if err != nil {
+		return nil, nil, err
+	}
+	dim := int(dim32)
+	if dim != 2 && dim != 3 {
+		return nil, nil, fmt.Errorf("forest: load: invalid dimension %d", dim)
+	}
+	var n [3]int32
+	for i := 0; i < 3; i++ {
+		if n[i], err = get(); err != nil {
+			return nil, nil, err
+		}
+		if n[i] < 1 || n[i] > 1<<16 {
+			return nil, nil, fmt.Errorf("forest: load: invalid extent %d", n[i])
+		}
+	}
+	pbits, err := get()
+	if err != nil {
+		return nil, nil, err
+	}
+	var periodic [3]bool
+	for i := 0; i < 3; i++ {
+		periodic[i] = pbits&(1<<uint(i)) != 0
+	}
+	cells := int(n[0] * n[1] * n[2])
+	mask := make([]bool, cells)
+	for i := range mask {
+		v, err := get()
+		if err != nil {
+			return nil, nil, err
+		}
+		mask[i] = v != 0
+	}
+	conn := NewMaskedBrick(dim, int(n[0]), int(n[1]), int(n[2]), periodic, func(x, y, z int) bool {
+		return mask[(z*int(n[1])+y)*int(n[0])+x]
+	})
+	root := octant.Root(dim)
+	trees := make([][]octant.Octant, conn.NumTrees())
+	for t := range trees {
+		count, err := get()
+		if err != nil {
+			return nil, nil, err
+		}
+		if count < 1 || count > 1<<28 {
+			return nil, nil, fmt.Errorf("forest: load: implausible leaf count %d", count)
+		}
+		leaves := make([]octant.Octant, count)
+		for i := range leaves {
+			x, err := get()
+			if err != nil {
+				return nil, nil, err
+			}
+			y, err := get()
+			if err != nil {
+				return nil, nil, err
+			}
+			z, err := get()
+			if err != nil {
+				return nil, nil, err
+			}
+			l, err := get()
+			if err != nil {
+				return nil, nil, err
+			}
+			o := octant.Octant{X: x, Y: y, Z: z, Level: int8(l), Dim: int8(dim)}
+			if err := o.Check(); err != nil {
+				return nil, nil, fmt.Errorf("forest: load: tree %d leaf %d: %w", t, i, err)
+			}
+			if !o.InsideRoot() {
+				return nil, nil, fmt.Errorf("forest: load: tree %d leaf %d outside root", t, i)
+			}
+			leaves[i] = o
+		}
+		if !linear.IsLinear(leaves) || !linear.IsComplete(root, leaves) {
+			return nil, nil, fmt.Errorf("forest: load: tree %d is not a complete linear octree", t)
+		}
+		trees[t] = leaves
+	}
+	return conn, trees, nil
+}

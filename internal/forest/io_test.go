@@ -1,0 +1,79 @@
+package forest
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		conn *Connectivity
+	}{
+		{"single2d", NewBrick(2, 1, 1, 1, [3]bool{})},
+		{"brick3d", NewBrick(3, 3, 2, 1, [3]bool{})},
+		{"periodic", NewBrick(2, 4, 3, 1, [3]bool{true, false, false})},
+		{"masked", NewMaskedBrick(2, 3, 3, 1, [3]bool{}, func(x, y, z int) bool { return x != 1 || y != 1 })},
+	} {
+		forests := runForest(t, tc.conn, 3, 1, func(c *comm.Comm, f *Forest) {
+			f.Refine(c, 4, fractalRefine(4))
+			f.Balance(c, tc.conn.dim, BalanceOptions{})
+		})
+		trees := gather(tc.conn, forests)
+		var buf bytes.Buffer
+		if err := SaveGlobal(&buf, tc.conn, trees); err != nil {
+			t.Fatalf("%s: save: %v", tc.name, err)
+		}
+		conn2, trees2, err := LoadGlobal(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", tc.name, err)
+		}
+		if conn2.NumTrees() != tc.conn.NumTrees() || conn2.Dim() != tc.conn.Dim() {
+			t.Fatalf("%s: connectivity mismatch", tc.name)
+		}
+		if !forestsEqual(trees2, trees) {
+			t.Fatalf("%s: forest round trip mismatch", tc.name)
+		}
+		if ChecksumGlobal(trees2) != ChecksumGlobal(trees) {
+			t.Fatalf("%s: checksum changed across save/load", tc.name)
+		}
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	conn := NewBrick(2, 1, 1, 1, [3]bool{})
+	forests := runForest(t, conn, 1, 2, nil)
+	trees := gather(conn, forests)
+	var buf bytes.Buffer
+	if err := SaveGlobal(&buf, conn, trees); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, good...)
+	bad[0] ^= 0xff
+	if _, _, err := LoadGlobal(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupted magic accepted")
+	}
+	// Truncated stream.
+	if _, _, err := LoadGlobal(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Corrupt a leaf coordinate so the tree is no longer complete.
+	bad2 := append([]byte{}, good...)
+	bad2[len(bad2)-16] ^= 0x40
+	if _, _, err := LoadGlobal(bytes.NewReader(bad2)); err == nil {
+		t.Error("incomplete octree accepted")
+	}
+}
+
+func TestSaveRejectsWrongTreeCount(t *testing.T) {
+	conn := NewBrick(2, 2, 1, 1, [3]bool{})
+	var buf bytes.Buffer
+	if err := SaveGlobal(&buf, conn, nil); err == nil {
+		t.Fatal("tree count mismatch accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package forest
+
+import (
+	"repro/internal/linear"
+	"repro/internal/octant"
+)
+
+// LeafNeighbor is one neighbor of a local leaf: a leaf of the (possibly
+// different) tree Tree, either local or in the ghost layer.
+type LeafNeighbor struct {
+	Tree int32
+	Leaf octant.Octant
+	// InFrame is the neighbor expressed in the coordinate frame of the
+	// queried leaf's tree (it may lie outside that tree's root cube).
+	InFrame octant.Octant
+	// Ghost is true when the neighbor is not owned by this rank; it was
+	// then found in the provided ghost layer.
+	Ghost bool
+	Owner int // owning rank (this rank for local neighbors)
+}
+
+// LeafNeighbors returns every leaf adjacent to the given local leaf across
+// boundary objects of codimension 1..k, searching local chunks and,
+// optionally, a ghost layer built by BuildGhost.  On a balanced forest the
+// result is the complete adjacency stencil of the leaf (all neighbors are
+// found: same size, one coarser, or one finer).
+//
+// rank is this process's rank (used to label owners); pass ghost = nil for
+// a serial forest holding everything locally.
+func (f *Forest) LeafNeighbors(rank int, ghost *GhostLayer, tree int32, leaf octant.Octant, k int) []LeafNeighbor {
+	dirs := octant.Directions(f.Conn.dim, k)
+	seen := make(map[LeafNeighbor]bool)
+	var out []LeafNeighbor
+	add := func(n LeafNeighbor) {
+		key := n
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, n)
+		}
+	}
+	for _, d := range dirs {
+		region := leaf.Neighbor(d)
+		ti, region2, shift, ok := f.Conn.Canonicalize(tree, region)
+		if !ok {
+			continue
+		}
+		inv := shift.Inverse()
+		leafIn := shift.Apply(leaf)
+		// Local candidates.
+		if tc := f.chunkFor(ti); tc != nil {
+			lo, hi := linear.OverlapRange(tc.Leaves, region2)
+			for _, cand := range tc.Leaves[lo:hi] {
+				if c := octant.Adjacency(leafIn, cand); c >= 1 && c <= k {
+					add(LeafNeighbor{
+						Tree: ti, Leaf: cand, InFrame: inv.Apply(cand),
+						Ghost: false, Owner: rank,
+					})
+				}
+			}
+		}
+		// Ghost candidates.
+		if ghost != nil {
+			for _, g := range ghost.Octants {
+				if g.Tree != ti || !g.Oct.Overlaps(region2) {
+					continue
+				}
+				if c := octant.Adjacency(leafIn, g.Oct); c >= 1 && c <= k {
+					add(LeafNeighbor{
+						Tree: ti, Leaf: g.Oct, InFrame: inv.Apply(g.Oct),
+						Ghost: true, Owner: g.Owner,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

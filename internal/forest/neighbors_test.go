@@ -1,0 +1,130 @@
+package forest
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/octant"
+)
+
+func TestLeafNeighborsSerial(t *testing.T) {
+	// On a balanced single-rank forest, the neighbor stencil must be
+	// complete and levels must differ by at most one.
+	conn := NewBrick(2, 2, 1, 1, [3]bool{})
+	forests := runForest(t, conn, 1, 1, func(c *comm.Comm, f *Forest) {
+		f.Refine(c, 5, fractalRefine(5))
+		f.Balance(c, 2, BalanceOptions{})
+	})
+	f := forests[0]
+	for _, tc := range f.Local {
+		for _, leaf := range tc.Leaves {
+			nbs := f.LeafNeighbors(0, nil, tc.Tree, leaf, 2)
+			if len(nbs) == 0 {
+				t.Fatalf("leaf %v has no neighbors", leaf)
+			}
+			for _, nb := range nbs {
+				if nb.Ghost || nb.Owner != 0 {
+					t.Fatalf("serial forest returned ghost neighbor %v", nb)
+				}
+				if d := int(leaf.Level) - int(nb.Leaf.Level); d < -1 || d > 1 {
+					t.Fatalf("unbalanced neighbor pair: %v vs %v", leaf, nb.Leaf)
+				}
+				c := octant.Adjacency(leaf, nb.InFrame)
+				if c < 1 || c > 2 {
+					t.Fatalf("in-frame neighbor %v not adjacent (codim %d)", nb.InFrame, c)
+				}
+			}
+		}
+	}
+}
+
+func TestLeafNeighborsFaceCountUniform(t *testing.T) {
+	// On a uniform single-tree mesh, an interior leaf has exactly 8
+	// neighbors in 2D (k = 2) and 4 with k = 1.
+	conn := NewBrick(2, 1, 1, 1, [3]bool{})
+	forests := runForest(t, conn, 1, 3, nil)
+	f := forests[0]
+	tc := f.Local[0]
+	for _, leaf := range tc.Leaves {
+		interior := leaf.X > 0 && leaf.Y > 0 &&
+			leaf.X+leaf.Len() < octant.RootLen && leaf.Y+leaf.Len() < octant.RootLen
+		if !interior {
+			continue
+		}
+		if got := len(f.LeafNeighbors(0, nil, 0, leaf, 2)); got != 8 {
+			t.Fatalf("interior leaf: %d corner-neighbors, want 8", got)
+		}
+		if got := len(f.LeafNeighbors(0, nil, 0, leaf, 1)); got != 4 {
+			t.Fatalf("interior leaf: %d face-neighbors, want 4", got)
+		}
+	}
+}
+
+func TestLeafNeighborsCrossTreeAndGhost(t *testing.T) {
+	// Distributed: neighbors across partition boundaries come from the
+	// ghost layer with correct owners; cross-tree neighbors are found.
+	conn := NewBrick(2, 2, 1, 1, [3]bool{})
+	p := 4
+	ghosts := make([]*GhostLayer, p)
+	forests := runForest(t, conn, p, 2, func(c *comm.Comm, f *Forest) {
+		f.Balance(c, 2, BalanceOptions{})
+		ghosts[c.Rank()] = f.BuildGhost(c)
+	})
+	sawGhost, sawCrossTree := false, false
+	for r, f := range forests {
+		for _, tc := range f.Local {
+			for _, leaf := range tc.Leaves {
+				nbs := f.LeafNeighbors(r, ghosts[r], tc.Tree, leaf, 2)
+				// A uniform level-2 interior leaf must see all 8
+				// neighbors when ghosts are supplied.
+				for _, nb := range nbs {
+					if nb.Ghost {
+						sawGhost = true
+						if nb.Owner == r {
+							t.Fatalf("ghost neighbor owned by self")
+						}
+					}
+					if nb.Tree != tc.Tree {
+						sawCrossTree = true
+					}
+				}
+			}
+		}
+	}
+	if !sawGhost {
+		t.Fatal("no ghost neighbors found across partitions")
+	}
+	if !sawCrossTree {
+		t.Fatal("no cross-tree neighbors found")
+	}
+}
+
+func TestLeafNeighborsCompleteWithGhosts(t *testing.T) {
+	// With ghosts supplied, the distributed stencil must equal the serial
+	// stencil for every leaf.
+	conn := NewBrick(2, 2, 1, 1, [3]bool{})
+	p := 3
+	ghosts := make([]*GhostLayer, p)
+	forests := runForest(t, conn, p, 1, func(c *comm.Comm, f *Forest) {
+		f.Refine(c, 4, fractalRefine(4))
+		f.Partition(c, nil)
+		f.Balance(c, 2, BalanceOptions{})
+		ghosts[c.Rank()] = f.BuildGhost(c)
+	})
+	serial := runForest(t, conn, 1, 1, func(c *comm.Comm, f *Forest) {
+		f.Refine(c, 4, fractalRefine(4))
+		f.Balance(c, 2, BalanceOptions{})
+	})[0]
+	for r, f := range forests {
+		for _, tc := range f.Local {
+			for _, leaf := range tc.Leaves {
+				got := f.LeafNeighbors(r, ghosts[r], tc.Tree, leaf, 2)
+				want := serial.LeafNeighbors(0, nil, tc.Tree, leaf, 2)
+				if len(got) != len(want) {
+					t.Fatalf("rank %d leaf %v: %d neighbors, serial has %d",
+						r, leaf, len(got), len(want))
+				}
+			}
+		}
+	}
+}

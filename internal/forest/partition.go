@@ -1,0 +1,146 @@
+package forest
+
+import (
+	"repro/internal/comm"
+	"repro/internal/octant"
+)
+
+// Partition redistributes the forest's leaves across ranks so that every
+// rank holds a contiguous segment of the global space-filling curve with
+// (approximately) equal total weight, following the weighted partition
+// scheme of Burstedde, Wilcox & Ghattas (2011) that the paper builds on.
+//
+// weight is called once per local leaf and must return a positive value;
+// nil means unit weights (equal leaf counts).  Collective.
+func (f *Forest) Partition(c *comm.Comm, weight func(tree int32, o octant.Octant) int64) {
+	p := c.Size()
+	const tag = 1 << 19
+
+	// Local weights and the global weight offset of this rank.
+	var localW int64
+	weights := make([][]int64, len(f.Local))
+	for i, tc := range f.Local {
+		ws := make([]int64, len(tc.Leaves))
+		for j, o := range tc.Leaves {
+			w := int64(1)
+			if weight != nil {
+				w = weight(tc.Tree, o)
+				if w <= 0 {
+					panic("forest: leaf weights must be positive")
+				}
+			}
+			ws[j] = w
+			localW += w
+		}
+		weights[i] = ws
+	}
+	totals := c.AllgatherInt64(localW)
+	var start, totalW int64
+	for r, w := range totals {
+		if r < c.Rank() {
+			start += w
+		}
+		totalW += w
+	}
+	if totalW == 0 {
+		panic("forest: cannot partition an empty forest")
+	}
+
+	// dest maps a global exclusive weight prefix to its new owner.
+	dest := func(prefix int64) int {
+		d := int(prefix * int64(p) / totalW)
+		if d >= p {
+			d = p - 1
+		}
+		return d
+	}
+
+	// Slice the local leaves into per-destination runs and send them.
+	// Every rank in the conservative destination interval receives a
+	// message (possibly empty) so that receive counts are computable.
+	payloads := make(map[int][]byte)
+	prefix := start
+	for i, tc := range f.Local {
+		runStart := 0
+		runDest := -1
+		flush := func(end int) {
+			if runDest >= 0 && end > runStart {
+				b := payloads[runDest]
+				b = comm.AppendInt32(b, tc.Tree)
+				b = appendOctants(b, tc.Leaves[runStart:end])
+				payloads[runDest] = b
+			}
+		}
+		for j := range tc.Leaves {
+			d := dest(prefix)
+			prefix += weights[i][j]
+			if d != runDest {
+				flush(j)
+				runStart, runDest = j, d
+			}
+		}
+		flush(len(tc.Leaves))
+	}
+	if localW > 0 {
+		lo, hi := dest(start), dest(start+localW-1)
+		for d := lo; d <= hi; d++ {
+			if d == c.Rank() {
+				continue
+			}
+			c.Send(d, tag, payloads[d])
+		}
+	}
+
+	// Receive from every rank whose conservative interval includes us.
+	type chunkRun struct {
+		src    int
+		chunks []TreeChunk
+	}
+	var runs []chunkRun
+	if own := payloads[c.Rank()]; own != nil {
+		runs = append(runs, chunkRun{src: c.Rank(), chunks: decodeChunks(own)})
+	}
+	startOf := int64(0)
+	for s := 0; s < p; s++ {
+		w := totals[s]
+		if w > 0 && s != c.Rank() {
+			lo, hi := dest(startOf), dest(startOf+w-1)
+			if lo <= c.Rank() && c.Rank() <= hi {
+				data := c.Recv(s, tag)
+				runs = append(runs, chunkRun{src: s, chunks: decodeChunks(data)})
+			}
+		}
+		startOf += w
+	}
+	// Assemble in source-rank order (sources hold ascending curve
+	// segments), merging adjacent chunks of the same tree.
+	for i := 1; i < len(runs); i++ {
+		for j := i; j > 0 && runs[j].src < runs[j-1].src; j-- {
+			runs[j], runs[j-1] = runs[j-1], runs[j]
+		}
+	}
+	var local []TreeChunk
+	for _, run := range runs {
+		for _, ch := range run.chunks {
+			if n := len(local); n > 0 && local[n-1].Tree == ch.Tree {
+				local[n-1].Leaves = append(local[n-1].Leaves, ch.Leaves...)
+				continue
+			}
+			local = append(local, ch)
+		}
+	}
+	f.Local = local
+	f.SyncGFP(c)
+}
+
+func decodeChunks(b []byte) []TreeChunk {
+	var chunks []TreeChunk
+	for off := 0; off < len(b); {
+		var t int32
+		t, off = comm.Int32At(b, off)
+		var octs []octant.Octant
+		octs, off = octantsAt(b, off)
+		chunks = append(chunks, TreeChunk{Tree: t, Leaves: octs})
+	}
+	return chunks
+}

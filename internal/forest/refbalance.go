@@ -1,0 +1,121 @@
+package forest
+
+import (
+	"fmt"
+
+	"repro/internal/balance"
+	"repro/internal/linear"
+	"repro/internal/octant"
+)
+
+// RefBalance computes the k-balanced refinement of a complete global forest
+// serially: per-tree subtree balance alternates with a cross-tree ripple
+// that splits any octant violating balance with a neighbor across a tree
+// boundary, until a fixed point is reached.  trees[t] is the complete
+// linear octree of tree t; the result has the same shape.
+//
+// This is the ground-truth oracle for the parallel one-pass Balance and is
+// also usable as a single-process reference implementation.  It favors
+// simplicity over speed.
+func RefBalance(conn *Connectivity, trees [][]octant.Octant, k int) [][]octant.Octant {
+	dim := conn.dim
+	root := octant.Root(dim)
+	dirs := octant.Directions(dim, k)
+	cur := make([][]octant.Octant, len(trees))
+	for t := range trees {
+		cur[t] = append([]octant.Octant(nil), trees[t]...)
+	}
+	for {
+		// Per-tree balance (fast, handles all intra-tree violations).
+		for t := range cur {
+			cur[t] = balance.SubtreeNew(root, cur[t], k)
+		}
+		// Cross-tree ripple step.
+		splits := make([]map[octant.Octant]bool, len(cur))
+		for t := range splits {
+			splits[t] = make(map[octant.Octant]bool)
+		}
+		any := false
+		for t := range cur {
+			for _, o := range cur[t] {
+				for _, d := range dirs {
+					n := o.Neighbor(d)
+					if root.IsAncestorOrEqual(n) {
+						continue // intra-tree, already balanced
+					}
+					nt, n2, _, ok := conn.Canonicalize(int32(t), n)
+					if !ok {
+						continue
+					}
+					leaves := cur[nt]
+					lo, hi := linear.OverlapRange(leaves, n2)
+					if hi == lo+1 && leaves[lo].IsAncestorOrEqual(n2) {
+						if r := leaves[lo]; int(o.Level)-int(r.Level) > 1 {
+							splits[nt][r] = true
+							any = true
+						}
+					}
+				}
+			}
+		}
+		if !any {
+			return cur
+		}
+		for t := range cur {
+			if len(splits[t]) == 0 {
+				continue
+			}
+			next := make([]octant.Octant, 0, len(cur[t])+len(splits[t])*(1<<uint(dim)-1))
+			for _, o := range cur[t] {
+				if splits[t][o] {
+					for ci := 0; ci < octant.NumChildren(dim); ci++ {
+						next = append(next, o.Child(ci))
+					}
+				} else {
+					next = append(next, o)
+				}
+			}
+			cur[t] = next
+		}
+	}
+}
+
+// CheckForest verifies that a complete global forest is k-balanced,
+// including across tree boundaries.  It returns nil when balanced.
+func CheckForest(conn *Connectivity, trees [][]octant.Octant, k int) error {
+	dim := conn.dim
+	root := octant.Root(dim)
+	for t := range trees {
+		if err := balance.Check(root, trees[t], k); err != nil {
+			return err
+		}
+	}
+	// Cross-tree checks (balance condition k only, not the full envelope).
+	dirs := octant.Directions(dim, k)
+	for t := range trees {
+		for _, o := range trees[t] {
+			for _, d := range dirs {
+				n := o.Neighbor(d)
+				if root.IsAncestorOrEqual(n) {
+					continue
+				}
+				nt, n2, _, ok := conn.Canonicalize(int32(t), n)
+				if !ok {
+					continue
+				}
+				leaves := trees[nt]
+				lo, hi := linear.OverlapRange(leaves, n2)
+				if hi == lo+1 && leaves[lo].IsAncestorOrEqual(n2) {
+					if r := leaves[lo]; int(o.Level)-int(r.Level) > 1 {
+						return crossTreeError(int32(t), o, nt, r, k)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func crossTreeError(t int32, o octant.Octant, nt int32, r octant.Octant, k int) error {
+	return fmt.Errorf("forest: %v in tree %d violates %d-balance with %v in tree %d", o, t, k, r, nt)
+}

@@ -1,0 +1,60 @@
+package forest
+
+import (
+	"repro/internal/comm"
+	"repro/internal/octant"
+)
+
+// Wire encoding of octants and positions for message payloads.  Octants are
+// 16 bytes: x, y, z as int32 and a fourth int32 packing level and dim.
+// Coordinates may be negative or exceed the root length (out-of-root
+// octants are exchanged during balance).
+
+const octantWireSize = 16
+
+func appendOctant(b []byte, o octant.Octant) []byte {
+	b = comm.AppendInt32(b, o.X)
+	b = comm.AppendInt32(b, o.Y)
+	b = comm.AppendInt32(b, o.Z)
+	return comm.AppendInt32(b, int32(o.Level)|int32(o.Dim)<<8)
+}
+
+func octantAt(b []byte, off int) (octant.Octant, int) {
+	x, off := comm.Int32At(b, off)
+	y, off := comm.Int32At(b, off)
+	z, off := comm.Int32At(b, off)
+	ld, off := comm.Int32At(b, off)
+	return octant.Octant{X: x, Y: y, Z: z, Level: int8(ld & 0xff), Dim: int8(ld >> 8)}, off
+}
+
+func appendOctants(b []byte, octs []octant.Octant) []byte {
+	b = comm.AppendInt32(b, int32(len(octs)))
+	for _, o := range octs {
+		b = appendOctant(b, o)
+	}
+	return b
+}
+
+func octantsAt(b []byte, off int) ([]octant.Octant, int) {
+	n, off := comm.Int32At(b, off)
+	octs := make([]octant.Octant, n)
+	for i := range octs {
+		octs[i], off = octantAt(b, off)
+	}
+	return octs, off
+}
+
+func appendPos(b []byte, p Pos) []byte {
+	b = comm.AppendInt32(b, p.Tree)
+	b = comm.AppendInt32(b, p.X)
+	b = comm.AppendInt32(b, p.Y)
+	return comm.AppendInt32(b, p.Z)
+}
+
+func posAt(b []byte, off int) (Pos, int) {
+	t, off := comm.Int32At(b, off)
+	x, off := comm.Int32At(b, off)
+	y, off := comm.Int32At(b, off)
+	z, off := comm.Int32At(b, off)
+	return Pos{Tree: t, X: x, Y: y, Z: z}, off
+}

@@ -1,0 +1,449 @@
+// Package mesh builds finite-element node numberings on balanced forests
+// of octrees: globally unique corner nodes with hanging-node resolution at
+// T-intersections.  This is the "enumerating nodes" mesh operation named in
+// the paper's abstract and the consumer that motivates 2:1 balance in the
+// first place — with balance enforced, every T-intersection has exactly one
+// hanging node per face (2D) and well-defined face/edge hangings in 3D
+// (compare Figure 1b and reference [24] of the paper).
+//
+// The builder works on a gathered (global) forest; it is the serial
+// companion of the distributed balance pipeline, suitable for assembling
+// small to medium systems and for validating distributed node numbering
+// schemes against.
+package mesh
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/forest"
+	"repro/internal/linear"
+	"repro/internal/octant"
+)
+
+// NodeID is a global node number in [0, NumIndependent).
+type NodeID int32
+
+// Hanging describes one hanging node: a leaf corner lying on the interior
+// of a coarser neighbor's face (or edge in 3D).  Its value interpolates the
+// listed independent nodes with equal weights 1/len(Deps).
+type Hanging struct {
+	Deps []NodeID
+}
+
+// Nodes is the global corner-node numbering of a balanced forest.
+type Nodes struct {
+	// NumIndependent is the number of globally unique non-hanging nodes.
+	NumIndependent int
+	// ElementNodes assigns, per tree and leaf, 2^d entries (in corner
+	// order).  Non-negative entries are independent NodeIDs; an entry
+	// -1-h refers to Hangings[h].
+	ElementNodes [][][]int32
+	// Hangings lists the hanging nodes with their dependencies.
+	Hangings []Hanging
+}
+
+// corner key: canonical global position of a lattice point.
+type pointKey struct {
+	Tree    int32
+	X, Y, Z int64 // in [0, RootLen], inclusive upper boundary
+}
+
+func (k pointKey) less(o pointKey) bool {
+	if k.Tree != o.Tree {
+		return k.Tree < o.Tree
+	}
+	if k.X != o.X {
+		return k.X < o.X
+	}
+	if k.Y != o.Y {
+		return k.Y < o.Y
+	}
+	return k.Z < o.Z
+}
+
+// Builder carries the forest context during node construction.
+type builder struct {
+	conn  *forest.Connectivity
+	trees [][]octant.Octant
+	dim   int
+}
+
+// BuildNodes numbers the corner nodes of a balanced global forest.  trees
+// must be complete linear octrees per tree and the forest must satisfy at
+// least 1-balance; full corner balance gives the classical hanging-node
+// structure.  It returns an error if a corner's hanging structure is
+// inconsistent (which indicates an unbalanced input).
+func BuildNodes(conn *forest.Connectivity, trees [][]octant.Octant) (*Nodes, error) {
+	b := &builder{conn: conn, trees: trees, dim: conn.Dim()}
+
+	// Pass 1: classify every distinct corner position as independent or
+	// hanging.  A position is independent iff it is a corner of every
+	// leaf whose closure contains it.
+	type info struct {
+		independent bool
+		deps        []pointKey // for hanging nodes
+	}
+	corners := make(map[pointKey]*info)
+	for t := range trees {
+		for _, o := range trees[t] {
+			for c := 0; c < octant.NumCorners(b.dim); c++ {
+				key := b.canonicalCorner(int32(t), o, c)
+				if _, ok := corners[key]; ok {
+					continue
+				}
+				ind, deps, err := b.classify(key)
+				if err != nil {
+					return nil, err
+				}
+				corners[key] = &info{independent: ind, deps: deps}
+			}
+		}
+	}
+
+	// Pass 2: assign ids to independent nodes in canonical order.
+	var indKeys []pointKey
+	for k, in := range corners {
+		if in.independent {
+			indKeys = append(indKeys, k)
+		}
+	}
+	sort.Slice(indKeys, func(i, j int) bool { return indKeys[i].less(indKeys[j]) })
+	ids := make(map[pointKey]NodeID, len(indKeys))
+	for i, k := range indKeys {
+		ids[k] = NodeID(i)
+	}
+
+	// Pass 3: emit element connectivity, materializing hanging nodes.
+	n := &Nodes{NumIndependent: len(indKeys)}
+	n.ElementNodes = make([][][]int32, len(trees))
+	hangingIndex := make(map[string]int32)
+	for t := range trees {
+		n.ElementNodes[t] = make([][]int32, len(trees[t]))
+		for i, o := range trees[t] {
+			en := make([]int32, octant.NumCorners(b.dim))
+			for c := range en {
+				key := b.canonicalCorner(int32(t), o, c)
+				in := corners[key]
+				if in.independent {
+					en[c] = int32(ids[key])
+					continue
+				}
+				// Hanging: resolve dependencies to ids.
+				deps := make([]NodeID, len(in.deps))
+				sig := ""
+				for j, dk := range in.deps {
+					id, ok := ids[dk]
+					if !ok {
+						return nil, fmt.Errorf("mesh: hanging node at %+v depends on another hanging node (forest not balanced?)", key)
+					}
+					deps[j] = id
+					sig += fmt.Sprintf("%d,", id)
+				}
+				h, ok := hangingIndex[sig]
+				if !ok {
+					h = int32(len(n.Hangings))
+					n.Hangings = append(n.Hangings, Hanging{Deps: deps})
+					hangingIndex[sig] = h
+				}
+				en[c] = -1 - h
+			}
+			n.ElementNodes[t][i] = en
+		}
+	}
+	return n, nil
+}
+
+// cornerPoint returns the lattice position of corner c of octant o.
+func cornerPoint(o octant.Octant, c int) (x, y, z int64) {
+	h := int64(o.Len())
+	x = int64(o.X)
+	y = int64(o.Y)
+	z = int64(o.Z)
+	if c&1 != 0 {
+		x += h
+	}
+	if c&2 != 0 {
+		y += h
+	}
+	if c&4 != 0 {
+		z += h
+	}
+	return
+}
+
+// canonicalCorner maps corner c of leaf o in tree t to the canonical global
+// position key: the minimum over all tree-frame images of the point.
+func (b *builder) canonicalCorner(t int32, o octant.Octant, c int) pointKey {
+	x, y, z := cornerPoint(o, c)
+	best := pointKey{Tree: t, X: x, Y: y, Z: z}
+	for _, img := range b.pointImages(t, x, y, z) {
+		if img.less(best) {
+			best = img
+		}
+	}
+	return best
+}
+
+// pointImages enumerates every (tree, coordinates) pair under which the
+// lattice point appears, following boundary identifications of the brick
+// connectivity (a point on a tree corner can exist in up to 2^d trees).
+func (b *builder) pointImages(t int32, x, y, z int64) []pointKey {
+	root := int64(octant.RootLen)
+	imgs := []pointKey{{Tree: t, X: x, Y: y, Z: z}}
+	// Breadth-first over neighbor transforms: represent the point by a
+	// probe octant anchored just inside each adjacent cell.
+	var offsets [][3]int64
+	axes := [][]int64{{0}, {0}, {0}}
+	if x == 0 {
+		axes[0] = append(axes[0], -1)
+	}
+	if x == root {
+		axes[0] = append(axes[0], 1)
+	}
+	if y == 0 {
+		axes[1] = append(axes[1], -1)
+	}
+	if y == root {
+		axes[1] = append(axes[1], 1)
+	}
+	if b.dim == 3 {
+		if z == 0 {
+			axes[2] = append(axes[2], -1)
+		}
+		if z == root {
+			axes[2] = append(axes[2], 1)
+		}
+	}
+	for _, dx := range axes[0] {
+		for _, dy := range axes[1] {
+			for _, dz := range axes[2] {
+				if dx == 0 && dy == 0 && dz == 0 {
+					continue
+				}
+				offsets = append(offsets, [3]int64{dx, dy, dz})
+			}
+		}
+	}
+	pt := [3]int64{x, y, z}
+	for _, off := range offsets {
+		// Probe: a MaxLevel lattice cell touching the point, lying in the
+		// grid cell selected by off.  Per axis, the probe anchor is one
+		// unit into the neighbor for off -1, at the point for off +1
+		// (where the point coordinate equals the root length), and inside
+		// the current cell for off 0 (clamped off the far boundary).
+		var anchor [3]int64
+		for i := 0; i < 3; i++ {
+			switch off[i] {
+			case -1:
+				anchor[i] = pt[i] - 1
+			case 1:
+				anchor[i] = pt[i]
+			default:
+				anchor[i] = pt[i]
+				if anchor[i] == root {
+					anchor[i] = root - 1
+				}
+			}
+		}
+		probe := octant.Octant{
+			X: int32(anchor[0]), Y: int32(anchor[1]), Z: int32(anchor[2]),
+			Level: octant.MaxLevel, Dim: int8(b.dim),
+		}
+		nt, np, _, ok := b.conn.Canonicalize(t, probe)
+		if !ok {
+			continue
+		}
+		// Recover the point position in the neighbor frame from its
+		// offset within the probe cell.
+		img := pointKey{
+			Tree: nt,
+			X:    int64(np.X) + (pt[0] - anchor[0]),
+			Y:    int64(np.Y) + (pt[1] - anchor[1]),
+			Z:    int64(np.Z) + (pt[2] - anchor[2]),
+		}
+		imgs = append(imgs, img)
+	}
+	return imgs
+}
+
+// leavesAt returns every leaf (with its tree) whose closure contains the
+// canonical point, by probing the up-to-2^d lattice cells around each image
+// of the point.
+func (b *builder) leavesAt(key pointKey) []struct {
+	Tree int32
+	Leaf octant.Octant
+} {
+	type tl struct {
+		Tree int32
+		Leaf octant.Octant
+	}
+	seen := make(map[tl]bool)
+	var out []struct {
+		Tree int32
+		Leaf octant.Octant
+	}
+	root := int64(octant.RootLen)
+	for _, img := range b.pointImages(key.Tree, key.X, key.Y, key.Z) {
+		for c := 0; c < octant.NumCorners(b.dim); c++ {
+			// Probe cell with its corner (c^...) at the point: anchor at
+			// point minus one unit on axes where bit set.
+			px := img.X
+			if c&1 != 0 {
+				px--
+			}
+			py := img.Y
+			if c&2 != 0 {
+				py--
+			}
+			pz := img.Z
+			if b.dim == 3 && c&4 != 0 {
+				pz--
+			}
+			if px < 0 || px >= root || py < 0 || py >= root {
+				continue
+			}
+			if b.dim == 3 && (pz < 0 || pz >= root) {
+				continue
+			}
+			if b.dim == 2 && c&4 != 0 {
+				continue
+			}
+			probe := octant.Octant{X: int32(px), Y: int32(py), Z: int32(pz), Level: octant.MaxLevel, Dim: int8(b.dim)}
+			leaves := b.trees[img.Tree]
+			lo, hi := linear.OverlapRange(leaves, probe)
+			if hi != lo+1 {
+				continue
+			}
+			leaf := leaves[lo]
+			k := tl{Tree: img.Tree, Leaf: leaf}
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, struct {
+					Tree int32
+					Leaf octant.Octant
+				}{img.Tree, leaf})
+			}
+		}
+	}
+	return out
+}
+
+// classify decides whether the point is an independent node and, if
+// hanging, computes its dependency corner keys.
+func (b *builder) classify(key pointKey) (bool, []pointKey, error) {
+	containers := b.leavesAt(key)
+	var coarse *struct {
+		Tree int32
+		Leaf octant.Octant
+	}
+	hanging := false
+	for i := range containers {
+		tl := containers[i]
+		if !isCornerOf(tl.Leaf, key, b, tl.Tree) {
+			hanging = true
+			if coarse == nil || tl.Leaf.Level < coarse.Leaf.Level {
+				coarse = &containers[i]
+			}
+		}
+	}
+	if !hanging {
+		return true, nil, nil
+	}
+	// Dependencies: the corners of the smallest boundary object of the
+	// coarse leaf that contains the point.
+	deps, err := b.dependencyCorners(coarse.Tree, coarse.Leaf, key)
+	return false, deps, err
+}
+
+// isCornerOf reports whether the canonical point equals one of leaf's
+// corners (comparing canonically).
+func isCornerOf(leaf octant.Octant, key pointKey, b *builder, tree int32) bool {
+	for c := 0; c < octant.NumCorners(b.dim); c++ {
+		if b.canonicalCorner(tree, leaf, c) == key {
+			return true
+		}
+	}
+	return false
+}
+
+// dependencyCorners returns the canonical corner keys of the boundary
+// object (face or edge) of the coarse leaf that contains the point in its
+// interior.
+func (b *builder) dependencyCorners(tree int32, leaf octant.Octant, key pointKey) ([]pointKey, error) {
+	// Express the point in the leaf's frame: one of the point's images
+	// has the leaf's tree and lies within the leaf's closed cube.
+	var px, py, pz int64
+	found := false
+	h := int64(leaf.Len())
+	for _, img := range b.pointImages(key.Tree, key.X, key.Y, key.Z) {
+		if img.Tree != tree {
+			continue
+		}
+		if img.X < int64(leaf.X) || img.X > int64(leaf.X)+h ||
+			img.Y < int64(leaf.Y) || img.Y > int64(leaf.Y)+h {
+			continue
+		}
+		if b.dim == 3 && (img.Z < int64(leaf.Z) || img.Z > int64(leaf.Z)+h) {
+			continue
+		}
+		px, py, pz = img.X, img.Y, img.Z
+		found = true
+		break
+	}
+	if !found {
+		return nil, fmt.Errorf("mesh: hanging point %+v not on its coarse leaf", key)
+	}
+	// Free axes: where the point is strictly inside the leaf's extent.
+	type axis struct {
+		free     bool
+		loc, hic int64
+	}
+	ax := make([]axis, b.dim)
+	coords := [3]int64{px, py, pz}
+	base := [3]int64{int64(leaf.X), int64(leaf.Y), int64(leaf.Z)}
+	freeCount := 0
+	for i := 0; i < b.dim; i++ {
+		ax[i].loc = base[i]
+		ax[i].hic = base[i] + h
+		if coords[i] != ax[i].loc && coords[i] != ax[i].hic {
+			ax[i].free = true
+			freeCount++
+		}
+	}
+	if freeCount == 0 || freeCount == b.dim {
+		return nil, fmt.Errorf("mesh: point %+v is not on a face or edge interior of its coarse leaf", key)
+	}
+	// Enumerate the 2^freeCount corners of the containing object.
+	var deps []pointKey
+	n := 1 << uint(freeCount)
+	for m := 0; m < n; m++ {
+		var cp [3]int64
+		bit := 0
+		for i := 0; i < b.dim; i++ {
+			if ax[i].free {
+				if m&(1<<uint(bit)) != 0 {
+					cp[i] = ax[i].hic
+				} else {
+					cp[i] = ax[i].loc
+				}
+				bit++
+			} else {
+				cp[i] = coords[i]
+			}
+		}
+		deps = append(deps, b.canonicalPoint(tree, cp[0], cp[1], cp[2]))
+	}
+	return deps, nil
+}
+
+// canonicalPoint canonicalizes an arbitrary lattice point of a tree.
+func (b *builder) canonicalPoint(t int32, x, y, z int64) pointKey {
+	best := pointKey{Tree: t, X: x, Y: y, Z: z}
+	for _, img := range b.pointImages(t, x, y, z) {
+		if img.less(best) {
+			best = img
+		}
+	}
+	return best
+}

@@ -1,0 +1,267 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/balance"
+	"repro/internal/forest"
+	"repro/internal/linear"
+	"repro/internal/octant"
+)
+
+// uniformTrees builds a uniform global forest at the given level.
+func uniformTrees(conn *forest.Connectivity, level int) [][]octant.Octant {
+	trees := make([][]octant.Octant, conn.NumTrees())
+	per := uint64(1) << uint(conn.Dim()*level)
+	for t := range trees {
+		for m := uint64(0); m < per; m++ {
+			trees[t] = append(trees[t], octant.FromMortonIndex(conn.Dim(), level, m))
+		}
+	}
+	return trees
+}
+
+func TestNodesUniformSingleTree(t *testing.T) {
+	// A uniform level-L quadtree/octree has (2^L+1)^d corner nodes and no
+	// hanging nodes.
+	for _, dim := range []int{2, 3} {
+		for _, level := range []int{1, 2, 3} {
+			conn := forest.NewBrick(dim, 1, 1, 1, [3]bool{})
+			trees := uniformTrees(conn, level)
+			n, err := BuildNodes(conn, trees)
+			if err != nil {
+				t.Fatal(err)
+			}
+			side := (1 << uint(level)) + 1
+			want := side * side
+			if dim == 3 {
+				want *= side
+			}
+			if n.NumIndependent != want {
+				t.Fatalf("dim %d level %d: %d nodes, want %d", dim, level, n.NumIndependent, want)
+			}
+			if len(n.Hangings) != 0 {
+				t.Fatalf("uniform mesh has %d hanging nodes", len(n.Hangings))
+			}
+		}
+	}
+}
+
+func TestNodesUniformBrick(t *testing.T) {
+	// Across tree boundaries nodes must be identified: a 2x1 brick at
+	// level L has (2*2^L+1)*(2^L+1) nodes in 2D.
+	conn := forest.NewBrick(2, 2, 1, 1, [3]bool{})
+	level := 2
+	trees := uniformTrees(conn, level)
+	n, err := BuildNodes(conn, trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 1 << uint(level)
+	want := (2*s + 1) * (s + 1)
+	if n.NumIndependent != want {
+		t.Fatalf("%d nodes, want %d", n.NumIndependent, want)
+	}
+}
+
+func TestNodesPeriodic(t *testing.T) {
+	// A fully periodic brick identifies opposite boundaries: a 3x3 brick
+	// of level-1 trees has exactly (3*2)^2 nodes in 2D.
+	conn := forest.NewBrick(2, 3, 3, 1, [3]bool{true, true, false})
+	trees := uniformTrees(conn, 1)
+	n, err := BuildNodes(conn, trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 36; n.NumIndependent != want {
+		t.Fatalf("%d nodes, want %d", n.NumIndependent, want)
+	}
+	if len(n.Hangings) != 0 {
+		t.Fatal("unexpected hanging nodes")
+	}
+}
+
+func TestNodesSingleHangingFace2D(t *testing.T) {
+	// One refined quadrant next to a coarse one: the midpoint of the
+	// shared face is a hanging node with the face's two endpoints as
+	// dependencies.
+	conn := forest.NewBrick(2, 1, 1, 1, [3]bool{})
+	root := octant.Root(2)
+	in := []octant.Octant{root.Child(0)}
+	trees := [][]octant.Octant{balance.SubtreeNew(root, linear.Complete(root, in), 2)}
+	// Refine child 0 once more to create hanging nodes.
+	var leaves []octant.Octant
+	for _, o := range trees[0] {
+		if o == root.Child(0) {
+			for c := 0; c < 4; c++ {
+				leaves = append(leaves, o.Child(c))
+			}
+		} else {
+			leaves = append(leaves, o)
+		}
+	}
+	trees[0] = balance.SubtreeNew(root, leaves, 2)
+	n, err := BuildNodes(conn, trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Hangings) == 0 {
+		t.Fatal("expected hanging nodes at the coarse/fine interface")
+	}
+	for _, h := range n.Hangings {
+		if len(h.Deps) != 2 {
+			t.Fatalf("2D hanging node with %d dependencies, want 2", len(h.Deps))
+		}
+		for _, d := range h.Deps {
+			if d < 0 || int(d) >= n.NumIndependent {
+				t.Fatalf("dependency %d out of range", d)
+			}
+		}
+	}
+}
+
+func TestNodesHanging3D(t *testing.T) {
+	// In 3D, face-hanging nodes have 4 dependencies and edge-hanging
+	// nodes 2.
+	conn := forest.NewBrick(3, 1, 1, 1, [3]bool{})
+	root := octant.Root(3)
+	in := []octant.Octant{root.Child(0).Child(0)}
+	trees := [][]octant.Octant{balance.SubtreeNew(root, linear.Complete(root, in), 3)}
+	n, err := BuildNodes(conn, trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, h := range n.Hangings {
+		counts[len(h.Deps)]++
+	}
+	if counts[2] == 0 || counts[4] == 0 {
+		t.Fatalf("expected both edge (2-dep) and face (4-dep) hangings, got %v", counts)
+	}
+	for _, h := range n.Hangings {
+		if len(h.Deps) != 2 && len(h.Deps) != 4 {
+			t.Fatalf("3D hanging with %d dependencies", len(h.Deps))
+		}
+	}
+}
+
+func TestNodesElementConnectivityConsistent(t *testing.T) {
+	// Adjacent equal-size leaves share the node ids on their common face;
+	// every element has exactly 2^d corner entries; all ids valid.
+	conn := forest.NewBrick(2, 2, 1, 1, [3]bool{})
+	root := octant.Root(2)
+	trees := uniformTrees(conn, 1)
+	// Refine one leaf in tree 0 and rebalance.
+	var leaves []octant.Octant
+	for _, o := range trees[0] {
+		if o.ChildID() == 3 {
+			for c := 0; c < 4; c++ {
+				leaves = append(leaves, o.Child(c))
+			}
+		} else {
+			leaves = append(leaves, o)
+		}
+	}
+	trees[0] = balance.SubtreeNew(root, leaves, 2)
+	n, err := BuildNodes(conn, trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := range trees {
+		if len(n.ElementNodes[ti]) != len(trees[ti]) {
+			t.Fatalf("tree %d: %d element rows for %d leaves", ti, len(n.ElementNodes[ti]), len(trees[ti]))
+		}
+		for _, en := range n.ElementNodes[ti] {
+			if len(en) != 4 {
+				t.Fatalf("element with %d corners", len(en))
+			}
+			for _, id := range en {
+				if id >= int32(n.NumIndependent) {
+					t.Fatalf("node id %d out of range", id)
+				}
+				if id < 0 && int(-1-id) >= len(n.Hangings) {
+					t.Fatalf("hanging ref %d out of range", id)
+				}
+			}
+		}
+	}
+	// Total distinct corner positions = independent + hanging.
+	if n.NumIndependent == 0 {
+		t.Fatal("no independent nodes")
+	}
+}
+
+func TestNodesOnBalancedFractalForest(t *testing.T) {
+	// End-to-end: balance a multi-tree fractal forest and number it; the
+	// build must succeed (it errors out when hanging nodes depend on
+	// hanging nodes, i.e. when the forest is not balanced).
+	for _, dim := range []int{2, 3} {
+		conn := forest.NewBrick(dim, 2, 2, 1, [3]bool{})
+		if dim == 3 {
+			conn = forest.NewBrick(3, 2, 1, 1, [3]bool{})
+		}
+		trees := uniformTrees(conn, 1)
+		rule := func(o octant.Octant) bool {
+			switch o.ChildID() {
+			case 0, 3, 5, 6:
+				return true
+			}
+			return false
+		}
+		for t2 := range trees {
+			var leaves []octant.Octant
+			var rec func(o octant.Octant)
+			rec = func(o octant.Octant) {
+				if int(o.Level) < 3 && rule(o) {
+					for c := 0; c < octant.NumChildren(dim); c++ {
+						rec(o.Child(c))
+					}
+					return
+				}
+				leaves = append(leaves, o)
+			}
+			for _, o := range trees[t2] {
+				rec(o)
+			}
+			trees[t2] = leaves
+		}
+		balanced := forest.RefBalance(conn, trees, dim)
+		n, err := BuildNodes(conn, balanced)
+		if err != nil {
+			t.Fatalf("dim %d: %v", dim, err)
+		}
+		if n.NumIndependent == 0 {
+			t.Fatalf("dim %d: no nodes", dim)
+		}
+		t.Logf("dim %d: %d independent nodes, %d hanging classes", dim, n.NumIndependent, len(n.Hangings))
+	}
+}
+
+func TestNodesRejectsUnbalanced(t *testing.T) {
+	// A staggered unbalanced mesh creates a hanging node whose dependency
+	// is itself hanging; BuildNodes must report an error rather than
+	// produce garbage.  Construction: child 0 stays level 1; inside child
+	// 1, the (0)-grandchild stays level 2 while the (2)-grandchild is
+	// refined to level 3.  The level-3 corner on the level-2 leaf's top
+	// face depends on a corner that hangs on child 0's right face.
+	conn := forest.NewBrick(2, 1, 1, 1, [3]bool{})
+	root := octant.Root(2)
+	c1 := root.Child(1)
+	leaves := []octant.Octant{
+		root.Child(0),
+		c1.Child(0), c1.Child(1), c1.Child(3),
+		c1.Child(2).Child(0), c1.Child(2).Child(1), c1.Child(2).Child(2), c1.Child(2).Child(3),
+		root.Child(2), root.Child(3),
+	}
+	linear.Sort(leaves)
+	if !linear.IsComplete(root, leaves) {
+		t.Fatal("test construction is not a complete octree")
+	}
+	if err := balance.Check(root, leaves, 1); err == nil {
+		t.Fatal("test construction is unexpectedly balanced")
+	}
+	trees := [][]octant.Octant{leaves}
+	if _, err := BuildNodes(conn, trees); err == nil {
+		t.Fatal("BuildNodes accepted an unbalanced forest")
+	}
+}

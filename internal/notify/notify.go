@@ -1,0 +1,260 @@
+// Package notify implements the communication-pattern reversal algorithms
+// of Section V: given, on each rank, the list of ranks it will send to
+// (receivers), determine the list of ranks it will receive from (senders).
+//
+// Three schemes are provided, in increasing order of sophistication:
+//
+//   - Naive: Allgather of counts followed by Allgatherv of all receiver
+//     lists (Figure 12).  Simple, but transports O(sum of all lists) bytes
+//     to every rank.
+//   - Ranges: each rank encodes its receivers in at most R contiguous rank
+//     ranges and one fixed-size Allgather of 2R integers is performed.  The
+//     result may contain false positives (ranks that send nothing), which
+//     the caller must tolerate as zero-length messages.
+//   - Notify: the paper's divide-and-conquer scheme (Figure 13), using
+//     exclusively point-to-point messages in ceil(log2 P) rounds with the
+//     invariant (2): at level l, rank p knows about messages addressed to
+//     ranks q with q mod 2^l = p mod 2^l.  Non-power-of-two worlds are
+//     handled by redirecting to rank p-2^l when the peer p xor 2^l does
+//     not exist, which balances duplicate messages across ranks.
+package notify
+
+import (
+	"sort"
+
+	"repro/internal/comm"
+)
+
+// Naive reverses the pattern with Allgather + Allgatherv (Figure 12).  It
+// returns the sorted list of ranks that have c.Rank() in their receivers.
+func Naive(c *comm.Comm, receivers []int) []int {
+	own := make([]int32, len(receivers))
+	for i, r := range receivers {
+		own[i] = int32(r)
+	}
+	blocks := c.Allgatherv(comm.AppendInt32s(nil, own))
+	var senders []int
+	for q, b := range blocks {
+		if q == c.Rank() {
+			continue
+		}
+		list, _ := comm.Int32sAt(b, 0)
+		for _, r := range list {
+			if int(r) == c.Rank() {
+				senders = append(senders, q)
+				break
+			}
+		}
+	}
+	sort.Ints(senders)
+	return senders
+}
+
+// Ranges reverses the pattern by encoding each rank's receivers in at most
+// maxRanges contiguous rank intervals and gathering the fixed-size range
+// table everywhere.  The returned sender list is a superset of the true
+// senders: when the receiver set does not fit in maxRanges intervals,
+// intervening ranks are included and will be sent zero-length messages.
+func Ranges(c *comm.Comm, receivers []int, maxRanges int) []int {
+	if maxRanges < 1 {
+		panic("notify: maxRanges must be at least 1")
+	}
+	rs := encodeRanges(receivers, maxRanges)
+	// Fixed-size block: 2*maxRanges int32s, -1 padded.
+	block := make([]int32, 0, 2*maxRanges)
+	for _, r := range rs {
+		block = append(block, int32(r[0]), int32(r[1]))
+	}
+	for len(block) < 2*maxRanges {
+		block = append(block, -1, -1)
+	}
+	buf := make([]byte, 0, 8*maxRanges)
+	for _, v := range block {
+		buf = comm.AppendInt32(buf, v)
+	}
+	blocks := c.Allgatherv(buf)
+	var senders []int
+	me := int32(c.Rank())
+	for q, b := range blocks {
+		if q == c.Rank() {
+			continue
+		}
+		for i := 0; i < maxRanges; i++ {
+			lo, _ := comm.Int32At(b, 8*i)
+			hi, _ := comm.Int32At(b, 8*i+4)
+			if lo < 0 {
+				break
+			}
+			if lo <= me && me <= hi {
+				senders = append(senders, q)
+				break
+			}
+		}
+	}
+	sort.Ints(senders)
+	return senders
+}
+
+// RangeCover returns the full rank set covered by the at-most-maxRanges
+// interval encoding of receivers, clipped to [0, worldSize) and excluding
+// self.  Callers that reverse a pattern with Ranges must send a (possibly
+// zero-length) message to every rank in this cover, because the receiving
+// side cannot distinguish true senders from false positives.
+func RangeCover(receivers []int, maxRanges, worldSize, self int) []int {
+	var cover []int
+	for _, rg := range encodeRanges(receivers, maxRanges) {
+		lo, hi := rg[0], rg[1]
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= worldSize {
+			hi = worldSize - 1
+		}
+		for r := lo; r <= hi; r++ {
+			if r != self {
+				cover = append(cover, r)
+			}
+		}
+	}
+	return cover
+}
+
+// encodeRanges covers the sorted receiver set with at most maxRanges
+// closed intervals, merging across the smallest gaps first.
+func encodeRanges(receivers []int, maxRanges int) [][2]int {
+	if len(receivers) == 0 {
+		return nil
+	}
+	rs := append([]int{}, receivers...)
+	sort.Ints(rs)
+	// Start with singleton ranges; drop duplicates.
+	var ranges [][2]int
+	for _, r := range rs {
+		if n := len(ranges); n > 0 && ranges[n-1][1] >= r-1 {
+			if r > ranges[n-1][1] {
+				ranges[n-1][1] = r
+			}
+			continue
+		}
+		ranges = append(ranges, [2]int{r, r})
+	}
+	for len(ranges) > maxRanges {
+		// Merge the pair of adjacent ranges with the smallest gap.
+		best, bestGap := 0, int(^uint(0)>>1)
+		for i := 0; i+1 < len(ranges); i++ {
+			if gap := ranges[i+1][0] - ranges[i][1]; gap < bestGap {
+				best, bestGap = i, gap
+			}
+		}
+		ranges[best][1] = ranges[best+1][1]
+		ranges = append(ranges[:best+1], ranges[best+2:]...)
+	}
+	return ranges
+}
+
+// Notify reverses the pattern with the paper's divide-and-conquer algorithm
+// (Figure 13).  It returns the exact sorted sender list using only
+// point-to-point messages: one send and O(1) receives per rank per level,
+// O(P log P) messages in total, with no rank handling more than O(1) times
+// the data of any other (the non-power-of-two redirection rule).
+func Notify(c *comm.Comm, receivers []int) []int {
+	p, size := c.Rank(), c.Size()
+	// knowledge maps receiver -> original senders known to this rank.
+	knowledge := make(map[int][]int)
+	for _, r := range receivers {
+		knowledge[r] = append(knowledge[r], p)
+	}
+	for l := uint(0); 1<<l < size; l++ {
+		bit := 1 << l
+		mod := bit << 1
+		// Partition knowledge: keep entries with r ≡ p (mod 2^(l+1)),
+		// send the complementary class.
+		var sendEntries []int
+		for r := range knowledge {
+			if r&(mod-1) != p&(mod-1) {
+				sendEntries = append(sendEntries, r)
+			}
+		}
+		sort.Ints(sendEntries)
+		payload := []byte(nil)
+		for _, r := range sendEntries {
+			payload = comm.AppendInt32(payload, int32(r))
+			s32 := make([]int32, len(knowledge[r]))
+			for i, s := range knowledge[r] {
+				s32[i] = int32(s)
+			}
+			payload = comm.AppendInt32s(payload, s32)
+			delete(knowledge, r)
+		}
+		if dst, ok := sendTarget(p, int(l), size); ok {
+			c.Send(dst, notifyTag(int(l)), payload)
+		} else if len(payload) > 0 {
+			// No target exists only when the complementary residue
+			// class is empty below P, so no data can be addressed to it.
+			panic("notify: data for a rank class with no members")
+		}
+		for _, src := range recvSources(p, int(l), size) {
+			data := c.Recv(src, notifyTag(int(l)))
+			for off := 0; off < len(data); {
+				var r32 int32
+				r32, off = comm.Int32At(data, off)
+				var senders []int32
+				senders, off = comm.Int32sAt(data, off)
+				for _, s := range senders {
+					knowledge[int(r32)] = append(knowledge[int(r32)], int(s))
+				}
+			}
+		}
+	}
+	// All remaining entries are addressed to p itself.
+	var senders []int
+	for r, ss := range knowledge {
+		if r != p {
+			panic("notify: invariant violated: leftover entry for another rank")
+		}
+		senders = append(senders, ss...)
+	}
+	sort.Ints(senders)
+	// Remove duplicates (a sender appears once, but be defensive).
+	out := senders[:0]
+	for i, s := range senders {
+		if i == 0 || s != senders[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func notifyTag(level int) int { return 1<<20 + level }
+
+// sendTarget returns the rank that p sends its complementary-class data to
+// at the given level, applying the redirection rule for missing peers.  The
+// second result is false when there is no valid target (in which case the
+// payload is provably empty: no rank exists in the complementary class).
+func sendTarget(p, level, size int) (int, bool) {
+	bit := 1 << uint(level)
+	peer := p ^ bit
+	if peer < size {
+		return peer, true
+	}
+	if p-bit >= 0 {
+		return p - bit, true
+	}
+	return 0, false
+}
+
+// recvSources returns the ranks p receives from at the given level: its
+// mirror peer (if it exists) plus any rank whose missing peer redirects to
+// p.
+func recvSources(p, level, size int) []int {
+	bit := 1 << uint(level)
+	var srcs []int
+	if peer := p ^ bit; peer < size {
+		srcs = append(srcs, peer)
+	}
+	// x redirects to x-bit == p when its peer x^bit >= size.
+	if x := p + bit; x < size && x^bit >= size {
+		srcs = append(srcs, x)
+	}
+	return srcs
+}

@@ -1,0 +1,297 @@
+package notify
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// randomPattern builds, for each of p ranks, a random receiver list, and
+// returns both the lists and the exact reversal (senders per rank).
+func randomPattern(rng *rand.Rand, p int, density float64) (receivers [][]int, senders [][]int) {
+	receivers = make([][]int, p)
+	senders = make([][]int, p)
+	for src := 0; src < p; src++ {
+		for dst := 0; dst < p; dst++ {
+			if dst != src && rng.Float64() < density {
+				receivers[src] = append(receivers[src], dst)
+				senders[dst] = append(senders[dst], src)
+			}
+		}
+	}
+	for q := range senders {
+		sort.Ints(senders[q])
+	}
+	return receivers, senders
+}
+
+// localPattern builds the neighbor-heavy pattern typical of space-filling-
+// curve partitions: each rank sends to a contiguous window around itself
+// plus an occasional long-range destination.
+func localPattern(rng *rand.Rand, p, window int) (receivers [][]int, senders [][]int) {
+	receivers = make([][]int, p)
+	senders = make([][]int, p)
+	add := func(src, dst int) {
+		if src == dst || dst < 0 || dst >= p {
+			return
+		}
+		for _, d := range receivers[src] {
+			if d == dst {
+				return
+			}
+		}
+		receivers[src] = append(receivers[src], dst)
+		senders[dst] = append(senders[dst], src)
+	}
+	for src := 0; src < p; src++ {
+		for d := -window; d <= window; d++ {
+			add(src, src+d)
+		}
+		if rng.Float64() < 0.3 {
+			add(src, rng.Intn(p))
+		}
+	}
+	for q := range senders {
+		sort.Ints(senders[q])
+	}
+	return receivers, senders
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNotifySchemesExact(t *testing.T) {
+	// Naive and Notify must return the exact sender list for any world
+	// size, including non-powers of two (the paper runs on 12-core nodes).
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range []int{1, 2, 3, 4, 5, 7, 8, 12, 13, 16, 24, 31, 33, 48} {
+		receivers, want := randomPattern(rng, p, 0.2)
+		for name, scheme := range map[string]func(*comm.Comm, []int) []int{
+			"naive":  Naive,
+			"notify": Notify,
+		} {
+			w := comm.NewWorld(p)
+			got := make([][]int, p)
+			w.Run(func(c *comm.Comm) {
+				got[c.Rank()] = scheme(c, receivers[c.Rank()])
+			})
+			for q := 0; q < p; q++ {
+				if !equalInts(got[q], want[q]) {
+					t.Fatalf("%s P=%d rank %d: got %v, want %v", name, p, q, got[q], want[q])
+				}
+			}
+		}
+	}
+}
+
+func TestRangesSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, p := range []int{4, 12, 25, 40} {
+		for _, maxRanges := range []int{1, 2, 4, 8} {
+			receivers, want := randomPattern(rng, p, 0.15)
+			w := comm.NewWorld(p)
+			got := make([][]int, p)
+			w.Run(func(c *comm.Comm) {
+				got[c.Rank()] = Ranges(c, receivers[c.Rank()], maxRanges)
+			})
+			for q := 0; q < p; q++ {
+				// Every true sender must be present.
+				gotSet := make(map[int]bool, len(got[q]))
+				for _, s := range got[q] {
+					gotSet[s] = true
+				}
+				for _, s := range want[q] {
+					if !gotSet[s] {
+						t.Fatalf("P=%d R=%d rank %d: missing true sender %d (got %v)",
+							p, maxRanges, q, s, got[q])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRangesExactWhenContiguous(t *testing.T) {
+	// With enough ranges the scheme is exact.
+	rng := rand.New(rand.NewSource(3))
+	p := 16
+	receivers, want := randomPattern(rng, p, 0.3)
+	w := comm.NewWorld(p)
+	got := make([][]int, p)
+	w.Run(func(c *comm.Comm) {
+		got[c.Rank()] = Ranges(c, receivers[c.Rank()], p)
+	})
+	for q := 0; q < p; q++ {
+		if !equalInts(got[q], want[q]) {
+			t.Fatalf("rank %d: got %v, want %v", q, got[q], want[q])
+		}
+	}
+}
+
+func TestEncodeRanges(t *testing.T) {
+	cases := []struct {
+		in   []int
+		max  int
+		want [][2]int
+	}{
+		{nil, 4, nil},
+		{[]int{3}, 1, [][2]int{{3, 3}}},
+		{[]int{1, 2, 3}, 4, [][2]int{{1, 3}}},
+		{[]int{1, 2, 9}, 2, [][2]int{{1, 2}, {9, 9}}},
+		{[]int{1, 2, 9}, 1, [][2]int{{1, 9}}},
+		{[]int{1, 3, 10, 11, 30}, 2, [][2]int{{1, 11}, {30, 30}}},
+		{[]int{5, 5, 5}, 3, [][2]int{{5, 5}}},
+	}
+	for _, c := range cases {
+		got := encodeRanges(c.in, c.max)
+		if len(got) != len(c.want) {
+			t.Errorf("encodeRanges(%v, %d) = %v, want %v", c.in, c.max, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("encodeRanges(%v, %d) = %v, want %v", c.in, c.max, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestNotifyLocalPatternVolume(t *testing.T) {
+	// Section V / Figure 15e: for the local patterns produced by SFC
+	// partitions, Notify moves far less data than the naive Allgatherv.
+	rng := rand.New(rand.NewSource(4))
+	p := 48
+	receivers, want := localPattern(rng, p, 2)
+
+	run := func(scheme func(*comm.Comm, []int) []int) (comm.Stats, [][]int) {
+		w := comm.NewWorld(p)
+		got := make([][]int, p)
+		w.Run(func(c *comm.Comm) {
+			got[c.Rank()] = scheme(c, receivers[c.Rank()])
+		})
+		return w.TotalStats(), got
+	}
+
+	naiveStats, naiveGot := run(Naive)
+	notifyStats, notifyGot := run(Notify)
+	for q := 0; q < p; q++ {
+		if !equalInts(naiveGot[q], want[q]) || !equalInts(notifyGot[q], want[q]) {
+			t.Fatalf("rank %d: results disagree", q)
+		}
+	}
+	if notifyStats.Bytes >= naiveStats.Bytes {
+		t.Errorf("notify bytes %d >= naive bytes %d", notifyStats.Bytes, naiveStats.Bytes)
+	}
+	t.Logf("P=%d: naive %d msgs / %d bytes; notify %d msgs / %d bytes (%.1fx less volume)",
+		p, naiveStats.Messages, naiveStats.Bytes, notifyStats.Messages, notifyStats.Bytes,
+		float64(naiveStats.Bytes)/float64(notifyStats.Bytes))
+}
+
+func TestNotifyEmptyPattern(t *testing.T) {
+	for _, p := range []int{1, 3, 8} {
+		w := comm.NewWorld(p)
+		w.Run(func(c *comm.Comm) {
+			if got := Notify(c, nil); len(got) != 0 {
+				t.Errorf("P=%d rank %d: senders = %v, want empty", p, c.Rank(), got)
+			}
+		})
+	}
+}
+
+func TestNotifyAllToOne(t *testing.T) {
+	// Worst-case asymmetry: every rank sends to rank 0.
+	const p = 13
+	w := comm.NewWorld(p)
+	var got []int
+	w.Run(func(c *comm.Comm) {
+		var recv []int
+		if c.Rank() != 0 {
+			recv = []int{0}
+		}
+		s := Notify(c, recv)
+		if c.Rank() == 0 {
+			got = s
+		} else if len(s) != 0 {
+			t.Errorf("rank %d: unexpected senders %v", c.Rank(), s)
+		}
+	})
+	want := make([]int, p-1)
+	for i := range want {
+		want[i] = i + 1
+	}
+	if !equalInts(got, want) {
+		t.Fatalf("rank 0 senders = %v, want %v", got, want)
+	}
+}
+
+func TestSendTargetRecvSourcesConsistent(t *testing.T) {
+	// The deterministic schedule must be self-consistent: p sends to t at
+	// level l if and only if t lists p as a receive source at level l.
+	for _, size := range []int{1, 2, 3, 5, 8, 12, 17, 31, 32, 100} {
+		levels := 0
+		for 1<<uint(levels) < size {
+			levels++
+		}
+		for l := 0; l < levels; l++ {
+			for p := 0; p < size; p++ {
+				if tgt, ok := sendTarget(p, l, size); ok {
+					found := false
+					for _, s := range recvSources(tgt, l, size) {
+						if s == p {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("size %d level %d: %d sends to %d, which does not expect it", size, l, p, tgt)
+					}
+				}
+			}
+			// And no phantom sources.
+			for q := 0; q < size; q++ {
+				for _, s := range recvSources(q, l, size) {
+					if tgt, ok := sendTarget(s, l, size); !ok || tgt != q {
+						t.Fatalf("size %d level %d: %d expects from %d, which sends elsewhere", size, l, q, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNotifyLargeWorld(t *testing.T) {
+	// 500 ranks, sparse pattern: exactness and O(P log P) message count.
+	if testing.Short() {
+		t.Skip("large world")
+	}
+	rng := rand.New(rand.NewSource(9))
+	p := 500
+	receivers, want := randomPattern(rng, p, 0.01)
+	w := comm.NewWorld(p)
+	got := make([][]int, p)
+	w.Run(func(c *comm.Comm) {
+		got[c.Rank()] = Notify(c, receivers[c.Rank()])
+	})
+	for q := 0; q < p; q++ {
+		if !equalInts(got[q], want[q]) {
+			t.Fatalf("rank %d: got %v, want %v", q, got[q], want[q])
+		}
+	}
+	st := w.TotalStats()
+	// ceil(log2 500) = 9 levels, ≤ 2 messages per rank per level.
+	if st.Messages > int64(p*9*2) {
+		t.Fatalf("message count %d exceeds O(P log P) bound %d", st.Messages, p*9*2)
+	}
+	t.Logf("P=%d: %d messages, %d bytes", p, st.Messages, st.Bytes)
+}

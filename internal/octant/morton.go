@@ -1,0 +1,135 @@
+package octant
+
+// This file implements the space-filling-curve (Morton / z-order) total
+// ordering of octants described in Section II-A: non-overlapping octants are
+// ordered by the z-shaped recursive curve, and an ancestor precedes its
+// descendants (preorder traversal).
+
+// Compare orders o and r by Morton order with ancestors first.  It returns
+// a negative number if o < r, zero if o == r, and a positive number if
+// o > r.  Both octants must have the same dimension and lie inside the same
+// root octant.
+func Compare(o, r Octant) int {
+	exclor := (o.X ^ r.X) | (o.Y ^ r.Y)
+	if o.Dim == 3 {
+		exclor |= o.Z ^ r.Z
+	}
+	if exclor == 0 {
+		// Same lower corner: the coarser octant is the ancestor and
+		// comes first in preorder.
+		return int(o.Level) - int(r.Level)
+	}
+	// Find the most significant differing coordinate bit; above it all
+	// coordinates agree, so the z-order digit at that bit decides.
+	bit := highestBit(uint32(exclor))
+	do := mortonDigit(o, bit)
+	dr := mortonDigit(r, bit)
+	return do - dr
+}
+
+// Less reports whether o strictly precedes r in Morton order (ancestors
+// first).
+func Less(o, r Octant) bool { return Compare(o, r) < 0 }
+
+// mortonDigit extracts the z-order digit of o at coordinate bit position
+// bit: x contributes bit 0, y bit 1, z bit 2, matching child-id order.
+func mortonDigit(o Octant, bit uint) int {
+	d := int(o.X>>bit) & 1
+	d |= (int(o.Y>>bit) & 1) << 1
+	if o.Dim == 3 {
+		d |= (int(o.Z>>bit) & 1) << 2
+	}
+	return d
+}
+
+// highestBit returns the position of the most significant set bit of v,
+// which must be nonzero.
+func highestBit(v uint32) uint {
+	p := uint(0)
+	if v >= 1<<16 {
+		v >>= 16
+		p += 16
+	}
+	if v >= 1<<8 {
+		v >>= 8
+		p += 8
+	}
+	if v >= 1<<4 {
+		v >>= 4
+		p += 4
+	}
+	if v >= 1<<2 {
+		v >>= 2
+		p += 2
+	}
+	if v >= 1<<1 {
+		p++
+	}
+	return p
+}
+
+// MortonIndex returns the position of o among all octants of level o.Level
+// in Morton order, as an integer in [0, 2^(dim*level)).  The octant must
+// lie inside the root, and dim*level must not exceed 63 (use Successor for
+// curve traversal at arbitrary levels).
+func (o Octant) MortonIndex() uint64 {
+	if int(o.Dim)*int(o.Level) > 63 {
+		panic("octant: MortonIndex overflows uint64 at this dimension and level")
+	}
+	var idx uint64
+	for bit := MaxLevel - 1; bit >= MaxLevel-int(o.Level); bit-- {
+		idx <<= uint(o.Dim)
+		idx |= uint64(mortonDigit(o, uint(bit)))
+	}
+	return idx
+}
+
+// FromMortonIndex returns the level-l octant whose MortonIndex is idx.
+func FromMortonIndex(dim, l int, idx uint64) Octant {
+	o := Root(dim)
+	o.Level = int8(l)
+	for bit := MaxLevel - l; bit < MaxLevel; bit++ {
+		d := idx & ((1 << uint(dim)) - 1)
+		idx >>= uint(dim)
+		if d&1 != 0 {
+			o.X |= 1 << uint(bit)
+		}
+		if d&2 != 0 {
+			o.Y |= 1 << uint(bit)
+		}
+		if d&4 != 0 {
+			o.Z |= 1 << uint(bit)
+		}
+	}
+	return o
+}
+
+// Successor returns the next octant of the same level in Morton order,
+// computed by carry arithmetic on the interleaved coordinate bits (it works
+// at any level, unlike MortonIndex).  It panics when o is the last octant
+// of its level in the root.
+func (o Octant) Successor() Octant {
+	full := 1<<uint(o.Dim) - 1 // all-ones z-order digit
+	for bit := uint(MaxLevel - int(o.Level)); bit < MaxLevel; bit++ {
+		d := mortonDigit(o, bit)
+		if d == full {
+			// Carry: zero this digit and continue to the next.
+			o = setMortonDigit(o, bit, 0)
+			continue
+		}
+		return setMortonDigit(o, bit, d+1)
+	}
+	panic("octant: successor past end of level")
+}
+
+// setMortonDigit returns o with the z-order digit at coordinate bit
+// position bit replaced by d.
+func setMortonDigit(o Octant, bit uint, d int) Octant {
+	mask := int32(1) << bit
+	o.X = o.X&^mask | int32(d&1)<<bit
+	o.Y = o.Y&^mask | int32(d>>1&1)<<bit
+	if o.Dim == 3 {
+		o.Z = o.Z&^mask | int32(d>>2&1)<<bit
+	}
+	return o
+}

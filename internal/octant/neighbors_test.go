@@ -1,0 +1,187 @@
+package octant
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDirCodim(t *testing.T) {
+	cases := []struct {
+		d    Dir
+		want int
+	}{
+		{Dir{0, 0, 0}, 0},
+		{Dir{1, 0, 0}, 1},
+		{Dir{0, -1, 0}, 1},
+		{Dir{1, 1, 0}, 2},
+		{Dir{-1, 0, 1}, 2},
+		{Dir{1, -1, 1}, 3},
+	}
+	for _, c := range cases {
+		if got := c.d.Codim(); got != c.want {
+			t.Errorf("Codim(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDirectionsCounts(t *testing.T) {
+	// 2D: 4 faces, 4 corners.  3D: 6 faces, 12 edges, 8 corners.
+	cases := []struct {
+		dim, k, want int
+	}{
+		{2, 1, 4}, {2, 2, 8},
+		{3, 1, 6}, {3, 2, 18}, {3, 3, 26},
+	}
+	for _, c := range cases {
+		dirs := Directions(c.dim, c.k)
+		if len(dirs) != c.want {
+			t.Errorf("Directions(%d, %d): %d dirs, want %d", c.dim, c.k, len(dirs), c.want)
+		}
+		seen := map[Dir]bool{}
+		for _, d := range dirs {
+			if seen[d] {
+				t.Errorf("duplicate direction %v", d)
+			}
+			seen[d] = true
+			if cd := d.Codim(); cd < 1 || cd > c.k {
+				t.Errorf("Directions(%d, %d) contains codim-%d direction", c.dim, c.k, cd)
+			}
+			if c.dim == 2 && d[2] != 0 {
+				t.Errorf("2D direction with z component: %v", d)
+			}
+		}
+	}
+}
+
+func TestDirectionsPanicsOnBadCodim(t *testing.T) {
+	for _, bad := range [][2]int{{2, 0}, {2, 3}, {3, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Directions(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			Directions(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestNeighborInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dim := range []int{2, 3} {
+		for i := 0; i < 500; i++ {
+			o := randOctant(rng, dim, 8)
+			for _, d := range Directions(dim, dim) {
+				n := o.Neighbor(d)
+				inv := Dir{-d[0], -d[1], -d[2]}
+				if n.Neighbor(inv) != o {
+					t.Fatalf("neighbor inverse failed for %v dir %v", o, d)
+				}
+				if n.Level != o.Level {
+					t.Fatal("neighbor changed level")
+				}
+			}
+		}
+	}
+}
+
+func TestFaceNeighborNumbering(t *testing.T) {
+	// Faces 0..5 are -x,+x,-y,+y,-z,+z.
+	o := Root(3).Child(7) // fully interior corner child
+	deltas := [][3]int32{{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1}}
+	for f := 0; f < 6; f++ {
+		n := o.FaceNeighbor(f)
+		h := o.Len()
+		want := o.Translated(deltas[f][0]*h, deltas[f][1]*h, deltas[f][2]*h)
+		if n != want {
+			t.Errorf("FaceNeighbor(%d) = %v, want %v", f, n, want)
+		}
+	}
+}
+
+func TestCoarseNeighborhoodSharedWithinFamily(t *testing.T) {
+	// N(o) depends only on parent(o): all siblings share it.
+	rng := rand.New(rand.NewSource(2))
+	for _, dim := range []int{2, 3} {
+		for _, k := range []int{1, dim} {
+			o := randOctant(rng, dim, 6)
+			if o.Level == 0 {
+				continue
+			}
+			base := o.CoarseNeighborhood(k)
+			for s := 0; s < NumChildren(dim); s++ {
+				sib := o.Sibling(s)
+				got := sib.CoarseNeighborhood(k)
+				if len(got) != len(base) {
+					t.Fatalf("sibling %d: different N size", s)
+				}
+				for i := range got {
+					if got[i] != base[i] {
+						t.Fatalf("sibling %d: N differs at %d", s, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWithCoordAndCoord(t *testing.T) {
+	o := Root(3).Child(5)
+	for i := 0; i < 3; i++ {
+		v := o.Coord(i) + Len(o.Level)
+		m := o.WithCoord(i, v)
+		if m.Coord(i) != v {
+			t.Errorf("WithCoord axis %d failed", i)
+		}
+		// Other axes untouched.
+		for j := 0; j < 3; j++ {
+			if j != i && m.Coord(j) != o.Coord(j) {
+				t.Errorf("WithCoord axis %d disturbed axis %d", i, j)
+			}
+		}
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	o2 := New(2, 1, 1<<29, 0, 0)
+	if got := o2.String(); got != "oct2[l=1 (536870912,0)]" {
+		t.Errorf("2D String = %q", got)
+	}
+	o3 := Root(3)
+	if got := o3.String(); got != "oct3[l=0 (0,0,0)]" {
+		t.Errorf("3D String = %q", got)
+	}
+}
+
+func TestCountsHelpers(t *testing.T) {
+	if NumChildren(2) != 4 || NumChildren(3) != 8 {
+		t.Error("NumChildren wrong")
+	}
+	if NumFaces(2) != 4 || NumFaces(3) != 6 {
+		t.Error("NumFaces wrong")
+	}
+	if NumCorners(2) != 4 || NumCorners(3) != 8 {
+		t.Error("NumCorners wrong")
+	}
+	if NumEdges(2) != 0 || NumEdges(3) != 12 {
+		t.Error("NumEdges wrong")
+	}
+}
+
+func TestInsulationLayerOutOfRoot(t *testing.T) {
+	// A corner octant's insulation layer pokes outside the root; those
+	// members are flagged by InsideRoot.
+	for _, dim := range []int{2, 3} {
+		o := Root(dim).FirstDescendant(2) // at the (0,0,0) corner
+		outside := 0
+		for _, s := range o.InsulationLayer() {
+			if !s.InsideRoot() {
+				outside++
+			}
+		}
+		want := pow3(dim) - 1<<uint(dim) // all except the inward quadrant
+		if outside != want {
+			t.Errorf("dim %d: %d outside members, want %d", dim, outside, want)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package octant implements d-dimensional octants (d = 2, 3) on the integer
+// lattice used by linear octree codes such as p4est, together with the
+// logical octant relationships of Isaac, Burstedde & Ghattas, "Low-Cost
+// Parallel Algorithms for 2:1 Octree Balance" (IPDPS 2012), Table I.
+//
+// An octant is a d-cube whose side length is a power of two and whose lower
+// corner coordinates are integer multiples of that side length.  The root
+// octant is the cube [0, 2^MaxLevel)^d.  An octant at refinement level l has
+// side length 2^(MaxLevel-l); the paper's "size" of an octant is therefore
+// MaxLevel - l (see the Size method).
+//
+// Octants may lie outside the root cube: such octants arise naturally when
+// computing neighborhoods of octants that touch the root boundary, and are
+// how inter-tree interactions are detected in a forest of octrees.
+package octant
+
+import "fmt"
+
+// MaxLevel is the deepest refinement level supported.  The root octant has
+// level 0 and side length 2^MaxLevel on the integer lattice.
+const MaxLevel = 30
+
+// RootLen is the side length of the root octant on the integer lattice.
+const RootLen int32 = 1 << MaxLevel
+
+// Octant is a d-dimensional cube on the lattice.  X, Y, Z are the
+// coordinates of the lower corner; Z is zero for 2D octants.  Octant is a
+// comparable value type: it can be used directly as a map key, and two
+// octants are identical if and only if they are == equal.
+//
+// The zero value is not a valid octant (its dimension is unset); use Root or
+// New to construct one.
+type Octant struct {
+	X, Y, Z int32
+	Level   int8
+	Dim     int8
+}
+
+// New returns the octant at level l with lower corner (x, y, z) in dim
+// dimensions.  In 2D the z coordinate must be zero.  New panics if the
+// arguments do not describe a lattice-aligned octant; use NewUnchecked in
+// performance-critical inner loops where validity is known.
+func New(dim int, l int, x, y, z int32) Octant {
+	o := Octant{X: x, Y: y, Z: z, Level: int8(l), Dim: int8(dim)}
+	if err := o.Check(); err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// NewUnchecked is New without validity checking.
+func NewUnchecked(dim int, l int, x, y, z int32) Octant {
+	return Octant{X: x, Y: y, Z: z, Level: int8(l), Dim: int8(dim)}
+}
+
+// Root returns the root octant of a dim-dimensional octree.
+func Root(dim int) Octant {
+	if dim != 2 && dim != 3 {
+		panic(fmt.Sprintf("octant: invalid dimension %d", dim))
+	}
+	return Octant{Dim: int8(dim)}
+}
+
+// Len returns the lattice side length of an octant at level l.
+func Len(l int8) int32 {
+	return 1 << (MaxLevel - uint(l))
+}
+
+// Len returns the lattice side length of o.
+func (o Octant) Len() int32 { return Len(o.Level) }
+
+// Size returns the paper's "size" of o: its sides have lattice length
+// 2^Size(o), i.e. Size(o) = MaxLevel - Level.
+func (o Octant) Size() int { return MaxLevel - int(o.Level) }
+
+// Check reports whether o is a well-formed octant: dimension 2 or 3, level
+// in [0, MaxLevel], coordinates aligned to its own side length, and z = 0 in
+// 2D.  Out-of-root coordinates are permitted (see package comment).
+func (o Octant) Check() error {
+	if o.Dim != 2 && o.Dim != 3 {
+		return fmt.Errorf("octant: invalid dimension %d", o.Dim)
+	}
+	if o.Level < 0 || o.Level > MaxLevel {
+		return fmt.Errorf("octant: invalid level %d", o.Level)
+	}
+	if o.Dim == 2 && o.Z != 0 {
+		return fmt.Errorf("octant: 2D octant with z = %d", o.Z)
+	}
+	h := o.Len()
+	if o.X%h != 0 || o.Y%h != 0 || o.Z%h != 0 {
+		return fmt.Errorf("octant: corner (%d,%d,%d) not aligned to length %d", o.X, o.Y, o.Z, h)
+	}
+	return nil
+}
+
+// InsideRoot reports whether o lies entirely inside the root octant.
+func (o Octant) InsideRoot() bool {
+	h := o.Len()
+	if o.X < 0 || o.X+h > RootLen || o.Y < 0 || o.Y+h > RootLen {
+		return false
+	}
+	if o.Dim == 3 && (o.Z < 0 || o.Z+h > RootLen) {
+		return false
+	}
+	return true
+}
+
+// Coord returns the i-th coordinate of o's lower corner (i = 0, 1, 2).
+func (o Octant) Coord(i int) int32 {
+	switch i {
+	case 0:
+		return o.X
+	case 1:
+		return o.Y
+	default:
+		return o.Z
+	}
+}
+
+// WithCoord returns a copy of o with the i-th coordinate set to v.
+func (o Octant) WithCoord(i int, v int32) Octant {
+	switch i {
+	case 0:
+		o.X = v
+	case 1:
+		o.Y = v
+	default:
+		o.Z = v
+	}
+	return o
+}
+
+// Translated returns o translated by (dx, dy, dz) lattice units.
+func (o Octant) Translated(dx, dy, dz int32) Octant {
+	o.X += dx
+	o.Y += dy
+	o.Z += dz
+	return o
+}
+
+// NumChildren returns the number of children of a dim-dimensional octant.
+func NumChildren(dim int) int { return 1 << uint(dim) }
+
+// NumFaces returns the number of faces of a dim-dimensional octant.
+func NumFaces(dim int) int { return 2 * dim }
+
+// NumCorners returns the number of corners of a dim-dimensional octant.
+func NumCorners(dim int) int { return 1 << uint(dim) }
+
+// NumEdges returns the number of edges of a dim-dimensional octant (0 in 2D,
+// where the codimension-2 objects are the corners).
+func NumEdges(dim int) int {
+	if dim == 3 {
+		return 12
+	}
+	return 0
+}
+
+// String renders o compactly, e.g. "oct3[l=2 (0,512,256)]".
+func (o Octant) String() string {
+	if o.Dim == 2 {
+		return fmt.Sprintf("oct2[l=%d (%d,%d)]", o.Level, o.X, o.Y)
+	}
+	return fmt.Sprintf("oct3[l=%d (%d,%d,%d)]", o.Level, o.X, o.Y, o.Z)
+}
+
+// Equal reports o == r.  It exists for readability at call sites; the ==
+// operator is equivalent.
+func (o Octant) Equal(r Octant) bool { return o == r }
+
+// Overlaps reports whether o and r intersect in a set of positive volume,
+// i.e. one contains the other or they are equal.  Octants at the same level
+// overlap only if equal; otherwise the coarser one must contain the finer.
+func (o Octant) Overlaps(r Octant) bool {
+	if o.Level > r.Level {
+		o, r = r, o
+	}
+	// Now o is the coarser (or equal-level) octant.
+	return o.ContainsCorner(r)
+}
+
+// ContainsCorner reports whether r's lower corner lies inside o's cube and
+// o is at least as coarse as r.  For aligned octants this is exactly the
+// ancestor-or-equal relation.
+func (o Octant) ContainsCorner(r Octant) bool {
+	if o.Level > r.Level {
+		return false
+	}
+	h := o.Len()
+	mask := ^(h - 1)
+	if r.X&mask != o.X || r.Y&mask != o.Y {
+		return false
+	}
+	return o.Dim == 2 || r.Z&mask == o.Z
+}
+
+// IsAncestorOrEqual reports whether o is an ancestor of r or equal to r.
+func (o Octant) IsAncestorOrEqual(r Octant) bool { return o.ContainsCorner(r) }
+
+// IsAncestor reports whether o is a strict ancestor of r.
+func (o Octant) IsAncestor(r Octant) bool {
+	return o.Level < r.Level && o.ContainsCorner(r)
+}

@@ -1,0 +1,486 @@
+package octant
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// randOctant returns a uniformly random valid in-root octant of the given
+// dimension with level in [0, maxL].
+func randOctant(rng *rand.Rand, dim, maxL int) Octant {
+	l := rng.Intn(maxL + 1)
+	idx := uint64(0)
+	if l > 0 {
+		idx = rng.Uint64() % (uint64(1) << (uint(dim) * uint(l)))
+	}
+	return FromMortonIndex(dim, l, idx)
+}
+
+func TestNewAndCheck(t *testing.T) {
+	o := New(2, 1, 1<<29, 0, 0)
+	if o.Level != 1 || o.X != 1<<29 {
+		t.Fatalf("unexpected octant %v", o)
+	}
+	if err := o.Check(); err != nil {
+		t.Fatalf("valid octant failed Check: %v", err)
+	}
+	bad := []Octant{
+		{Dim: 4},
+		{Dim: 2, Level: -1},
+		{Dim: 2, Level: MaxLevel + 1},
+		{Dim: 2, Z: 4},
+		{Dim: 2, Level: 1, X: 3}, // misaligned
+	}
+	for _, b := range bad {
+		if err := b.Check(); err == nil {
+			t.Errorf("Check(%v) = nil, want error", b)
+		}
+	}
+}
+
+func TestRootProperties(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		r := Root(dim)
+		if r.Len() != RootLen {
+			t.Errorf("dim %d: root length %d, want %d", dim, r.Len(), RootLen)
+		}
+		if !r.InsideRoot() {
+			t.Errorf("dim %d: root not inside root", dim)
+		}
+		if r.Size() != MaxLevel {
+			t.Errorf("dim %d: root size %d, want %d", dim, r.Size(), MaxLevel)
+		}
+		if r.ChildID() != 0 {
+			t.Errorf("dim %d: root child id %d", dim, r.ChildID())
+		}
+	}
+}
+
+func TestParentChildInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dim := range []int{2, 3} {
+		for i := 0; i < 2000; i++ {
+			o := randOctant(rng, dim, 12)
+			if o.Level == 0 {
+				continue
+			}
+			p := o.Parent()
+			if p.Level != o.Level-1 {
+				t.Fatalf("parent level %d, want %d", p.Level, o.Level-1)
+			}
+			if !p.IsAncestor(o) {
+				t.Fatalf("parent %v is not ancestor of %v", p, o)
+			}
+			id := o.ChildID()
+			if got := p.Child(id); got != o {
+				t.Fatalf("Child(Parent) mismatch: %v vs %v", got, o)
+			}
+			if got := o.Sibling(id); got != o {
+				t.Fatalf("Sibling(self id) = %v, want %v", got, o)
+			}
+		}
+	}
+}
+
+func TestFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dim := range []int{2, 3} {
+		for i := 0; i < 500; i++ {
+			o := randOctant(rng, dim, 10)
+			if o.Level == 0 {
+				if !IsFamily(o.Family()) == true && len(o.Family()) != 1 {
+					t.Fatal("root family")
+				}
+				continue
+			}
+			fam := o.Family()
+			if len(fam) != NumChildren(dim) {
+				t.Fatalf("family size %d", len(fam))
+			}
+			if !IsFamily(fam) {
+				t.Fatalf("IsFamily(Family(%v)) = false", o)
+			}
+			for j, s := range fam {
+				if s.ChildID() != j {
+					t.Fatalf("family member %d has child id %d", j, s.ChildID())
+				}
+				if s.Parent() != o.Parent() {
+					t.Fatalf("family member has different parent")
+				}
+			}
+			// A family missing one member is not a family.
+			if IsFamily(fam[:len(fam)-1]) {
+				t.Fatal("incomplete family accepted")
+			}
+		}
+	}
+}
+
+func TestAncestorDescendant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dim := range []int{2, 3} {
+		for i := 0; i < 1000; i++ {
+			o := randOctant(rng, dim, 10)
+			al := int8(rng.Intn(int(o.Level) + 1))
+			a := o.Ancestor(al)
+			if !a.IsAncestorOrEqual(o) {
+				t.Fatalf("Ancestor(%v, %d) = %v not ancestor", o, al, a)
+			}
+			if a.Level < o.Level && !a.IsAncestor(o) {
+				t.Fatalf("strict ancestor not detected")
+			}
+			fd := a.FirstDescendant(o.Level)
+			ld := a.LastDescendant(o.Level)
+			if Compare(fd, o) > 0 || Compare(o, ld) > 0 {
+				t.Fatalf("descendant %v outside [%v, %v]", o, fd, ld)
+			}
+		}
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, dim := range []int{2, 3} {
+		octs := make([]Octant, 300)
+		for i := range octs {
+			octs[i] = randOctant(rng, dim, 8)
+		}
+		// Antisymmetry and consistency with equality.
+		for i := 0; i < 100; i++ {
+			a, b := octs[rng.Intn(len(octs))], octs[rng.Intn(len(octs))]
+			ab, ba := Compare(a, b), Compare(b, a)
+			if (ab == 0) != (a == b) {
+				t.Fatalf("Compare(%v,%v)=0 but not equal", a, b)
+			}
+			if sign(ab) != -sign(ba) {
+				t.Fatalf("antisymmetry violated for %v %v", a, b)
+			}
+		}
+		// Sorting yields ancestors before descendants.
+		sort.Slice(octs, func(i, j int) bool { return Less(octs[i], octs[j]) })
+		for i := 0; i+1 < len(octs); i++ {
+			if octs[i+1].IsAncestor(octs[i]) {
+				t.Fatalf("descendant %v sorted before ancestor %v", octs[i], octs[i+1])
+			}
+		}
+	}
+}
+
+func sign(v int) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestCompareMatchesMortonIndex(t *testing.T) {
+	// At a fixed level, Compare must agree with MortonIndex order.
+	rng := rand.New(rand.NewSource(5))
+	for _, dim := range []int{2, 3} {
+		for i := 0; i < 1000; i++ {
+			l := 1 + rng.Intn(8)
+			n := uint64(1) << (uint(dim) * uint(l))
+			a := FromMortonIndex(dim, l, rng.Uint64()%n)
+			b := FromMortonIndex(dim, l, rng.Uint64()%n)
+			want := sign(int(int64(a.MortonIndex()) - int64(b.MortonIndex())))
+			if got := sign(Compare(a, b)); got != want {
+				t.Fatalf("dim %d: Compare(%v,%v)=%d, want %d", dim, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMortonIndexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, dim := range []int{2, 3} {
+		for i := 0; i < 2000; i++ {
+			o := randOctant(rng, dim, 15)
+			got := FromMortonIndex(dim, int(o.Level), o.MortonIndex())
+			if got != o {
+				t.Fatalf("round trip %v -> %v", o, got)
+			}
+		}
+	}
+}
+
+func TestSuccessor(t *testing.T) {
+	// Enumerate all level-2 octants in 2D via Successor and check ordering.
+	o := Root(2).FirstDescendant(2)
+	count := 1
+	for {
+		idx := o.MortonIndex()
+		if idx == 15 {
+			break
+		}
+		n := o.Successor()
+		if Compare(o, n) >= 0 {
+			t.Fatalf("successor not increasing: %v -> %v", o, n)
+		}
+		if n.MortonIndex() != idx+1 {
+			t.Fatalf("successor index %d, want %d", n.MortonIndex(), idx+1)
+		}
+		o = n
+		count++
+	}
+	if count != 16 {
+		t.Fatalf("enumerated %d octants, want 16", count)
+	}
+}
+
+func TestNearestCommonAncestor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dim := range []int{2, 3} {
+		for i := 0; i < 1000; i++ {
+			a := randOctant(rng, dim, 10)
+			b := randOctant(rng, dim, 10)
+			nca := NearestCommonAncestor(a, b)
+			if !nca.IsAncestorOrEqual(a) || !nca.IsAncestorOrEqual(b) {
+				t.Fatalf("NCA(%v,%v)=%v does not contain both", a, b, nca)
+			}
+			if nca.Level < MaxLevel {
+				// No finer common ancestor may exist: at least one of
+				// the children of nca must not contain one of a, b.
+				finer := false
+				for c := 0; c < NumChildren(dim); c++ {
+					ch := nca.Child(c)
+					if ch.IsAncestorOrEqual(a) && ch.IsAncestorOrEqual(b) {
+						finer = true
+					}
+				}
+				if finer {
+					t.Fatalf("NCA(%v,%v)=%v is not finest", a, b, nca)
+				}
+			}
+		}
+	}
+}
+
+func TestOverlapsAndContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, dim := range []int{2, 3} {
+		for i := 0; i < 1000; i++ {
+			a := randOctant(rng, dim, 8)
+			b := randOctant(rng, dim, 8)
+			want := a.IsAncestorOrEqual(b) || b.IsAncestorOrEqual(a)
+			if got := a.Overlaps(b); got != want {
+				t.Fatalf("Overlaps(%v,%v)=%v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestPreclusion(t *testing.T) {
+	d2 := func(l int, x, y int32) Octant { return New(2, l, x, y, 0) }
+	h := Len(2) // level-2 side
+	o := d2(2, 0, 0)
+	sib := d2(2, h, 0)
+	if !PrecludedEqual(o, sib) || !PrecludedEqual(sib, o) {
+		t.Error("siblings must be preclusion-equivalent")
+	}
+	if Precluded(o, sib) || Precluded(sib, o) {
+		t.Error("siblings must not strictly preclude each other")
+	}
+	// A coarse octant elsewhere under the same grandparent region:
+	// parent(coarse) must be a strict ancestor of parent(fine).
+	fine := d2(4, 0, 0)
+	coarse := d2(2, 2*h, 2*h) // parent is level 1 at origin region? verify
+	if coarse.Parent().IsAncestor(fine.Parent()) {
+		if !Precluded(coarse, fine) {
+			t.Error("expected coarse ≺ fine")
+		}
+	}
+	// Equal octants are ⪯ but not ≺.
+	if Precluded(o, o) {
+		t.Error("octant precluded by itself")
+	}
+	if !PrecludedEqual(o, o) {
+		t.Error("octant not ⪯ itself")
+	}
+}
+
+func TestPreclusionEquivalenceClassesAreFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, dim := range []int{2, 3} {
+		for i := 0; i < 500; i++ {
+			a := randOctant(rng, dim, 8)
+			b := randOctant(rng, dim, 8)
+			if a.Level == 0 || b.Level == 0 {
+				continue
+			}
+			mutual := PrecludedEqual(a, b) && PrecludedEqual(b, a)
+			sameFam := a.Parent() == b.Parent()
+			if mutual != sameFam {
+				t.Fatalf("mutual ⪯ (%v) != same family (%v) for %v, %v", mutual, sameFam, a, b)
+			}
+		}
+	}
+}
+
+func TestCoarseNeighborhoodCardinality(t *testing.T) {
+	// Figure 5: 2D k=1: 4, k=2: 8; 3D k=1: 6, k=2: 18, k=3: 26.
+	want := map[[2]int]int{
+		{2, 1}: 4, {2, 2}: 8,
+		{3, 1}: 6, {3, 2}: 18, {3, 3}: 26,
+	}
+	for key, n := range want {
+		dim, k := key[0], key[1]
+		o := Root(dim).FirstDescendant(5)
+		nb := o.CoarseNeighborhood(k)
+		if len(nb) != n {
+			t.Errorf("dim %d k %d: |N(o)| = %d, want %d", dim, k, len(nb), n)
+		}
+		p := o.Parent()
+		for _, s := range nb {
+			if s.Level != p.Level {
+				t.Errorf("coarse neighbor at level %d, want %d", s.Level, p.Level)
+			}
+			c := Adjacency(s, p)
+			if c < 1 || c > k {
+				t.Errorf("coarse neighbor adjacency %d outside [1,%d]", c, k)
+			}
+		}
+	}
+}
+
+func TestInsulationLayer(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		o := Root(dim).FirstDescendant(3).Successor().Successor()
+		ins := o.InsulationLayer()
+		if len(ins) != pow3(dim) {
+			t.Fatalf("dim %d: |I(o)| = %d, want %d", dim, len(ins), pow3(dim))
+		}
+		if ins[0] != o {
+			t.Fatal("insulation layer must start with o")
+		}
+		seen := map[Octant]bool{}
+		for _, s := range ins {
+			if seen[s] {
+				t.Fatalf("duplicate %v in insulation layer", s)
+			}
+			seen[s] = true
+			if s.Level != o.Level {
+				t.Fatal("insulation octant of wrong size")
+			}
+			if s != o && Adjacency(s, o) < 1 {
+				t.Fatalf("insulation octant %v not adjacent to %v", s, o)
+			}
+		}
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	h := Len(1)
+	a := New(2, 1, 0, 0, 0)
+	cases := []struct {
+		b    Octant
+		want int
+	}{
+		{New(2, 1, h, 0, 0), 1},   // face
+		{New(2, 1, h, h, 0), 2},   // corner
+		{New(2, 1, 0, 0, 0), 0},   // same octant
+		{New(2, 0, 0, 0, 0), 0},   // ancestor
+		{New(2, 2, h, h/2, 0), 1}, // small face neighbor
+	}
+	for _, c := range cases {
+		if got := Adjacency(a, c.b); got != c.want {
+			t.Errorf("Adjacency(%v,%v) = %d, want %d", a, c.b, got, c.want)
+		}
+		if got := Adjacency(c.b, a); got != c.want {
+			t.Errorf("Adjacency not symmetric for %v,%v", a, c.b)
+		}
+	}
+	// Disjoint.
+	far := New(2, 2, 3*h/2, 3*h/2, 0)
+	if got := Adjacency(a, far); got != -1 {
+		t.Errorf("Adjacency(disjoint) = %d, want -1", got)
+	}
+}
+
+func TestBalancedPairwise(t *testing.T) {
+	h2 := Len(2)
+	o := New(2, 2, h2, h2, 0) // interior level-2 octant
+	faceCoarse := New(2, 1, 2*h2, 0, 0)
+	if Adjacency(o, faceCoarse) != 1 {
+		t.Fatal("setup: expected face adjacency")
+	}
+	if !Balanced(o, faceCoarse, 1) {
+		t.Error("level diff 1 across face must be balanced")
+	}
+	fine := New(2, 4, 2*h2, h2, 0) // level-4 across o's +x face
+	if Adjacency(o, fine) != 1 {
+		t.Fatalf("setup: adjacency = %d", Adjacency(o, fine))
+	}
+	if Balanced(o, fine, 1) {
+		t.Error("level diff 2 across face must be unbalanced")
+	}
+	// Corner-adjacent with level diff 2: balanced under k=1, not k=2.
+	cornerFine := New(2, 4, 2*h2, 2*h2, 0)
+	og := New(2, 2, h2, h2, 0)
+	if Adjacency(og, cornerFine) != 2 {
+		t.Fatalf("setup: adjacency = %d", Adjacency(og, cornerFine))
+	}
+	if !Balanced(og, cornerFine, 1) {
+		t.Error("corner pair must be balanced under face-only condition")
+	}
+	if Balanced(og, cornerFine, 2) {
+		t.Error("corner pair with level diff 2 must violate corner balance")
+	}
+}
+
+func TestFaceNeighbor(t *testing.T) {
+	o := Root(3).FirstDescendant(2).Successor()
+	for f := 0; f < 6; f++ {
+		n := o.FaceNeighbor(f)
+		if Adjacency(o, n) != 1 {
+			t.Errorf("face neighbor %d not face-adjacent", f)
+		}
+	}
+}
+
+func TestQuickCompareTransitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randOctant(r, 3, 9)
+		b := randOctant(r, 3, 9)
+		c := randOctant(r, 3, 9)
+		// transitivity: a<=b, b<=c => a<=c
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 {
+			return Compare(a, c) <= 0
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 3000, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAncestorPrecedesDescendantsInMorton(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dim := range []int{2, 3} {
+		for i := 0; i < 1000; i++ {
+			o := randOctant(rng, dim, 8)
+			if o.Level == MaxLevel {
+				continue
+			}
+			dl := o.Level + int8(1+rng.Intn(3))
+			if dl > MaxLevel {
+				dl = MaxLevel
+			}
+			// Random descendant.
+			d := o
+			for d.Level < dl {
+				d = d.Child(rng.Intn(NumChildren(dim)))
+			}
+			if Compare(o, d) >= 0 {
+				t.Fatalf("ancestor %v does not precede descendant %v", o, d)
+			}
+		}
+	}
+}

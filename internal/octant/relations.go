@@ -1,0 +1,211 @@
+package octant
+
+// This file implements the octant relationships of Table I in the paper:
+// parent, i-child, i-sibling, family, child-id — plus descendants, nearest
+// common ancestors, and the preclusion relation of Section III-B.
+
+// Parent returns the octant containing o that is twice as large.  It panics
+// if o is the root.
+func (o Octant) Parent() Octant {
+	if o.Level == 0 {
+		panic("octant: root has no parent")
+	}
+	h2 := Len(o.Level - 1)
+	mask := ^(h2 - 1)
+	return Octant{X: o.X & mask, Y: o.Y & mask, Z: o.Z & mask, Level: o.Level - 1, Dim: o.Dim}
+}
+
+// ChildID returns i such that o == i-child(parent(o)).  Bit 0 is the x
+// bit, bit 1 the y bit, bit 2 the z bit.  The root's child id is 0.
+func (o Octant) ChildID() int {
+	if o.Level == 0 {
+		return 0
+	}
+	h := o.Len()
+	id := 0
+	if o.X&h != 0 {
+		id |= 1
+	}
+	if o.Y&h != 0 {
+		id |= 2
+	}
+	if o.Dim == 3 && o.Z&h != 0 {
+		id |= 4
+	}
+	return id
+}
+
+// Child returns the i-child of o: the child touching the i-th corner of o.
+// It panics if o is at MaxLevel or i is out of range.
+func (o Octant) Child(i int) Octant {
+	if o.Level >= MaxLevel {
+		panic("octant: cannot refine beyond MaxLevel")
+	}
+	if i < 0 || i >= NumChildren(int(o.Dim)) {
+		panic("octant: child index out of range")
+	}
+	h2 := Len(o.Level + 1)
+	c := o
+	c.Level++
+	if i&1 != 0 {
+		c.X += h2
+	}
+	if i&2 != 0 {
+		c.Y += h2
+	}
+	if i&4 != 0 {
+		c.Z += h2
+	}
+	return c
+}
+
+// Sibling returns the i-sibling of o: i-child(parent(o)).  Sibling(o, 0) is
+// the canonical family representative used by the Reduce algorithm.
+func (o Octant) Sibling(i int) Octant {
+	if o.Level == 0 {
+		if i != 0 {
+			panic("octant: root has no siblings")
+		}
+		return o
+	}
+	h := o.Len()
+	mask := ^(2*h - 1)
+	s := Octant{X: o.X & mask, Y: o.Y & mask, Z: o.Z & mask, Level: o.Level, Dim: o.Dim}
+	if i&1 != 0 {
+		s.X += h
+	}
+	if i&2 != 0 {
+		s.Y += h
+	}
+	if i&4 != 0 {
+		s.Z += h
+	}
+	return s
+}
+
+// Family returns all 2^d siblings of o (including o itself) in child-id
+// order.  For the root it returns just the root.
+func (o Octant) Family() []Octant {
+	if o.Level == 0 {
+		return []Octant{o}
+	}
+	n := NumChildren(int(o.Dim))
+	fam := make([]Octant, n)
+	for i := 0; i < n; i++ {
+		fam[i] = o.Sibling(i)
+	}
+	return fam
+}
+
+// IsFamily reports whether the octants in f are exactly one complete family
+// in child-id order.
+func IsFamily(f []Octant) bool {
+	if len(f) == 0 || f[0].Level == 0 {
+		return false
+	}
+	dim := int(f[0].Dim)
+	if len(f) != NumChildren(dim) {
+		return false
+	}
+	for i, s := range f {
+		if s != f[0].Sibling(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Ancestor returns the ancestor of o at level l <= o.Level.
+func (o Octant) Ancestor(l int8) Octant {
+	if l > o.Level || l < 0 {
+		panic("octant: invalid ancestor level")
+	}
+	h := Len(l)
+	mask := ^(h - 1)
+	return Octant{X: o.X & mask, Y: o.Y & mask, Z: o.Z & mask, Level: l, Dim: o.Dim}
+}
+
+// FirstDescendant returns the first (in Morton order) descendant of o at
+// level l >= o.Level.  It shares o's lower corner.
+func (o Octant) FirstDescendant(l int8) Octant {
+	if l < o.Level || l > MaxLevel {
+		panic("octant: invalid descendant level")
+	}
+	d := o
+	d.Level = l
+	return d
+}
+
+// LastDescendant returns the last (in Morton order) descendant of o at
+// level l >= o.Level.  It touches o's upper corner.
+func (o Octant) LastDescendant(l int8) Octant {
+	if l < o.Level || l > MaxLevel {
+		panic("octant: invalid descendant level")
+	}
+	shift := o.Len() - Len(l)
+	d := Octant{X: o.X + shift, Y: o.Y + shift, Z: o.Z + shift, Level: l, Dim: o.Dim}
+	if o.Dim == 2 {
+		d.Z = 0
+	}
+	return d
+}
+
+// NearestCommonAncestor returns the finest octant that contains both o and
+// r.  The octants must belong to the same dimension and lie inside a common
+// root (coordinates are combined bitwise, so out-of-root octants are not
+// supported here).
+func NearestCommonAncestor(o, r Octant) Octant {
+	// The NCA can be no finer than the coarser input octant.
+	l := o.Level
+	if r.Level < l {
+		l = r.Level
+	}
+	exclor := (o.X ^ r.X) | (o.Y ^ r.Y)
+	if o.Dim == 3 {
+		exclor |= o.Z ^ r.Z
+	}
+	if exclor != 0 {
+		// The highest differing coordinate bit bounds the NCA level.
+		lb := int8(MaxLevel - 1 - int(highestBit(uint32(exclor))))
+		if lb < l {
+			l = lb
+		}
+	}
+	return o.Ancestor(l)
+}
+
+// Precluded implements the preclusion relation of Section III-B: o
+// precludes r, written r ≺ o, if and only if parent(r) is a strict ancestor
+// of parent(o).  Precluded octants carry no information beyond what o
+// carries for the purpose of completing a balanced octree, and can be
+// dropped by Reduce; the equivalence classes of the associated partial
+// order are exactly the families.
+//
+// Precluded(r, o) returns true iff r ≺ o.  This requires r to be strictly
+// coarser than o.  Roots (level 0) have no parent: a root is precluded by
+// any octant at level >= 2 that it contains, and precludes nothing.
+func Precluded(r, o Octant) bool {
+	if o.Level == 0 {
+		return false
+	}
+	if r.Level == 0 {
+		// parent(r) does not exist; by convention the root is treated
+		// as precluded whenever a strictly finer non-child octant
+		// inside it exists, since completion regenerates it.
+		return o.Level >= 2
+	}
+	if r.Level >= o.Level {
+		return false
+	}
+	return r.Parent().IsAncestor(o.Parent())
+}
+
+// PrecludedEqual reports r ⪯ o: parent(r) is an ancestor of, or equal to,
+// parent(o).  Siblings are mutually ⪯-related (they are equivalent under
+// preclusion).
+func PrecludedEqual(r, o Octant) bool {
+	if o.Level == 0 || r.Level == 0 {
+		return r.Level == 0 && (o.Level >= 2 || o.Level == r.Level)
+	}
+	return r.Parent().IsAncestorOrEqual(o.Parent())
+}

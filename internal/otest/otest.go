@@ -1,0 +1,103 @@
+// Package otest provides deterministic random octree generators shared by
+// the test suites of the other packages.  It is not part of the public API.
+package otest
+
+import (
+	"math/rand"
+
+	"repro/internal/octant"
+)
+
+// RandomComplete returns a random complete linear octree of root: starting
+// from root, every octant is split with probability splitProb until
+// maxLevel.  The result is sorted, linear and complete by construction.
+func RandomComplete(rng *rand.Rand, root octant.Octant, maxLevel int, splitProb float64) []octant.Octant {
+	var out []octant.Octant
+	var walk func(o octant.Octant)
+	walk = func(o octant.Octant) {
+		if int(o.Level) < maxLevel && rng.Float64() < splitProb {
+			for c := 0; c < octant.NumChildren(int(o.Dim)); c++ {
+				walk(o.Child(c))
+			}
+			return
+		}
+		out = append(out, o)
+	}
+	walk(root)
+	return out
+}
+
+// RandomGraded returns a random complete linear octree whose refinement is
+// concentrated around a random point, producing the highly graded meshes
+// that stress 2:1 balance.  Octants containing (or adjacent to) the focus
+// point refine to maxLevel; refinement probability decays with distance.
+func RandomGraded(rng *rand.Rand, root octant.Octant, maxLevel int) []octant.Octant {
+	dim := int(root.Dim)
+	var focus [3]int64
+	for i := 0; i < dim; i++ {
+		focus[i] = int64(rng.Int31n(octant.RootLen))
+	}
+	var out []octant.Octant
+	var walk func(o octant.Octant)
+	walk = func(o octant.Octant) {
+		if int(o.Level) < maxLevel && containsPoint(o, focus) {
+			for c := 0; c < octant.NumChildren(dim); c++ {
+				walk(o.Child(c))
+			}
+			return
+		}
+		out = append(out, o)
+	}
+	walk(root)
+	return out
+}
+
+func containsPoint(o octant.Octant, p [3]int64) bool {
+	h := int64(o.Len())
+	for i := 0; i < int(o.Dim); i++ {
+		c := int64(o.Coord(i))
+		if p[i] < c || p[i] >= c+h {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomSubset returns a sorted random subset of octs keeping each element
+// with probability keep; it always keeps at least one element.
+func RandomSubset(rng *rand.Rand, octs []octant.Octant, keep float64) []octant.Octant {
+	var out []octant.Octant
+	for _, o := range octs {
+		if rng.Float64() < keep {
+			out = append(out, o)
+		}
+	}
+	if len(out) == 0 && len(octs) > 0 {
+		out = append(out, octs[rng.Intn(len(octs))])
+	}
+	return out
+}
+
+// RandomOctant returns a uniformly random in-root octant with level in
+// [minLevel, maxLevel].
+func RandomOctant(rng *rand.Rand, dim, minLevel, maxLevel int) octant.Octant {
+	l := minLevel + rng.Intn(maxLevel-minLevel+1)
+	idx := uint64(0)
+	if l > 0 {
+		idx = rng.Uint64() % (uint64(1) << (uint(dim) * uint(l)))
+	}
+	return octant.FromMortonIndex(dim, l, idx)
+}
+
+// Equal reports whether two octant slices are element-wise identical.
+func Equal(a, b []octant.Octant) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,99 @@
+// Package stats provides the measurement plumbing of the benchmark
+// harness: per-phase timing aggregation across ranks, the normalization
+// used in the paper's weak-scaling plots (seconds per million octants per
+// rank), and plain-text table rendering for the cmd/ drivers.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Normalized converts a duration into the paper's weak-scaling unit:
+// seconds per (million octants / rank).
+func Normalized(d time.Duration, globalOctants int64, ranks int) float64 {
+	millionPerRank := float64(globalOctants) / float64(ranks) / 1e6
+	if millionPerRank == 0 {
+		return 0
+	}
+	return d.Seconds() / millionPerRank
+}
+
+// Table accumulates rows of formatted cells under a header and renders an
+// aligned plain-text table, the output format of the cmd/ drivers.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column header.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; values are formatted with %v, and float64 values
+// with four significant digits.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.4g", v.Seconds())
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Speedup formats the ratio old/new, the headline metric of Section VI.
+func Speedup(old, new time.Duration) string {
+	if new <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", old.Seconds()/new.Seconds())
+}

@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNormalized(t *testing.T) {
+	// 2 seconds for 4M octants on 2 ranks = 2M octants/rank = 1 s/(M/rank).
+	got := Normalized(2*time.Second, 4_000_000, 2)
+	if got != 1 {
+		t.Fatalf("Normalized = %v, want 1", got)
+	}
+	if Normalized(time.Second, 0, 4) != 0 {
+		t.Fatal("zero octants must normalize to zero")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("demo", "name", "value")
+	tbl.AddRow("alpha", 3.14159)
+	tbl.AddRow("b", 250*time.Millisecond)
+	tbl.AddRow("gamma-long-name", 7)
+	out := tbl.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "3.142") {
+		t.Fatalf("table output malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "0.25") {
+		t.Fatalf("duration not rendered in seconds:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	// Columns align: each row at least as wide as the widest cell.
+	if !strings.Contains(lines[5], "gamma-long-name") {
+		t.Fatalf("row ordering broken:\n%s", out)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(2*time.Second, time.Second); got != "2.00x" {
+		t.Fatalf("Speedup = %q", got)
+	}
+	if got := Speedup(time.Second, 0); got != "inf" {
+		t.Fatalf("Speedup by zero = %q", got)
+	}
+}

@@ -1,0 +1,123 @@
+package vtk
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/forest"
+	"repro/internal/octant"
+)
+
+func uniformTrees(conn *forest.Connectivity, level int) [][]octant.Octant {
+	trees := make([][]octant.Octant, conn.NumTrees())
+	per := uint64(1) << uint(conn.Dim()*level)
+	for t := range trees {
+		for m := uint64(0); m < per; m++ {
+			trees[t] = append(trees[t], octant.FromMortonIndex(conn.Dim(), level, m))
+		}
+	}
+	return trees
+}
+
+func TestWriteUniform2D(t *testing.T) {
+	conn := forest.NewBrick(2, 2, 1, 1, [3]bool{})
+	trees := uniformTrees(conn, 1)
+	var b strings.Builder
+	if err := Write(&b, conn, trees); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// 8 quads over a 2x1 domain share points: (4+1)*(2+1) = 15 points.
+	if !strings.Contains(out, "POINTS 15 float") {
+		t.Fatalf("expected 15 deduplicated points:\n%s", head(out, 6))
+	}
+	if !strings.Contains(out, "CELLS 8 40") {
+		t.Fatalf("expected 8 cells with 5 ints each:\n%s", head(out, 6))
+	}
+	if !strings.Contains(out, "SCALARS level int 1") || !strings.Contains(out, "SCALARS tree int 1") {
+		t.Fatal("missing standard cell data arrays")
+	}
+	// 2D uses VTK_PIXEL (type 8).
+	if !strings.Contains(out, "CELL_TYPES 8\n8\n") {
+		t.Fatal("wrong cell type for 2D")
+	}
+}
+
+func TestWriteUniform3D(t *testing.T) {
+	conn := forest.NewBrick(3, 1, 1, 1, [3]bool{})
+	trees := uniformTrees(conn, 1)
+	var b strings.Builder
+	if err := Write(&b, conn, trees); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "POINTS 27 float") { // 3^3 corner lattice
+		t.Fatalf("expected 27 points:\n%s", head(out, 6))
+	}
+	if !strings.Contains(out, "CELL_TYPES 8\n11\n") { // VTK_VOXEL
+		t.Fatal("wrong cell type for 3D")
+	}
+}
+
+func TestWriteExtraCellData(t *testing.T) {
+	conn := forest.NewBrick(2, 1, 1, 1, [3]bool{})
+	trees := uniformTrees(conn, 1)
+	vals := []int32{10, 20, 30, 40}
+	var b strings.Builder
+	if err := Write(&b, conn, trees, CellData{Name: "owner", Values: vals}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "SCALARS owner int 1") {
+		t.Fatal("extra array missing")
+	}
+	// Mismatched length errors out.
+	if err := Write(&strings.Builder{}, conn, trees, CellData{Name: "bad", Values: vals[:2]}); err == nil {
+		t.Fatal("mismatched cell data accepted")
+	}
+}
+
+func TestWriteParsesBack(t *testing.T) {
+	// Structural check: every cell references valid point ids.
+	conn := forest.NewBrick(2, 2, 2, 1, [3]bool{})
+	trees := uniformTrees(conn, 2)
+	var b strings.Builder
+	if err := Write(&b, conn, trees); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	var npoints, ncells int
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "POINTS") {
+			fmt.Sscanf(line, "POINTS %d float", &npoints)
+		}
+		if strings.HasPrefix(line, "CELLS ") {
+			fmt.Sscanf(line, "CELLS %d", &ncells)
+			for i := 0; i < ncells && sc.Scan(); i++ {
+				var n, a, b2, c, d int
+				if _, err := fmt.Sscanf(sc.Text(), "%d %d %d %d %d", &n, &a, &b2, &c, &d); err != nil {
+					t.Fatalf("bad cell line %q: %v", sc.Text(), err)
+				}
+				for _, id := range []int{a, b2, c, d} {
+					if id < 0 || id >= npoints {
+						t.Fatalf("point id %d out of range %d", id, npoints)
+					}
+				}
+			}
+		}
+	}
+	if npoints == 0 || ncells != 4*16 {
+		t.Fatalf("parse check failed: %d points, %d cells", npoints, ncells)
+	}
+}
+
+// head returns the first n lines of s for error messages.
+func head(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,139 @@
+// Package workload provides the mesh generators used by the paper's
+// evaluation (Section VI): the fractal refinement of the weak-scaling study
+// (Figure 15) and a synthetic ice-sheet mesh with grounding-line refinement
+// standing in for the simulation-driven Antarctica mesh of the strong
+// scaling study (Figures 16 and 17).  See DESIGN.md for the substitution
+// rationale.
+package workload
+
+import (
+	"math"
+
+	"repro/internal/forest"
+	"repro/internal/octant"
+)
+
+// Fractal returns the refinement rule of the Figure 15 caption: octants
+// with child identifiers 0, 3, 5 and 6 are split recursively while not
+// exceeding maxLevel.  Starting from a uniform level maxLevel-4 this
+// produces the paper's fractal mesh with four levels of size difference.
+func Fractal(maxLevel int) func(tree int32, o octant.Octant) bool {
+	return func(tree int32, o octant.Octant) bool {
+		if int(o.Level) >= maxLevel {
+			return false
+		}
+		switch o.ChildID() {
+		case 0, 3, 5, 6:
+			return true
+		}
+		return false
+	}
+}
+
+// FractalForest is the weak-scaling configuration: a six-tree brick (3×2 in
+// 2D, 3×2×1 in 3D) as in Figure 14.
+func FractalForest(dim int) *forest.Connectivity {
+	if dim == 2 {
+		return forest.NewBrick(2, 3, 2, 1, [3]bool{})
+	}
+	return forest.NewBrick(3, 3, 2, 1, [3]bool{})
+}
+
+// IceSheet describes a synthetic ice-sheet domain: a cap-shaped masked
+// brick of trees with a wandering grounding line along which the mesh is
+// refined to a threshold size, reproducing the strongly graded character of
+// the Antarctica mesh in Figure 16.
+type IceSheet struct {
+	Conn *forest.Connectivity
+
+	dim      int
+	gridN    int
+	maxLevel int
+}
+
+// NewIceSheet builds the domain: a gridN × gridN (× 1 in 3D as a thin
+// sheet) brick masked to a wobbly disc.  Refinement reaches maxLevel along
+// the grounding line.
+func NewIceSheet(dim, gridN, maxLevel int) *IceSheet {
+	is := &IceSheet{dim: dim, gridN: gridN, maxLevel: maxLevel}
+	keep := func(x, y, z int) bool {
+		// Keep cells whose center lies inside the outline.
+		cx := float64(x) + 0.5
+		cy := float64(y) + 0.5
+		return is.insideSheet(cx, cy)
+	}
+	nz := 1
+	is.Conn = forest.NewMaskedBrick(dim, gridN, gridN, nz, [3]bool{}, keep)
+	return is
+}
+
+// center and radii of the synthetic sheet, in grid units.
+func (is *IceSheet) geometry() (cx, cy, outer float64) {
+	n := float64(is.gridN)
+	return n / 2, n / 2, 0.48 * n
+}
+
+// insideSheet reports whether the grid-unit point (x, y) is inside the ice
+// sheet outline (a wobbly disc, like the Antarctic coastline).
+func (is *IceSheet) insideSheet(x, y float64) bool {
+	cx, cy, outer := is.geometry()
+	dx, dy := x-cx, y-cy
+	r := math.Hypot(dx, dy)
+	theta := math.Atan2(dy, dx)
+	wobble := 1 + 0.12*math.Sin(3*theta) + 0.06*math.Cos(7*theta)
+	return r <= outer*wobble
+}
+
+// groundingDistance returns the distance (in grid units) from the point to
+// the grounding line: a closed curve between the sheet center and its
+// margin, wandering like the boundary between grounded and floating ice.
+func (is *IceSheet) groundingDistance(x, y float64) float64 {
+	cx, cy, outer := is.geometry()
+	dx, dy := x-cx, y-cy
+	r := math.Hypot(dx, dy)
+	theta := math.Atan2(dy, dx)
+	ground := outer * (0.55 + 0.14*math.Sin(5*theta) + 0.08*math.Sin(2*theta+1.1) + 0.05*math.Cos(11*theta))
+	return math.Abs(r - ground)
+}
+
+// Refine is the refinement callback: an octant splits while it is coarser
+// than maxLevel and its cell intersects a band around the grounding line
+// whose width tracks the octant size, so resolution increases toward the
+// line exactly as in the paper's "refine until all octants touching the
+// boundary are smaller than a threshold".
+func (is *IceSheet) Refine(tree int32, o octant.Octant) bool {
+	if int(o.Level) >= is.maxLevel {
+		return false
+	}
+	tx, ty, _ := is.Conn.TreeCell(tree)
+	h := float64(o.Len()) / float64(octant.RootLen)
+	x := float64(tx) + float64(o.X)/float64(octant.RootLen)
+	y := float64(ty) + float64(o.Y)/float64(octant.RootLen)
+	// Distance from the octant center; the half-diagonal bounds how far
+	// the cell extends, so compare against it (plus a snap band).
+	cxo := x + h/2
+	cyo := y + h/2
+	d := is.groundingDistance(cxo, cyo)
+	return d <= h*0.75
+}
+
+// MaxLevel returns the refinement threshold level.
+func (is *IceSheet) MaxLevel() int { return is.maxLevel }
+
+// Random returns a deterministic pseudo-random pocket refinement rule:
+// roughly prob percent of octants split at every level until maxLevel.
+// It is position-hashed, so the rule is identical no matter how the forest
+// is partitioned.
+func Random(seed int64, probPercent, maxLevel int) func(tree int32, o octant.Octant) bool {
+	return func(tree int32, o octant.Octant) bool {
+		if int(o.Level) >= maxLevel {
+			return false
+		}
+		h := uint64(tree+1)*1000003 ^ uint64(uint32(o.X))*2654435761 ^
+			uint64(uint32(o.Y))*40503 ^ uint64(uint32(o.Z))*9176 ^ uint64(seed)
+		h ^= h >> 13
+		h *= 0x9e3779b97f4a7c15
+		h ^= h >> 29
+		return h%100 < uint64(probPercent)
+	}
+}

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/forest"
+	"repro/internal/octant"
+)
+
+func TestFractalRule(t *testing.T) {
+	rule := Fractal(4)
+	root := octant.Root(3)
+	// Child ids 0, 3, 5, 6 split; others do not.
+	for id := 0; id < 8; id++ {
+		c := root.Child(id)
+		want := id == 0 || id == 3 || id == 5 || id == 6
+		if got := rule(0, c); got != want {
+			t.Errorf("child %d: split = %v, want %v", id, got, want)
+		}
+	}
+	// Level cap respected.
+	deep := root.FirstDescendant(4)
+	if rule(0, deep) {
+		t.Error("rule split an octant at the level cap")
+	}
+}
+
+func TestFractalForestShape(t *testing.T) {
+	if c := FractalForest(2); c.Dim() != 2 || c.NumTrees() != 6 {
+		t.Errorf("2D fractal forest: %v", c)
+	}
+	if c := FractalForest(3); c.Dim() != 3 || c.NumTrees() != 6 {
+		t.Errorf("3D fractal forest: %v", c)
+	}
+}
+
+func TestFractalLevelSpread(t *testing.T) {
+	// Figure 15 caption: at most four levels of size difference.
+	conn := FractalForest(2)
+	w := comm.NewWorld(1)
+	var minL, maxL int8 = 127, 0
+	w.Run(func(c *comm.Comm) {
+		f := forest.NewUniform(conn, c, 2)
+		f.Refine(c, 6, Fractal(6))
+		for _, tc := range f.Local {
+			for _, o := range tc.Leaves {
+				if o.Level < minL {
+					minL = o.Level
+				}
+				if o.Level > maxL {
+					maxL = o.Level
+				}
+			}
+		}
+	})
+	if maxL-minL > 4 {
+		t.Fatalf("level spread %d exceeds 4", maxL-minL)
+	}
+	if maxL-minL < 3 {
+		t.Fatalf("level spread %d suspiciously small for a fractal mesh", maxL-minL)
+	}
+}
+
+func TestIceSheetMaskIsCapShaped(t *testing.T) {
+	is := NewIceSheet(2, 12, 6)
+	total := int32(12 * 12)
+	n := is.Conn.NumTrees()
+	if n == 0 || n == total {
+		t.Fatalf("mask kept %d of %d trees", n, total)
+	}
+	// Center tree must be inside, far corner outside.
+	insideCenter := false
+	for tr := int32(0); tr < n; tr++ {
+		if x, y, _ := is.Conn.TreeCell(tr); x == 6 && y == 6 {
+			insideCenter = true
+		}
+		if x, y, _ := is.Conn.TreeCell(tr); x == 0 && y == 0 {
+			t.Error("corner cell (0,0) should be outside the sheet")
+		}
+	}
+	if !insideCenter {
+		t.Error("center cell missing from the sheet")
+	}
+}
+
+func TestIceSheetRefinementIsGraded(t *testing.T) {
+	is := NewIceSheet(2, 6, 7)
+	w := comm.NewWorld(1)
+	hist := map[int8]int{}
+	w.Run(func(c *comm.Comm) {
+		f := forest.NewUniform(is.Conn, c, 1)
+		f.Refine(c, 7, is.Refine)
+		for _, tc := range f.Local {
+			for _, o := range tc.Leaves {
+				hist[o.Level]++
+			}
+		}
+	})
+	if hist[7] == 0 {
+		t.Fatal("no octants reached the grounding line threshold level")
+	}
+	if hist[1] == 0 {
+		t.Fatal("no coarse octants remain away from the grounding line")
+	}
+	// Graded: intermediate levels exist.
+	mid := 0
+	for l := int8(2); l < 7; l++ {
+		mid += hist[l]
+	}
+	if mid == 0 {
+		t.Fatal("refinement jumps directly from coarse to fine")
+	}
+}
+
+func TestRandomRuleIsPartitionIndependent(t *testing.T) {
+	rule := Random(5, 30, 5)
+	// The rule must be a pure function of (tree, octant).
+	o := octant.Root(2).Child(1).Child(2)
+	a := rule(3, o)
+	for i := 0; i < 10; i++ {
+		if rule(3, o) != a {
+			t.Fatal("random rule is not deterministic")
+		}
+	}
+	// And produce a mixed decision over many octants.
+	yes := 0
+	cur := octant.Root(2).FirstDescendant(4)
+	for i := 0; i < 200; i++ {
+		if rule(0, cur) {
+			yes++
+		}
+		cur = cur.Successor()
+	}
+	if yes == 0 || yes == 200 {
+		t.Fatalf("rule not mixed: %d/200 splits", yes)
+	}
+}
+
+func TestIceSheet3DThinSheet(t *testing.T) {
+	// The ice sheet generalizes to 3D as a thin sheet (one tree layer in
+	// z, as the paper's Antarctica mesh): refinement columns follow the
+	// grounding line through the thickness.
+	is := NewIceSheet(3, 6, 4)
+	if is.Conn.Dim() != 3 {
+		t.Fatal("not a 3D connectivity")
+	}
+	w := comm.NewWorld(2)
+	w.Run(func(c *comm.Comm) {
+		f := forest.NewUniform(is.Conn, c, 1)
+		f.Refine(c, 4, is.Refine)
+		f.Partition(c, nil)
+		f.Balance(c, 3, forest.BalanceOptions{})
+		if err := f.Validate(); err != nil {
+			t.Error(err)
+		}
+		if c.Rank() == 0 && f.NumGlobal <= int64(is.Conn.NumTrees())*8 {
+			t.Errorf("3D grounding line refinement did not trigger (%d octants)", f.NumGlobal)
+		}
+	})
+}

@@ -1,0 +1,223 @@
+package octbalance
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartAPI(t *testing.T) {
+	// The smallest end-to-end use of the public API.
+	conn := NewBrick(2, 1, 1, 1, [3]bool{})
+	trees := GatherGlobal(conn, 2, 0, func(c *Comm, f *Forest) {
+		f.Refine(c, 5, func(tree int32, o Octant) bool {
+			return o.X == 0 && o.Y == 0
+		})
+		f.Partition(c, nil)
+		f.Balance(c, 2, BalanceOptions{})
+	})
+	if err := CheckForest(conn, trees, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(trees[0]) < 10 {
+		t.Fatalf("suspiciously small balanced forest: %d leaves", len(trees[0]))
+	}
+}
+
+func TestExperimentRunAgreement(t *testing.T) {
+	// Experiment.Run with old and new algorithms must agree on octant
+	// counts for every workload the harness ships.
+	type cfg struct {
+		name string
+		e    Experiment
+	}
+	is := NewIceSheet(2, 5, 6)
+	cfgs := []cfg{
+		{"fractal2d", Experiment{Conn: FractalForest(2), Ranks: 4, BaseLevel: 2, MaxLevel: 5, Refine: FractalRefine(5)}},
+		{"fractal3d", Experiment{Conn: FractalForest(3), Ranks: 3, BaseLevel: 1, MaxLevel: 4, Refine: FractalRefine(4)}},
+		{"icesheet", Experiment{Conn: is.Conn, Ranks: 5, BaseLevel: 1, MaxLevel: is.MaxLevel(), Refine: is.Refine}},
+		{"random", Experiment{Conn: FractalForest(2), Ranks: 4, BaseLevel: 1, MaxLevel: 5, Refine: RandomRefine(9, 25, 5)}},
+	}
+	for _, c := range cfgs {
+		eOld, eNew := c.e, c.e
+		eOld.Options = BalanceOptions{Algo: AlgoOld}
+		eNew.Options = BalanceOptions{Algo: AlgoNew}
+		ro, rn := eOld.Run(), eNew.Run()
+		if ro.OctantsBefore != rn.OctantsBefore {
+			t.Fatalf("%s: different pre-balance meshes (%d vs %d)", c.name, ro.OctantsBefore, rn.OctantsBefore)
+		}
+		if ro.OctantsAfter != rn.OctantsAfter {
+			t.Fatalf("%s: algorithms disagree (%d vs %d octants)", c.name, ro.OctantsAfter, rn.OctantsAfter)
+		}
+		if ro.OctantsAfter < ro.OctantsBefore {
+			t.Fatalf("%s: balance coarsened the mesh", c.name)
+		}
+		if s := ro.String(); !strings.Contains(s, "octants") {
+			t.Errorf("%s: Result.String malformed: %q", c.name, s)
+		}
+	}
+}
+
+func TestExperimentCommStats(t *testing.T) {
+	e := Experiment{
+		Conn: FractalForest(2), Ranks: 6, BaseLevel: 2, MaxLevel: 5,
+		Refine: FractalRefine(5),
+	}
+	res := e.Run()
+	if len(res.Comm) == 0 {
+		t.Fatal("no communication statistics recorded")
+	}
+	qr := res.Comm["query-response"]
+	if qr.Messages == 0 || qr.Bytes == 0 {
+		t.Fatalf("query-response phase shows no traffic: %+v", qr)
+	}
+}
+
+func TestExperimentNotifySchemes(t *testing.T) {
+	for _, scheme := range []NotifyScheme{SchemeNaive, SchemeRanges, SchemeNotify} {
+		res := Experiment{
+			Conn: FractalForest(2), Ranks: 5, BaseLevel: 2, MaxLevel: 5,
+			Refine:  FractalRefine(5),
+			Options: BalanceOptions{Notify: scheme, MaxRanges: 2},
+		}.Run()
+		if res.OctantsAfter <= res.OctantsBefore {
+			t.Fatalf("scheme %v: no balance growth (%d -> %d)", scheme, res.OctantsBefore, res.OctantsAfter)
+		}
+	}
+}
+
+func TestSerialAPIRoundTrip(t *testing.T) {
+	// The serial facade functions compose: sort -> reduce -> complete and
+	// subtree balance on the result.
+	root := RootOctant(2)
+	in := []Octant{root.Child(0).Child(1), root.Child(3)}
+	SortOctants(in)
+	completed := Complete(root, in)
+	if got := len(Reduce(completed)); got >= len(completed) {
+		t.Fatalf("Reduce did not compress (%d of %d)", got, len(completed))
+	}
+	balOld := BalanceSubtreeOld(root, completed, 2)
+	balNew := BalanceSubtreeNew(root, completed, 2)
+	if len(balOld) != len(balNew) {
+		t.Fatal("facade balance algorithms disagree")
+	}
+	if err := CheckBalanced(root, balNew, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIceSheetGeometry(t *testing.T) {
+	is := NewIceSheet(2, 8, 6)
+	if is.Conn.NumTrees() == 0 || is.Conn.NumTrees() >= 64 {
+		t.Fatalf("ice sheet mask kept %d of 64 trees", is.Conn.NumTrees())
+	}
+	// The refinement must actually trigger along the grounding line.
+	res := Experiment{
+		Conn: is.Conn, Ranks: 2, BaseLevel: 1, MaxLevel: is.MaxLevel(),
+		Refine: is.Refine,
+	}.Run()
+	uniform := int64(is.Conn.NumTrees()) * 4
+	if res.OctantsBefore <= uniform {
+		t.Fatalf("grounding line refinement did not trigger (%d octants)", res.OctantsBefore)
+	}
+	// Balance growth mirrors the paper's 55M -> 85M (factor ~1.5).
+	growth := float64(res.OctantsAfter) / float64(res.OctantsBefore)
+	if growth < 1.05 || growth > 4 {
+		t.Fatalf("implausible balance growth %.2fx", growth)
+	}
+	t.Logf("ice sheet growth under balance: %.2fx (paper: 1.55x)", growth)
+}
+
+func TestGoldenChecksums(t *testing.T) {
+	// End-to-end determinism guard: the balanced fractal forest must hash
+	// to these exact values regardless of partitioning or scheduling.
+	// If an intentional algorithm change alters the (identical old/new)
+	// balanced forest, regenerate with the snippet in this test.
+	golden := map[int]uint64{
+		2: 0xff6f82b2acd1c611,
+		3: 0x82ca680026a443ee,
+	}
+	for _, dim := range []int{2, 3} {
+		for _, p := range []int{1, 3, 4} {
+			trees := GatherGlobal(FractalForest(dim), p, 1, func(c *Comm, f *Forest) {
+				f.Refine(c, 4, FractalRefine(4))
+				f.Partition(c, nil)
+				f.Balance(c, dim, BalanceOptions{})
+			})
+			if got := ChecksumGlobal(trees); got != golden[dim] {
+				t.Fatalf("dim %d P=%d: checksum %#x, want %#x", dim, p, got, golden[dim])
+			}
+		}
+	}
+}
+
+func TestGoldenChecksumOldAlgorithm(t *testing.T) {
+	// The old algorithm must produce the identical forest.
+	trees := GatherGlobal(FractalForest(2), 3, 1, func(c *Comm, f *Forest) {
+		f.Refine(c, 4, FractalRefine(4))
+		f.Partition(c, nil)
+		f.Balance(c, 2, BalanceOptions{Algo: AlgoOld})
+	})
+	if got := ChecksumGlobal(trees); got != 0xff6f82b2acd1c611 {
+		t.Fatalf("old algorithm checksum %#x diverges from golden", got)
+	}
+}
+
+func TestRandomizedIntegrationSweep(t *testing.T) {
+	// A broad randomized end-to-end sweep over topologies, balance
+	// conditions, rank counts and workloads, each validated against the
+	// serial reference balance.
+	type scenario struct {
+		name string
+		conn *Connectivity
+		dim  int
+	}
+	scenarios := []scenario{
+		{"L-shaped", NewMaskedBrick(2, 2, 2, 1, [3]bool{}, func(x, y, z int) bool { return x == 0 || y == 0 }), 2},
+		{"periodic-strip", NewBrick(2, 5, 1, 1, [3]bool{true, false, false}), 2},
+		{"slab3d", NewBrick(3, 2, 2, 1, [3]bool{}), 3},
+	}
+	seeds := []int64{11, 23}
+	for _, sc := range scenarios {
+		for _, seed := range seeds {
+			for _, p := range []int{2, 6} {
+				k := 1 + int(seed)%sc.dim
+				refine := RandomRefine(seed, 25, 4)
+				got := GatherGlobal(sc.conn, p, 1, func(c *Comm, f *Forest) {
+					f.Refine(c, 4, refine)
+					f.Partition(c, nil)
+					f.Balance(c, k, BalanceOptions{})
+				})
+				before := GatherGlobal(sc.conn, 1, 1, func(c *Comm, f *Forest) {
+					f.Refine(c, 4, refine)
+				})
+				want := RefBalance(sc.conn, before, k)
+				if ChecksumGlobal(got) != ChecksumGlobal(want) {
+					t.Fatalf("%s seed=%d P=%d k=%d: parallel != serial reference", sc.name, seed, p, k)
+				}
+				if err := CheckForest(sc.conn, got, k); err != nil {
+					t.Fatalf("%s: %v", sc.name, err)
+				}
+			}
+		}
+	}
+}
+
+func TestSaveLoadFacade(t *testing.T) {
+	conn := FractalForest(2)
+	trees := GatherGlobal(conn, 2, 1, func(c *Comm, f *Forest) {
+		f.Refine(c, 3, FractalRefine(3))
+		f.Balance(c, 2, BalanceOptions{})
+	})
+	var buf bytes.Buffer
+	if err := SaveForest(&buf, conn, trees); err != nil {
+		t.Fatal(err)
+	}
+	conn2, trees2, err := LoadForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ChecksumGlobal(trees2) != ChecksumGlobal(trees) || conn2.NumTrees() != conn.NumTrees() {
+		t.Fatal("facade save/load round trip failed")
+	}
+}

@@ -1,0 +1,127 @@
+package octbalance
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/forest"
+	"repro/internal/octant"
+)
+
+// RefineFunc decides whether to split a leaf during refinement.
+type RefineFunc = func(tree int32, o Octant) bool
+
+// Experiment configures one end-to-end balance run: build a uniform forest
+// on simulated ranks, refine, partition, and 2:1-balance it.  This is the
+// shared driver behind the cmd/ tools and the benchmarks.
+type Experiment struct {
+	// Conn is the forest connectivity (required).
+	Conn *Connectivity
+	// Ranks is the number of simulated ranks (required).
+	Ranks int
+	// BaseLevel is the uniform refinement level the forest starts from.
+	BaseLevel int
+	// MaxLevel bounds the adaptive refinement depth.
+	MaxLevel int
+	// Refine is the adaptive refinement rule applied after the uniform
+	// start; nil skips adaptive refinement.
+	Refine RefineFunc
+	// K is the balance condition (1..dim); 0 means full corner balance
+	// (k = dim), the condition used throughout the paper's evaluation.
+	K int
+	// Options selects the balance algorithm variants.
+	Options BalanceOptions
+	// SkipPartition leaves the post-refinement load imbalance in place.
+	SkipPartition bool
+}
+
+// Result reports one experiment run.
+type Result struct {
+	Ranks         int
+	K             int
+	Algo          Algo
+	OctantsBefore int64 // global leaves after refinement, before balance
+	OctantsAfter  int64 // global leaves after balance
+	Phases        PhaseTimes
+	MaxPhases     PhaseTimes           // maximum over ranks
+	Comm          map[string]CommStats // per balance phase label
+}
+
+// String formats the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("P=%d k=%d algo=%v: %d -> %d octants, total %.4gs (balance %.4gs, notify %.4gs, query/response %.4gs, rebalance %.4gs)",
+		r.Ranks, r.K, r.Algo, r.OctantsBefore, r.OctantsAfter, r.MaxPhases.Total().Seconds(),
+		r.MaxPhases.LocalBalance.Seconds(), r.MaxPhases.Notify.Seconds(),
+		r.MaxPhases.QueryResponse.Seconds(), r.MaxPhases.Rebalance.Seconds())
+}
+
+// Run executes the experiment and returns the aggregated result.
+func (e Experiment) Run() Result {
+	if e.Conn == nil || e.Ranks < 1 {
+		panic("octbalance: Experiment requires Conn and Ranks")
+	}
+	k := e.K
+	if k == 0 {
+		k = e.Conn.Dim()
+	}
+	w := comm.NewWorld(e.Ranks)
+	var (
+		mu     sync.Mutex
+		res    Result
+		phases []PhaseTimes
+	)
+	res.Ranks = e.Ranks
+	res.K = k
+	res.Algo = e.Options.Algo
+	phases = make([]PhaseTimes, e.Ranks)
+
+	w.Run(func(c *comm.Comm) {
+		f := forest.NewUniform(e.Conn, c, e.BaseLevel)
+		if e.Refine != nil {
+			f.Refine(c, e.MaxLevel, e.Refine)
+		}
+		if !e.SkipPartition {
+			f.Partition(c, nil)
+		}
+		before := f.NumGlobal
+		pt := f.Balance(c, k, e.Options)
+		phases[c.Rank()] = pt
+		if c.Rank() == 0 {
+			mu.Lock()
+			res.OctantsBefore = before
+			res.OctantsAfter = f.NumGlobal
+			mu.Unlock()
+		}
+	})
+
+	for _, pt := range phases {
+		res.MaxPhases = res.MaxPhases.Max(pt)
+	}
+	res.Phases = phases[0]
+	res.Comm = make(map[string]CommStats)
+	for _, phase := range w.Phases() {
+		res.Comm[phase] = w.PhaseStats(phase)
+	}
+	return res
+}
+
+// GatherGlobal builds a uniform forest at baseLevel on every rank of a
+// fresh world, runs fn, and returns the forest leaves gathered per tree — a
+// convenience for tests, examples and validation against RefBalance.
+func GatherGlobal(conn *Connectivity, ranks, baseLevel int, fn func(c *Comm, f *Forest)) [][]Octant {
+	w := comm.NewWorld(ranks)
+	forests := make([]*Forest, ranks)
+	w.Run(func(c *comm.Comm) {
+		f := forest.NewUniform(conn, c, baseLevel)
+		fn(c, f)
+		forests[c.Rank()] = f
+	})
+	trees := make([][]octant.Octant, conn.NumTrees())
+	for _, f := range forests {
+		for _, tc := range f.Local {
+			trees[tc.Tree] = append(trees[tc.Tree], tc.Leaves...)
+		}
+	}
+	return trees
+}
