@@ -1,0 +1,124 @@
+// Command stress drives the differential-testing harness: it draws random
+// scenarios from the full configuration lattice (dimension, balance
+// condition, brick shape, periodicity, masks, rank count, partition skew,
+// refinement pattern), runs the parallel one-pass balance under the
+// simulated communicator, audits every distributed invariant, and diffs the
+// result octant-for-octant against the serial RefBalance oracle.
+//
+// On a failure it shrinks the scenario to a smaller one that still fails
+// and prints both the replay command and a ready-to-paste Go test skeleton.
+//
+// Examples:
+//
+//	stress -seconds 30            # time-boxed sweep (CI default)
+//	stress -scenarios 500         # fixed number of scenarios
+//	stress -seed 7 -scenarios 100 # deterministic band of seeds
+//	stress -replay 123456         # re-run one failing seed verbatim
+//	stress -fault 1 -seconds 5    # widen the preclusion test; must fail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/forest"
+	"repro/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("stress: ")
+	var (
+		seconds   = flag.Int("seconds", 30, "time budget in seconds (0 = use -scenarios only)")
+		scenarios = flag.Int("scenarios", 0, "stop after this many scenarios (0 = time budget only)")
+		seed      = flag.Int64("seed", 1, "first scenario seed; scenario i uses seed+i")
+		replay    = flag.Int64("replay", 0, "replay exactly one scenario with this seed, then exit")
+		fault     = flag.Int("fault", 0, "inject a balance bug: widen the preclusion test by this many levels")
+		shrinkBud = flag.Int("shrink", 80, "run budget for shrinking a failing scenario")
+		verbose   = flag.Bool("v", false, "print every scenario as it runs")
+	)
+	flag.Parse()
+
+	forest.PreclusionFaultLevels = *fault
+	if *fault != 0 {
+		log.Printf("fault injection: preclusion widened by %d level(s); expecting failures", *fault)
+	}
+
+	if *replay != 0 {
+		sc := harness.FromSeed(*replay)
+		log.Printf("replaying %v", sc)
+		res := harness.Run(sc)
+		if res.Err != nil {
+			log.Printf("FAIL: %v", res.Err)
+			os.Exit(1)
+		}
+		log.Printf("ok: %d trees, %d -> %d leaves", res.Trees, res.LeavesBefore, res.LeavesAfter)
+		return
+	}
+
+	if *seconds <= 0 && *scenarios <= 0 {
+		log.Fatal("nothing to do: set -seconds and/or -scenarios")
+	}
+	deadline := time.Time{}
+	if *seconds > 0 {
+		deadline = time.Now().Add(time.Duration(*seconds) * time.Second)
+	}
+
+	var (
+		ran, failed int
+		leaves      int64
+		maxRanks    int
+		start       = time.Now()
+	)
+	for s := *seed; ; s++ {
+		if *scenarios > 0 && ran >= *scenarios {
+			break
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		sc := harness.FromSeed(s)
+		if *verbose {
+			log.Printf("seed %d: %v", s, sc)
+		}
+		res := harness.Run(sc)
+		ran++
+		leaves += res.LeavesAfter
+		if sc.Ranks > maxRanks {
+			maxRanks = sc.Ranks
+		}
+		if res.Err == nil {
+			continue
+		}
+		failed++
+		log.Printf("FAIL seed %d: %v", s, res.Err)
+		small, smallRes, attempts := harness.Shrink(sc, *shrinkBud)
+		log.Printf("shrunk after %d runs to: %v", attempts, small)
+		log.Printf("still failing with: %v", smallRes.Err)
+		log.Printf("replay with: go run ./cmd/stress -replay %d", small.Seed)
+		fmt.Fprintf(os.Stderr, "\n%s\n", harness.ReproSource(small, smallRes.Err))
+		if *fault != 0 {
+			break // fault mode only needs to prove the bug is catchable
+		}
+	}
+
+	elapsed := time.Since(start).Round(time.Millisecond)
+	log.Printf("%d scenarios in %v (%.1f/s), %d balanced leaves, up to %d ranks, %d failure(s)",
+		ran, elapsed, float64(ran)/elapsed.Seconds(), leaves, maxRanks, failed)
+	if *fault != 0 {
+		// Under fault injection the exit status is inverted: the run
+		// succeeds only if the harness caught the planted bug.
+		if failed == 0 {
+			log.Printf("injected fault was NOT caught — the harness has lost its teeth")
+			os.Exit(2)
+		}
+		log.Printf("injected fault caught, as it should be")
+		return
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -366,3 +366,176 @@ func TestSeedsAdjacentPairs(t *testing.T) {
 		}
 	}
 }
+
+// TestCarry3Identities pins the algebraic identities of equation (1) that
+// the Table II rows rely on: dropping one operand degenerates Carry3 to
+// max (a+b-(a|b) = a&b <= max), a lone operand passes through, and equal
+// powers of two carry to the next bit.
+func TestCarry3Identities(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		a, b := rng.Int63n(1<<40), rng.Int63n(1<<40)
+		if got := Carry3(a, b, 0); got != max2(a, b) {
+			t.Fatalf("Carry3(%d,%d,0) = %d, want max = %d", a, b, got, max2(a, b))
+		}
+		if got := Carry3(a, 0, 0); got != a {
+			t.Fatalf("Carry3(%d,0,0) = %d", a, got)
+		}
+	}
+	for n := uint(0); n < 62; n++ {
+		p := int64(1) << n
+		if got := Carry3(p, p, p); got != 2*p {
+			t.Fatalf("Carry3(2^%d x3) = %d, want %d", n, got, 2*p)
+		}
+	}
+	// The raw max-form value is NOT monotone in its arguments (only its
+	// most significant bit is meaningful); what must be monotone is the
+	// extracted size ⌊log2⌋.
+	log2 := func(v int64) int {
+		n := -1
+		for v > 0 {
+			v >>= 1
+			n++
+		}
+		return n
+	}
+	for i := 0; i < 2000; i++ {
+		a, b, c := 1+rng.Int63n(1<<30), rng.Int63n(1<<30), rng.Int63n(1<<30)
+		if log2(Carry3(a+1, b, c)) < log2(Carry3(a, b, c)) {
+			t.Fatalf("Carry3 size not monotone at (%d,%d,%d)", a, b, c)
+		}
+	}
+}
+
+// TestLambdaTableII spells out Table II row by row with concrete δ̄
+// vectors, one block per boundary-object codimension of the contact
+// between o's region and r: face (one nonzero component), edge (two),
+// corner (three).  h is a stand-in parent-grid spacing.
+func TestLambdaTableII(t *testing.T) {
+	const h = 1 << 10
+	cases := []struct {
+		name      string
+		dim, k    int
+		dbar      [3]int64
+		want      int64
+	}{
+		// δ̄ = 0: o and r in contact through their parents; λ = 0 means a
+		// keeps o's own size regardless of dim and k.
+		{"touch-1d", 1, 1, [3]int64{0, 0, 0}, 0},
+		{"touch-2d-corner", 2, 1, [3]int64{0, 0, 0}, 0},
+		{"touch-3d-face", 3, 3, [3]int64{0, 0, 0}, 0},
+
+		// Codimension 1 (face / 1D distance): every formula degenerates to
+		// the single component.
+		{"face-1d", 1, 1, [3]int64{5 * h, 0, 0}, 5 * h},
+		{"face-2d-k1", 2, 1, [3]int64{5 * h, 0, 0}, 5 * h},
+		{"face-2d-k2", 2, 2, [3]int64{5 * h, 0, 0}, 5 * h},
+		{"face-3d-k1", 3, 1, [3]int64{5 * h, 0, 0}, 5 * h}, // Carry3(0, 5h, 5h) = 5h
+		{"face-3d-k2", 3, 2, [3]int64{5 * h, 0, 0}, 5 * h},
+		{"face-3d-k3", 3, 3, [3]int64{5 * h, 0, 0}, 5 * h},
+
+		// Codimension 2 (edge): corner balance takes the max, edge/corner
+		// conditions add or carry.
+		{"edge-2d-k1", 2, 1, [3]int64{3 * h, 4 * h, 0}, 7 * h},
+		{"edge-2d-k2", 2, 2, [3]int64{3 * h, 4 * h, 0}, 4 * h},
+		{"edge-3d-k1", 3, 1, [3]int64{3 * h, 4 * h, 0}, 7 * h},     // cross-section = 2D k=1
+		{"edge-3d-k2", 3, 2, [3]int64{3 * h, 4 * h, 0}, 4 * h},     // Carry3(3h,4h,0) = max
+		{"edge-3d-k3", 3, 3, [3]int64{3 * h, 4 * h, 0}, 4 * h},
+
+		// Codimension 3 (corner, 3D only).
+		{"corner-3d-k1", 3, 1, [3]int64{h, h, h}, 4 * h},           // Carry3(2h,2h,2h) = 4h
+		{"corner-3d-k2", 3, 2, [3]int64{h, h, h}, 2 * h},           // Carry3(h,h,h) = 2h
+		{"corner-3d-k3", 3, 3, [3]int64{h, h, h}, h},
+		{"corner-3d-k1-mixed", 3, 1, [3]int64{h, 2 * h, 4 * h}, 7 * h}, // Carry3(6h,5h,3h): sum-term 14h-7h wins
+		{"corner-3d-k2-mixed", 3, 2, [3]int64{h, 2 * h, 4 * h}, 4 * h}, // disjoint bits: max
+		{"corner-3d-k3-mixed", 3, 3, [3]int64{h, 2 * h, 4 * h}, 4 * h},
+	}
+	for _, c := range cases {
+		if got := Lambda(c.dim, c.k, c.dbar); got != c.want {
+			t.Errorf("%s: λ_%d^%d(%v) = %d, want %d", c.name, c.dim, c.k, c.dbar, got, c.want)
+		}
+	}
+}
+
+// TestLambdaNoOverflow feeds the deepest parent-grid distances the integer
+// lattice admits (δ̄ components up to 2^31) through every formula; the
+// int64 arithmetic must stay exact.
+func TestLambdaNoOverflow(t *testing.T) {
+	big := int64(1) << 31
+	if got := Lambda(3, 1, [3]int64{big, big, big}); got != 1<<33 {
+		t.Errorf("λ_3^1(2^31 x3) = %d, want 2^33", got)
+	}
+	if got := Lambda(3, 2, [3]int64{big, big, big}); got != 1<<32 {
+		t.Errorf("λ_3^2(2^31 x3) = %d, want 2^32", got)
+	}
+	if got := Lambda(3, 3, [3]int64{big, big, big}); got != big {
+		t.Errorf("λ_3^3(2^31 x3) = %d, want 2^31", got)
+	}
+	if got := Lambda(2, 1, [3]int64{big, big, 0}); got != 1<<32 {
+		t.Errorf("λ_2^1(2^31 x2) = %d, want 2^32", got)
+	}
+}
+
+// TestSizeOfAEdges checks the ⌊log2 λ⌋ extraction at its boundary values,
+// for both the deepest (size 0) and the coarsest (size MaxLevel) source
+// octant.
+func TestSizeOfAEdges(t *testing.T) {
+	deep := octant.Root(2).FirstDescendant(octant.MaxLevel) // size 0
+	coarse := octant.Root(3)                                // size MaxLevel
+	cases := []struct {
+		o      octant.Octant
+		lambda int64
+		want   int
+	}{
+		{deep, 0, 0},                 // λ = 0 keeps o's size
+		{coarse, 0, octant.MaxLevel}, // ... whatever it is
+		{deep, 1, 0},
+		{deep, 2, 1},
+		{deep, 3, 1},
+		{deep, 4, 2},
+		{deep, 1 << 33, 33},
+		{deep, 1<<33 + 1<<10, 33},
+	}
+	for _, c := range cases {
+		if got := SizeOfA(c.o, c.lambda); got != c.want {
+			t.Errorf("SizeOfA(size %d, λ=%d) = %d, want %d", c.o.Size(), c.lambda, got, c.want)
+		}
+	}
+}
+
+// TestTableIIMaxLevelEdges runs the oracle comparison with o at the very
+// bottom of the refinement range (level MaxLevel), where δ̄ granularity is
+// the finest possible, and with o just one level below r, where Tk(o) is
+// shallowest.
+func TestTableIIMaxLevelEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, dim := range []int{2, 3} {
+		root := octant.Root(dim)
+		for _, k := range kRange(dim) {
+			// o at MaxLevel, r coarse.
+			for trial := 0; trial < 4; trial++ {
+				o := otest.RandomOctant(rng, dim, octant.MaxLevel, octant.MaxLevel)
+				tk := Tk(root, o, k)
+				for i := 0; i < 10; i++ {
+					r := otest.RandomOctant(rng, dim, 1, 4)
+					if r.Overlaps(o) {
+						continue
+					}
+					checkTableII(t, root, o, r, k, tk)
+					checkSeeds(t, o, r, k, tk)
+				}
+			}
+			// o exactly one level finer than r: a must come out as r itself
+			// or one of its children; the formula's clamp path.
+			for trial := 0; trial < 40; trial++ {
+				r := otest.RandomOctant(rng, dim, 1, 3)
+				o := otest.RandomOctant(rng, dim, int(r.Level)+1, int(r.Level)+1)
+				if r.Overlaps(o) {
+					continue
+				}
+				tk := Tk(root, o, k)
+				checkTableII(t, root, o, r, k, tk)
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package comm
+
+import (
+	"testing"
+)
+
+// FuzzBytesRoundTrip interleaves the scalar and vector encoders into one
+// buffer and decodes it back, checking values and offsets exactly.
+func FuzzBytesRoundTrip(f *testing.F) {
+	f.Add(int64(0), int32(0), int32(0), uint8(0))
+	f.Add(int64(-1), int32(1<<31-1), int32(-1<<31), uint8(9))
+	f.Add(int64(1)<<62, int32(42), int32(-7), uint8(255))
+	f.Fuzz(func(t *testing.T, a int64, b, c int32, n uint8) {
+		vs := make([]int32, int(n)%13)
+		for i := range vs {
+			vs[i] = b + int32(i)*c
+		}
+		buf := AppendInt64(nil, a)
+		buf = AppendInt32(buf, b)
+		buf = AppendInt32s(buf, vs)
+		buf = AppendInt32(buf, c)
+		buf = AppendInt64(buf, a^int64(b))
+
+		ga, off := Int64At(buf, 0)
+		gb, off := Int32At(buf, off)
+		gvs, off := Int32sAt(buf, off)
+		gc, off := Int32At(buf, off)
+		gx, off := Int64At(buf, off)
+		if off != len(buf) {
+			t.Fatalf("decoded %d of %d bytes", off, len(buf))
+		}
+		if ga != a || gb != b || gc != c || gx != a^int64(b) {
+			t.Fatalf("scalars changed: %d %d %d %d -> %d %d %d %d", a, b, c, a^int64(b), ga, gb, gc, gx)
+		}
+		if len(gvs) != len(vs) {
+			t.Fatalf("vector length %d -> %d", len(vs), len(gvs))
+		}
+		for i := range vs {
+			if gvs[i] != vs[i] {
+				t.Fatalf("vector[%d] %d -> %d", i, vs[i], gvs[i])
+			}
+		}
+	})
+}

@@ -135,6 +135,21 @@ const (
 	tagResponse = 101
 )
 
+// PreclusionFaultLevels deliberately widens the response preclusion test by
+// the given number of levels, making responders silently drop influences
+// that the balance condition requires.  It exists solely so the
+// differential-testing harness (internal/harness, cmd/stress -fault) can
+// prove that it detects a broken balance; it must remain zero otherwise.
+// Set it only while no Balance call is in flight.
+var PreclusionFaultLevels int
+
+// precluded reports whether local leaf o is too coarse to force any split
+// of the query octant r: only octants at least two levels finer than r can
+// split r (Section IV).
+func precluded(o, r octant.Octant) bool {
+	return int(o.Level) < int(r.Level)+2+PreclusionFaultLevels
+}
+
 // query identifies one balance query: a leaf octant r expressed in the
 // responder tree's coordinate frame (r may lie outside that tree's root
 // cube when the interaction crosses a tree boundary).
@@ -427,7 +442,7 @@ func (f *Forest) respondQueries(qs []query, k int, algo Algo) map[query][]octant
 		consider := func(region octant.Octant) {
 			lo, hi := linear.OverlapRange(tc.Leaves, region)
 			for _, o := range tc.Leaves[lo:hi] {
-				if seen[o] || int(o.Level) < int(q.R.Level)+2 {
+				if seen[o] || precluded(o, q.R) {
 					continue
 				}
 				seen[o] = true

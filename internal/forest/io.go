@@ -119,14 +119,36 @@ func LoadGlobal(r io.Reader) (*Connectivity, [][]octant.Octant, error) {
 	for i := 0; i < 3; i++ {
 		periodic[i] = pbits&(1<<uint(i)) != 0
 	}
-	cells := int(n[0] * n[1] * n[2])
-	mask := make([]bool, cells)
+	if pbits&^7 != 0 {
+		return nil, nil, fmt.Errorf("forest: load: invalid periodicity bits %#x", pbits)
+	}
+	// Validate everything NewMaskedBrick would panic on: this is external
+	// input, so corruption must surface as an error, not a crash.
+	if dim == 2 && (n[2] != 1 || periodic[2]) {
+		return nil, nil, fmt.Errorf("forest: load: 2D forest with nz=%d, z-periodic=%v", n[2], periodic[2])
+	}
+	for i := 0; i < 3; i++ {
+		if periodic[i] && n[i] < 3 {
+			return nil, nil, fmt.Errorf("forest: load: periodic axis %d with extent %d < 3", i, n[i])
+		}
+	}
+	cells64 := int64(n[0]) * int64(n[1]) * int64(n[2])
+	const maxCells = 1 << 24
+	if cells64 > maxCells {
+		return nil, nil, fmt.Errorf("forest: load: %d grid cells exceeds limit %d", cells64, maxCells)
+	}
+	mask := make([]bool, cells64)
+	anyActive := false
 	for i := range mask {
 		v, err := get()
 		if err != nil {
 			return nil, nil, err
 		}
 		mask[i] = v != 0
+		anyActive = anyActive || mask[i]
+	}
+	if !anyActive {
+		return nil, nil, fmt.Errorf("forest: load: mask removes all trees")
 	}
 	conn := NewMaskedBrick(dim, int(n[0]), int(n[1]), int(n[2]), periodic, func(x, y, z int) bool {
 		return mask[(z*int(n[1])+y)*int(n[0])+x]
@@ -141,8 +163,10 @@ func LoadGlobal(r io.Reader) (*Connectivity, [][]octant.Octant, error) {
 		if count < 1 || count > 1<<28 {
 			return nil, nil, fmt.Errorf("forest: load: implausible leaf count %d", count)
 		}
-		leaves := make([]octant.Octant, count)
-		for i := range leaves {
+		// Grow incrementally: a corrupt count must not preallocate gigabytes
+		// before the short read is even noticed.
+		leaves := make([]octant.Octant, 0, min64(int64(count), 1<<16))
+		for i := 0; i < int(count); i++ {
 			x, err := get()
 			if err != nil {
 				return nil, nil, err
@@ -166,7 +190,7 @@ func LoadGlobal(r io.Reader) (*Connectivity, [][]octant.Octant, error) {
 			if !o.InsideRoot() {
 				return nil, nil, fmt.Errorf("forest: load: tree %d leaf %d outside root", t, i)
 			}
-			leaves[i] = o
+			leaves = append(leaves, o)
 		}
 		if !linear.IsLinear(leaves) || !linear.IsComplete(root, leaves) {
 			return nil, nil, fmt.Errorf("forest: load: tree %d is not a complete linear octree", t)
@@ -174,4 +198,11 @@ func LoadGlobal(r io.Reader) (*Connectivity, [][]octant.Octant, error) {
 		trees[t] = leaves
 	}
 	return conn, trees, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }

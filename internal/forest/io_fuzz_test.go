@@ -1,0 +1,71 @@
+package forest
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/octant"
+)
+
+// validSave returns the serialized bytes of a small but non-trivial forest
+// (masked periodic 2D brick, one refined corner), used to seed the fuzzer
+// with input that reaches deep into the decoder.
+func validSave(tb testing.TB) []byte {
+	conn := NewMaskedBrick(2, 3, 2, 1, [3]bool{true, false, false}, func(x, y, z int) bool {
+		return !(x == 1 && y == 1)
+	})
+	trees := make([][]octant.Octant, conn.NumTrees())
+	root := octant.Root(2)
+	for t := range trees {
+		trees[t] = []octant.Octant{root}
+	}
+	// Refine tree 0 once and its first child once more.
+	c := root.Child(0).Family()
+	trees[0] = append(c[0].Child(0).Family(), c[1:]...)
+	var buf bytes.Buffer
+	if err := SaveGlobal(&buf, conn, trees); err != nil {
+		tb.Fatalf("save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadGlobal feeds arbitrary bytes to the forest decoder.  LoadGlobal
+// must never panic or over-allocate on corrupt input (it validates
+// everything the brick constructors would otherwise panic on), and any
+// input it accepts must survive a save/load round-trip unchanged.
+func FuzzLoadGlobal(f *testing.F) {
+	f.Add(validSave(f))
+	f.Add([]byte{})
+	f.Add([]byte{0xa0, 0xa1, 0x7b, 0x0c}) // magic only
+	f.Fuzz(func(t *testing.T, data []byte) {
+		conn, trees, err := LoadGlobal(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := SaveGlobal(&buf, conn, trees); err != nil {
+			t.Fatalf("re-save of accepted input failed: %v", err)
+		}
+		conn2, trees2, err := LoadGlobal(&buf)
+		if err != nil {
+			t.Fatalf("re-load of accepted input failed: %v", err)
+		}
+		if conn2.Dim() != conn.Dim() || conn2.NumTrees() != conn.NumTrees() {
+			t.Fatalf("connectivity changed: dim %d->%d trees %d->%d",
+				conn.Dim(), conn2.Dim(), conn.NumTrees(), conn2.NumTrees())
+		}
+		if len(trees2) != len(trees) {
+			t.Fatalf("tree count changed: %d -> %d", len(trees), len(trees2))
+		}
+		for i := range trees {
+			if len(trees[i]) != len(trees2[i]) {
+				t.Fatalf("tree %d leaf count changed: %d -> %d", i, len(trees[i]), len(trees2[i]))
+			}
+			for j := range trees[i] {
+				if trees[i][j] != trees2[i][j] {
+					t.Fatalf("tree %d leaf %d changed: %v -> %v", i, j, trees[i][j], trees2[i][j])
+				}
+			}
+		}
+	})
+}

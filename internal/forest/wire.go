@@ -16,7 +16,9 @@ func appendOctant(b []byte, o octant.Octant) []byte {
 	b = comm.AppendInt32(b, o.X)
 	b = comm.AppendInt32(b, o.Y)
 	b = comm.AppendInt32(b, o.Z)
-	return comm.AppendInt32(b, int32(o.Level)|int32(o.Dim)<<8)
+	// Mask both fields: a negative Level would otherwise sign-extend over
+	// the Dim byte and corrupt it on decode.
+	return comm.AppendInt32(b, int32(o.Level)&0xff|(int32(o.Dim)&0xff)<<8)
 }
 
 func octantAt(b []byte, off int) (octant.Octant, int) {
@@ -24,7 +26,7 @@ func octantAt(b []byte, off int) (octant.Octant, int) {
 	y, off := comm.Int32At(b, off)
 	z, off := comm.Int32At(b, off)
 	ld, off := comm.Int32At(b, off)
-	return octant.Octant{X: x, Y: y, Z: z, Level: int8(ld & 0xff), Dim: int8(ld >> 8)}, off
+	return octant.Octant{X: x, Y: y, Z: z, Level: int8(ld & 0xff), Dim: int8((ld >> 8) & 0xff)}, off
 }
 
 func appendOctants(b []byte, octs []octant.Octant) []byte {

@@ -1,0 +1,68 @@
+package forest
+
+import (
+	"testing"
+
+	"repro/internal/octant"
+)
+
+// FuzzOctantWire checks the octant wire codec is total: any (x, y, z,
+// level, dim) combination — including out-of-root coordinates, negative
+// levels and garbage dims, all of which legitimately appear on the wire or
+// in corrupted traffic — must round-trip exactly.  This caught a
+// sign-extension bug where a negative level bled into the dim byte.
+func FuzzOctantWire(f *testing.F) {
+	f.Add(int32(0), int32(0), int32(0), int8(0), int8(2))
+	f.Add(int32(-1<<30), int32(1<<30), int32(7), int8(octant.MaxLevel), int8(3))
+	f.Add(int32(536870912), int32(-536870912), int32(0), int8(-3), int8(2))
+	f.Fuzz(func(t *testing.T, x, y, z int32, level, dim int8) {
+		o := octant.Octant{X: x, Y: y, Z: z, Level: level, Dim: dim}
+		b := appendOctant([]byte{0xaa, 0xbb}, o) // non-empty prefix
+		if len(b) != 2+octantWireSize {
+			t.Fatalf("encoded size %d != %d", len(b)-2, octantWireSize)
+		}
+		got, off := octantAt(b, 2)
+		if off != len(b) {
+			t.Fatalf("decode consumed %d bytes, want %d", off-2, octantWireSize)
+		}
+		if got != o {
+			t.Fatalf("round-trip %+v -> %+v", o, got)
+		}
+	})
+}
+
+// FuzzOctantsWire round-trips short octant vectors through the
+// length-prefixed vector codec.
+func FuzzOctantsWire(f *testing.F) {
+	f.Add(int32(1), int32(2), int32(3), int8(4), uint8(3))
+	f.Fuzz(func(t *testing.T, x, y, z int32, level int8, n uint8) {
+		octs := make([]octant.Octant, int(n)%8)
+		for i := range octs {
+			octs[i] = octant.Octant{X: x + int32(i), Y: y - int32(i), Z: z, Level: level, Dim: 3}
+		}
+		b := appendOctants(nil, octs)
+		got, off := octantsAt(b, 0)
+		if off != len(b) || len(got) != len(octs) {
+			t.Fatalf("decoded %d octants / %d bytes, want %d / %d", len(got), off, len(octs), len(b))
+		}
+		for i := range octs {
+			if got[i] != octs[i] {
+				t.Fatalf("octant %d: %+v -> %+v", i, octs[i], got[i])
+			}
+		}
+	})
+}
+
+// FuzzPosWire round-trips global positions (tree id + anchor coordinates).
+func FuzzPosWire(f *testing.F) {
+	f.Add(int32(0), int32(0), int32(0), int32(0))
+	f.Add(int32(-1), int32(1<<30), int32(-1<<31), int32(1))
+	f.Fuzz(func(t *testing.T, tree, x, y, z int32) {
+		p := Pos{Tree: tree, X: x, Y: y, Z: z}
+		b := appendPos(nil, p)
+		got, off := posAt(b, 0)
+		if off != len(b) || got != p {
+			t.Fatalf("round-trip %+v -> %+v (off %d/%d)", p, got, off, len(b))
+		}
+	})
+}

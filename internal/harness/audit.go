@@ -1,0 +1,315 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/forest"
+	"repro/internal/linear"
+	"repro/internal/octant"
+	"repro/internal/otest"
+)
+
+// AuditLocal checks every invariant of one rank's forest state that does
+// not require communication: structural validity (sorted, linear, in-root
+// chunks in tree order), global-first-position monotonicity, and agreement
+// between the GFP ownership table and the leaves actually held.
+func AuditLocal(f *forest.Forest) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	dim := f.Conn.Dim()
+	// GFP shape and monotonicity.
+	p := len(f.GFP) - 1
+	if p < 1 {
+		return fmt.Errorf("audit: GFP has %d entries", len(f.GFP))
+	}
+	for r := 0; r < p; r++ {
+		if forest.ComparePos(f.GFP[r], f.GFP[r+1], dim) > 0 {
+			return fmt.Errorf("audit: GFP not monotone at rank %d", r)
+		}
+	}
+	return nil
+}
+
+// auditOwnership checks that this rank's leaves fall inside its own GFP
+// window and that OwnerOf agrees, and that a non-empty rank's first
+// position is exactly its GFP entry.
+func auditOwnership(c *comm.Comm, f *forest.Forest) error {
+	dim := f.Conn.Dim()
+	rank := c.Rank()
+	if pos, ok := f.FirstPos(); ok {
+		if forest.ComparePos(pos, f.GFP[rank], dim) != 0 {
+			return fmt.Errorf("audit: rank %d first position %v != GFP entry %v", rank, pos, f.GFP[rank])
+		}
+	}
+	for _, tc := range f.Local {
+		for _, o := range tc.Leaves {
+			pos := forest.PosOf(tc.Tree, o)
+			if forest.ComparePos(pos, f.GFP[rank], dim) < 0 ||
+				forest.ComparePos(pos, f.GFP[rank+1], dim) >= 0 {
+				return fmt.Errorf("audit: leaf %v of tree %d outside rank %d's GFP window", o, tc.Tree, rank)
+			}
+			if owner := f.OwnerOf(pos); owner != rank {
+				return fmt.Errorf("audit: leaf %v of tree %d held by rank %d but OwnerOf says %d", o, tc.Tree, rank, owner)
+			}
+		}
+	}
+	return nil
+}
+
+// auditGhostWork bounds the O(NumGlobal x NumLocal) brute-force ghost
+// completeness check; beyond it only the (cheap) soundness direction runs.
+const auditGhostWork = 1 << 22
+
+// Audit is the collective invariant checker: it verifies, on every rank,
+//
+//   - local structure and ownership (AuditLocal, GFP agreement),
+//   - global completeness: the union of all ranks' chunks is a complete
+//     linear octree in every tree of the connectivity, and NumGlobal is the
+//     true global leaf count,
+//   - ghost-layer symmetry: BuildGhost returns exactly the remote leaves
+//     adjacent to the local partition, validated against a brute-force
+//     adjacency scan of the gathered forest (the expensive completeness
+//     direction is skipped above auditGhostWork),
+//   - checksum stability under repartition: a repartitioned copy of the
+//     forest has the identical partition-independent checksum.
+//
+// Audit must be called on every rank of c (it performs collective
+// operations in a fixed order); it always completes the full collective
+// schedule even after a local failure, so one rank's violation cannot
+// deadlock the world.  The first violation found is returned.
+func Audit(c *comm.Comm, f *forest.Forest) error {
+	var firstErr error
+	record := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	record(AuditLocal(f))
+	record(auditOwnership(c, f))
+
+	// Gather the global forest (collective).
+	global := gatherGlobal(c, f)
+	record(auditCompleteness(f, global))
+
+	// Ghost symmetry (collective: BuildGhost).
+	ghost := f.BuildGhost(c)
+	record(auditGhost(c, f, ghost, global))
+
+	// Checksum stability under repartition (collective).
+	sum := f.Checksum(c)
+	clone := &forest.Forest{
+		Conn:      f.Conn,
+		Local:     snapshotChunks(f),
+		GFP:       append([]forest.Pos(nil), f.GFP...),
+		NumGlobal: f.NumGlobal,
+	}
+	clone.Partition(c, func(tree int32, o octant.Octant) int64 {
+		return int64(1 + otest.SplitMix64(uint64(uint32(o.X))^uint64(uint32(o.Y))<<16)%7)
+	})
+	record(AuditLocal(clone))
+	if sum2 := clone.Checksum(c); sum2 != sum {
+		record(fmt.Errorf("audit: checksum changed under repartition: %#x -> %#x", sum, sum2))
+	}
+	return firstErr
+}
+
+// gatherGlobal assembles the global per-tree leaf arrays on every rank via
+// an Allgatherv of the encoded local chunks.
+func gatherGlobal(c *comm.Comm, f *forest.Forest) [][]octant.Octant {
+	dim := f.Conn.Dim()
+	var buf []byte
+	for _, tc := range f.Local {
+		buf = comm.AppendInt32(buf, tc.Tree)
+		buf = comm.AppendInt32(buf, int32(len(tc.Leaves)))
+		for _, o := range tc.Leaves {
+			buf = comm.AppendInt32(buf, o.X)
+			buf = comm.AppendInt32(buf, o.Y)
+			buf = comm.AppendInt32(buf, o.Z)
+			buf = comm.AppendInt32(buf, int32(o.Level))
+		}
+	}
+	blocks := c.Allgatherv(buf)
+	trees := make([][]octant.Octant, f.Conn.NumTrees())
+	for _, b := range blocks {
+		for off := 0; off < len(b); {
+			var t, n int32
+			t, off = comm.Int32At(b, off)
+			n, off = comm.Int32At(b, off)
+			for i := int32(0); i < n; i++ {
+				var x, y, z, l int32
+				x, off = comm.Int32At(b, off)
+				y, off = comm.Int32At(b, off)
+				z, off = comm.Int32At(b, off)
+				l, off = comm.Int32At(b, off)
+				trees[t] = append(trees[t], octant.Octant{X: x, Y: y, Z: z, Level: int8(l), Dim: int8(dim)})
+			}
+		}
+	}
+	return trees
+}
+
+// auditCompleteness checks that the gathered forest is a complete linear
+// octree per tree and that the rank-local global count agrees.
+func auditCompleteness(f *forest.Forest, global [][]octant.Octant) error {
+	root := octant.Root(f.Conn.Dim())
+	var total int64
+	for t, leaves := range global {
+		total += int64(len(leaves))
+		if len(leaves) == 0 {
+			return fmt.Errorf("audit: tree %d has no leaves globally", t)
+		}
+		if !linear.IsLinear(leaves) {
+			return fmt.Errorf("audit: tree %d global leaves not linear (duplicate or overlapping ownership)", t)
+		}
+		if !linear.IsComplete(root, leaves) {
+			return fmt.Errorf("audit: tree %d global leaves not complete (hole in the forest)", t)
+		}
+	}
+	if total != f.NumGlobal {
+		return fmt.Errorf("audit: NumGlobal = %d but %d leaves gathered", f.NumGlobal, total)
+	}
+	return nil
+}
+
+// treeAdj answers leaf-adjacency queries across tree boundaries.  The
+// inter-tree shifts are discovered once per ordered tree pair with the
+// Canonicalize primitive — deliberately independent of the owner-search
+// machinery BuildGhost uses — and memoized, since the brute-force ghost
+// audit asks about every (local leaf, candidate) pair.
+type treeAdj struct {
+	conn   *forest.Connectivity
+	shifts map[[2]int32][]forest.Shift
+}
+
+func newTreeAdj(conn *forest.Connectivity) *treeAdj {
+	return &treeAdj{conn: conn, shifts: make(map[[2]int32][]forest.Shift)}
+}
+
+// pairShifts returns every shift expressing tree to's frame relative to
+// tree tl's frame (distinct shifts arise under periodicity).
+func (a *treeAdj) pairShifts(tl, to int32) []forest.Shift {
+	key := [2]int32{tl, to}
+	if s, ok := a.shifts[key]; ok {
+		return s
+	}
+	dim := a.conn.Dim()
+	root := octant.Root(dim)
+	shifts := []forest.Shift{}
+	seen := map[forest.Shift]bool{}
+	for _, d := range octant.Directions(dim, dim) {
+		nt, _, shift, ok := a.conn.Canonicalize(tl, root.Neighbor(d))
+		if ok && nt == to && !seen[shift] {
+			seen[shift] = true
+			shifts = append(shifts, shift)
+		}
+	}
+	a.shifts[key] = shifts
+	return shifts
+}
+
+// adjacent reports whether leaf l of tree tl and leaf o of tree to share a
+// boundary object of codimension >= 1.
+func (a *treeAdj) adjacent(tl int32, l octant.Octant, to int32, o octant.Octant) bool {
+	if tl == to {
+		return octant.Adjacency(l, o) >= 1
+	}
+	for _, shift := range a.pairShifts(tl, to) {
+		// shift maps tl's frame into the neighbor's frame; express o in
+		// tl's frame and test adjacency there.
+		if octant.Adjacency(l, shift.Inverse().Apply(o)) >= 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// auditGhost validates the ghost layer against the gathered forest:
+// soundness (every ghost is a real, remote, adjacent leaf with the correct
+// owner) always; completeness (every adjacent remote leaf is present) via
+// a brute-force scan when the work fits auditGhostWork.
+func auditGhost(c *comm.Comm, f *forest.Forest, ghost *forest.GhostLayer, global [][]octant.Octant) error {
+	rank := c.Rank()
+	var numLocal int64
+	for _, tc := range f.Local {
+		numLocal += int64(len(tc.Leaves))
+	}
+
+	adj := newTreeAdj(f.Conn)
+	checkAdjacency := int64(len(ghost.Octants))*numLocal <= auditGhostWork
+	got := make(map[forest.GhostOctant]bool, len(ghost.Octants))
+	for _, g := range ghost.Octants {
+		if got[g] {
+			return fmt.Errorf("audit: duplicate ghost %v of tree %d", g.Oct, g.Tree)
+		}
+		got[g] = true
+		if g.Tree < 0 || g.Tree >= f.Conn.NumTrees() {
+			return fmt.Errorf("audit: ghost with invalid tree %d", g.Tree)
+		}
+		if !linear.Contains(global[g.Tree], g.Oct) {
+			return fmt.Errorf("audit: ghost %v of tree %d is not a leaf of the forest", g.Oct, g.Tree)
+		}
+		if owner := f.OwnerOf(forest.PosOf(g.Tree, g.Oct)); owner != g.Owner {
+			return fmt.Errorf("audit: ghost %v of tree %d claims owner %d, GFP says %d", g.Oct, g.Tree, g.Owner, owner)
+		}
+		if g.Owner == rank {
+			return fmt.Errorf("audit: ghost %v of tree %d is owned by this rank", g.Oct, g.Tree)
+		}
+		if !checkAdjacency {
+			continue
+		}
+		adjacent := false
+		for _, tc := range f.Local {
+			if tc.Tree != g.Tree && len(adj.pairShifts(tc.Tree, g.Tree)) == 0 {
+				continue
+			}
+			for _, l := range tc.Leaves {
+				if adj.adjacent(tc.Tree, l, g.Tree, g.Oct) {
+					adjacent = true
+					break
+				}
+			}
+			if adjacent {
+				break
+			}
+		}
+		if !adjacent {
+			return fmt.Errorf("audit: ghost %v of tree %d is not adjacent to any local leaf", g.Oct, g.Tree)
+		}
+	}
+
+	// Completeness direction, budget permitting (local decision: no
+	// collectives below this point).
+	if f.NumGlobal*numLocal > auditGhostWork {
+		return nil
+	}
+	for t2 := range global {
+		for _, o := range global[t2] {
+			owner := f.OwnerOf(forest.PosOf(int32(t2), o))
+			if owner == rank {
+				continue
+			}
+			adjacent := false
+			for _, tc := range f.Local {
+				if tc.Tree != int32(t2) && len(adj.pairShifts(tc.Tree, int32(t2))) == 0 {
+					continue
+				}
+				for _, l := range tc.Leaves {
+					if adj.adjacent(tc.Tree, l, int32(t2), o) {
+						adjacent = true
+						break
+					}
+				}
+				if adjacent {
+					break
+				}
+			}
+			if adjacent && !got[forest.GhostOctant{Tree: int32(t2), Oct: o, Owner: owner}] {
+				return fmt.Errorf("audit: remote leaf %v of tree %d (rank %d) is adjacent to the local partition but missing from the ghost layer", o, t2, owner)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/forest"
+)
+
+// TestDifferentialSeeds is the in-tree slice of the stress harness: a fixed
+// band of seeds from the same generator cmd/stress uses, every one of which
+// must match the serial oracle and pass the full audit.
+func TestDifferentialSeeds(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 8
+	}
+	var leaves int64
+	for seed := int64(1); seed <= int64(n); seed++ {
+		sc := FromSeed(seed)
+		res := Run(sc)
+		if res.Err != nil {
+			t.Fatalf("scenario %v failed: %v\n\nrepro skeleton:\n%s", sc, res.Err, ReproSource(sc, res.Err))
+		}
+		if res.LeavesAfter < res.LeavesBefore {
+			t.Fatalf("scenario %v: balance removed leaves (%d -> %d)", sc, res.LeavesBefore, res.LeavesAfter)
+		}
+		leaves += res.LeavesAfter
+	}
+	t.Logf("%d scenarios, %d balanced leaves total", n, leaves)
+}
+
+// TestScenarioGenerationIsDeterministic guards the replay contract: the
+// same seed must always yield the identical scenario value.
+func TestScenarioGenerationIsDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		if FromSeed(seed) != FromSeed(seed) {
+			t.Fatalf("seed %d: FromSeed is not deterministic", seed)
+		}
+	}
+}
+
+// TestScenarioLatticeCoverage checks the generator actually explores the
+// configuration lattice instead of collapsing onto one corner.
+func TestScenarioLatticeCoverage(t *testing.T) {
+	dims := map[int]int{}
+	kinds := map[RefKind]int{}
+	parts := map[PartMode]int{}
+	var masked, periodic, multiRank, manyRank int
+	const n = 400
+	for seed := int64(0); seed < n; seed++ {
+		sc := FromSeed(seed)
+		dims[sc.Dim]++
+		kinds[sc.Refine]++
+		parts[sc.Partition]++
+		if sc.MaskPct > 0 {
+			masked++
+		}
+		if sc.PeriodicX || sc.PeriodicY || sc.PeriodicZ {
+			periodic++
+		}
+		if sc.Ranks > 1 {
+			multiRank++
+		}
+		if sc.Ranks >= 32 {
+			manyRank++
+		}
+	}
+	if dims[2] == 0 || dims[3] == 0 {
+		t.Fatalf("dimension coverage: %v", dims)
+	}
+	for _, k := range []RefKind{RefFractal, RefRandom, RefGraded} {
+		if kinds[k] == 0 {
+			t.Fatalf("refinement kind %v never generated", k)
+		}
+	}
+	for m := PartNone; m <= PartFirstHeavy; m++ {
+		if parts[m] == 0 {
+			t.Fatalf("partition mode %v never generated", m)
+		}
+	}
+	if masked == 0 || periodic == 0 || multiRank == 0 || manyRank == 0 {
+		t.Fatalf("lattice corners missing: masked=%d periodic=%d multiRank=%d manyRank=%d",
+			masked, periodic, multiRank, manyRank)
+	}
+}
+
+// TestFaultInjectionIsCaught proves the harness has teeth: with the
+// preclusion test deliberately widened by one level (responders drop
+// influences that 2:1 balance requires), the differential run must report
+// a failure within a modest seed budget.
+func TestFaultInjectionIsCaught(t *testing.T) {
+	forest.PreclusionFaultLevels = 1
+	defer func() { forest.PreclusionFaultLevels = 0 }()
+	budget := 40
+	for seed := int64(1); seed <= int64(budget); seed++ {
+		res := Run(FromSeed(seed))
+		if res.Err != nil {
+			t.Logf("fault caught at seed %d: %v", seed, res.Err)
+			return
+		}
+	}
+	t.Fatalf("injected preclusion fault survived %d scenarios undetected", budget)
+}
+
+// TestShrinkOnInjectedFault exercises the minimizer end-to-end: find a
+// failing scenario under fault injection, shrink it, and check the result
+// still fails, is no bigger, and renders a usable repro skeleton.
+func TestShrinkOnInjectedFault(t *testing.T) {
+	forest.PreclusionFaultLevels = 1
+	defer func() { forest.PreclusionFaultLevels = 0 }()
+	var failing Scenario
+	var found bool
+	for seed := int64(1); seed <= 40; seed++ {
+		sc := FromSeed(seed)
+		if res := Run(sc); res.Err != nil {
+			failing, found = sc, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no failing scenario to shrink")
+	}
+	small, res, attempts := Shrink(failing, 60)
+	if res.Err == nil {
+		t.Fatal("shrink returned a passing scenario")
+	}
+	if c0, c1 := complexity(failing), complexity(small); c1 > c0 {
+		t.Fatalf("shrink grew the scenario: %d -> %d", c0, c1)
+	}
+	src := ReproSource(small, res.Err)
+	for _, want := range []string{"func TestHarnessRepro_", "harness.Scenario{", "harness.Run(sc)", "cmd/stress -replay"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("repro skeleton missing %q:\n%s", want, src)
+		}
+	}
+	t.Logf("shrunk %v\n  -> %v in %d attempts", failing, small, attempts)
+}
+
+func complexity(sc Scenario) int {
+	c := sc.NX*sc.NY*sc.NZ + sc.Ranks + sc.MaxLevel + sc.BaseLevel
+	if sc.MaskPct > 0 {
+		c++
+	}
+	if sc.PeriodicX || sc.PeriodicY || sc.PeriodicZ {
+		c++
+	}
+	return c
+}
+
+// TestAuditDetectsMissingLeaf corrupts one rank's chunk after balance and
+// checks the collective audit reports the hole (and does not deadlock).
+func TestAuditDetectsMissingLeaf(t *testing.T) {
+	conn := forest.NewBrick(2, 2, 1, 1, [3]bool{})
+	w := comm.NewWorld(3)
+	w.SetTimeout(time.Minute)
+	errs := make([]error, 3)
+	w.Run(func(c *comm.Comm) {
+		f := forest.NewUniform(conn, c, 2)
+		f.Balance(c, 2, forest.BalanceOptions{})
+		if c.Rank() == 0 {
+			tc := &f.Local[0]
+			tc.Leaves = tc.Leaves[:len(tc.Leaves)-1] // tear a hole in the forest
+		}
+		errs[c.Rank()] = Audit(c, f)
+	})
+	any := false
+	for _, err := range errs {
+		if err != nil {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("audit accepted a forest with a missing leaf")
+	}
+}
+
+// TestAuditDetectsUnsortedChunk corrupts leaf order locally; AuditLocal
+// must flag it without any communication.
+func TestAuditDetectsUnsortedChunk(t *testing.T) {
+	conn := forest.NewBrick(2, 1, 1, 1, [3]bool{})
+	w := comm.NewWorld(1)
+	var auditErr error
+	w.Run(func(c *comm.Comm) {
+		f := forest.NewUniform(conn, c, 2)
+		tc := &f.Local[0]
+		tc.Leaves[0], tc.Leaves[1] = tc.Leaves[1], tc.Leaves[0]
+		auditErr = AuditLocal(f)
+	})
+	if auditErr == nil {
+		t.Fatal("AuditLocal accepted an unsorted chunk")
+	}
+}
+
+// TestAuditPassesHealthyPipeline runs the full audit after every stage of a
+// typical AMR pipeline on a masked periodic brick.
+func TestAuditPassesHealthyPipeline(t *testing.T) {
+	sc := Scenario{
+		Dim: 2, K: 2,
+		NX: 3, NY: 3, NZ: 1,
+		PeriodicX: true,
+		MaskPct:   20, MaskSeed: 7,
+		Ranks: 4, BaseLevel: 1, MaxLevel: 4,
+		Refine: RefRandom, RefineSeed: 99, RefinePct: 25,
+		Partition: PartLevelWeighted,
+	}
+	if res := Run(sc); res.Err != nil {
+		t.Fatalf("healthy pipeline failed audit/oracle: %v", res.Err)
+	}
+}

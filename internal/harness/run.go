@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/forest"
+	"repro/internal/octant"
+)
+
+// Result reports one differential run.
+type Result struct {
+	Scenario Scenario
+
+	Trees        int32
+	LeavesBefore int64 // global leaves after refinement, before balance
+	LeavesAfter  int64 // global leaves after the parallel balance
+
+	// Err is non-nil when the run failed: an oracle mismatch, an audit
+	// violation, or a panic/deadlock inside the simulated world.
+	Err error
+}
+
+// MismatchError describes the first octant-level difference between the
+// parallel balance and the serial oracle.
+type MismatchError struct {
+	Tree     int32
+	Index    int // leaf index within the tree, -1 for a count-only diff
+	Got      octant.Octant
+	Want     octant.Octant
+	GotLen   int
+	WantLen  int
+	Snapshot string // one-line context
+}
+
+func (e *MismatchError) Error() string {
+	if e.Index < 0 {
+		return fmt.Sprintf("harness: tree %d: parallel balance produced %d leaves, oracle %d (%s)",
+			e.Tree, e.GotLen, e.WantLen, e.Snapshot)
+	}
+	return fmt.Sprintf("harness: tree %d leaf %d: parallel %v != oracle %v (tree sizes %d vs %d, %s)",
+		e.Tree, e.Index, e.Got, e.Want, e.GotLen, e.WantLen, e.Snapshot)
+}
+
+// worldTimeout is the deadlock watchdog per scenario.  Scenarios are small;
+// anything over this is a hung collective, which the watchdog converts into
+// a panic that Run reports as a failure.
+const worldTimeout = 2 * time.Minute
+
+// Run executes the scenario end-to-end: build, refine, partition, balance
+// in parallel under the simulated communicator, audit the distributed
+// state, then gather and diff octant-for-octant against the RefBalance
+// oracle.  All failures (including panics and deadlocks in the simulated
+// world) are converted into Result.Err.
+func Run(sc Scenario) (res Result) {
+	res.Scenario = sc
+	defer func() {
+		if p := recover(); p != nil {
+			res.Err = fmt.Errorf("harness: scenario panicked: %v", p)
+		}
+	}()
+
+	conn := sc.Connectivity()
+	res.Trees = conn.NumTrees()
+	refine := sc.Refiner()
+	opts := sc.Options()
+
+	w := comm.NewWorld(sc.Ranks)
+	w.SetTimeout(worldTimeout)
+	before := make([][]forest.TreeChunk, sc.Ranks)
+	forests := make([]*forest.Forest, sc.Ranks)
+	auditErrs := make([]error, sc.Ranks)
+	w.Run(func(c *comm.Comm) {
+		f := forest.NewUniform(conn, c, sc.BaseLevel)
+		f.Refine(c, sc.MaxLevel, refine)
+		switch sc.Partition {
+		case PartEqual:
+			f.Partition(c, nil)
+		case PartLevelWeighted:
+			f.Partition(c, func(tree int32, o octant.Octant) int64 {
+				return int64(1 + int(o.Level)*int(o.Level))
+			})
+		case PartFirstHeavy:
+			f.Partition(c, func(tree int32, o octant.Octant) int64 {
+				if tree == 0 {
+					return 64
+				}
+				return 1
+			})
+		}
+		before[c.Rank()] = snapshotChunks(f)
+		f.Balance(c, sc.K, opts)
+		auditErrs[c.Rank()] = Audit(c, f)
+		forests[c.Rank()] = f
+	})
+
+	for r, err := range auditErrs {
+		if err != nil {
+			res.Err = fmt.Errorf("harness: audit failed on rank %d: %w", r, err)
+			return res
+		}
+	}
+
+	beforeTrees := gatherChunks(conn, before)
+	afterTrees := gatherForests(conn, forests)
+	res.LeavesBefore = countLeaves(beforeTrees)
+	res.LeavesAfter = countLeaves(afterTrees)
+
+	want := forest.RefBalance(conn, beforeTrees, sc.K)
+	if err := diffForests(afterTrees, want, sc); err != nil {
+		res.Err = err
+		return res
+	}
+	// Belt and braces: the oracle itself must be balanced; so must the
+	// parallel result, independently of the diff.
+	if err := forest.CheckForest(conn, afterTrees, sc.K); err != nil {
+		res.Err = fmt.Errorf("harness: balanced forest fails CheckForest: %w", err)
+	}
+	return res
+}
+
+// snapshotChunks deep-copies a forest's local leaves.
+func snapshotChunks(f *forest.Forest) []forest.TreeChunk {
+	out := make([]forest.TreeChunk, len(f.Local))
+	for i, tc := range f.Local {
+		out[i] = forest.TreeChunk{Tree: tc.Tree, Leaves: append([]octant.Octant(nil), tc.Leaves...)}
+	}
+	return out
+}
+
+// gatherChunks assembles per-rank chunk snapshots into global per-tree leaf
+// arrays.  Ranks hold ascending curve segments, so appending in rank order
+// yields sorted trees.
+func gatherChunks(conn *forest.Connectivity, perRank [][]forest.TreeChunk) [][]octant.Octant {
+	trees := make([][]octant.Octant, conn.NumTrees())
+	for _, chunks := range perRank {
+		for _, tc := range chunks {
+			trees[tc.Tree] = append(trees[tc.Tree], tc.Leaves...)
+		}
+	}
+	return trees
+}
+
+func gatherForests(conn *forest.Connectivity, forests []*forest.Forest) [][]octant.Octant {
+	perRank := make([][]forest.TreeChunk, len(forests))
+	for r, f := range forests {
+		perRank[r] = f.Local
+	}
+	return gatherChunks(conn, perRank)
+}
+
+func countLeaves(trees [][]octant.Octant) int64 {
+	var n int64
+	for _, leaves := range trees {
+		n += int64(len(leaves))
+	}
+	return n
+}
+
+// diffForests compares the gathered parallel result against the oracle
+// octant-for-octant and reports the first difference.
+func diffForests(got, want [][]octant.Octant, sc Scenario) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("harness: tree count mismatch %d vs %d", len(got), len(want))
+	}
+	for t := range got {
+		g, w := got[t], want[t]
+		n := len(g)
+		if len(w) < n {
+			n = len(w)
+		}
+		for i := 0; i < n; i++ {
+			if g[i] != w[i] {
+				return &MismatchError{
+					Tree: int32(t), Index: i, Got: g[i], Want: w[i],
+					GotLen: len(g), WantLen: len(w), Snapshot: sc.String(),
+				}
+			}
+		}
+		if len(g) != len(w) {
+			return &MismatchError{
+				Tree: int32(t), Index: -1,
+				GotLen: len(g), WantLen: len(w), Snapshot: sc.String(),
+			}
+		}
+	}
+	return nil
+}

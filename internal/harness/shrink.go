@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Shrink minimizes a failing scenario: it repeatedly tries simpler variants
+// (fewer trees, then fewer ranks, then coarser refinement, then simpler
+// topology and partition) and keeps any variant that still fails, until no
+// candidate fails or the attempt budget is exhausted.  It returns the
+// smallest failing scenario found together with its Result and the number
+// of candidate runs spent.
+//
+// Shrinking re-executes scenarios, so it must only be called with a
+// scenario for which Run reported a failure; on a passing scenario it
+// returns the input unchanged.
+func Shrink(sc Scenario, budget int) (Scenario, Result, int) {
+	best := sc
+	bestRes := Run(sc)
+	attempts := 1
+	if bestRes.Err == nil {
+		return best, bestRes, attempts
+	}
+	for attempts < budget {
+		improved := false
+		for _, cand := range shrinkCandidates(best) {
+			cand = cand.Normalized()
+			if cand == best {
+				continue
+			}
+			if attempts >= budget {
+				break
+			}
+			res := Run(cand)
+			attempts++
+			if res.Err != nil {
+				best, bestRes = cand, res
+				improved = true
+				break // restart from the new, smaller scenario
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best, bestRes, attempts
+}
+
+// shrinkCandidates proposes strictly simpler variants, ordered so that the
+// reductions with the biggest payoff for a human reader come first: fewer
+// trees, then fewer ranks, then coarser refinement, then topology and
+// bookkeeping simplifications.
+func shrinkCandidates(sc Scenario) []Scenario {
+	var out []Scenario
+	add := func(s Scenario) { out = append(out, s) }
+
+	// Fewer trees.
+	if sc.NX > 1 {
+		s := sc
+		s.NX = s.NX / 2
+		add(s)
+		s = sc
+		s.NX--
+		add(s)
+	}
+	if sc.NY > 1 {
+		s := sc
+		s.NY--
+		add(s)
+	}
+	if sc.NZ > 1 {
+		s := sc
+		s.NZ--
+		add(s)
+	}
+	if sc.MaskPct > 0 {
+		s := sc
+		s.MaskPct = 0
+		add(s)
+	}
+	// Fewer ranks.
+	if sc.Ranks > 1 {
+		s := sc
+		s.Ranks = 1
+		add(s)
+		if sc.Ranks > 2 {
+			s = sc
+			s.Ranks = sc.Ranks / 2
+			add(s)
+		}
+		s = sc
+		s.Ranks--
+		add(s)
+	}
+	// Coarser refinement.
+	if sc.MaxLevel > sc.BaseLevel {
+		s := sc
+		s.MaxLevel--
+		add(s)
+	}
+	if sc.BaseLevel > 0 {
+		s := sc
+		s.BaseLevel--
+		s.MaxLevel--
+		add(s)
+	}
+	// Simpler topology and options.
+	if sc.PeriodicX || sc.PeriodicY || sc.PeriodicZ {
+		s := sc
+		s.PeriodicX, s.PeriodicY, s.PeriodicZ = false, false, false
+		add(s)
+	}
+	if sc.Partition != PartNone {
+		s := sc
+		s.Partition = PartNone
+		add(s)
+	}
+	if sc.Notify != 0 || sc.MaxRanges != 0 {
+		s := sc
+		s.Notify = 0
+		s.MaxRanges = 0
+		add(s)
+	}
+	if sc.Refine == RefGraded || sc.Refine == RefRandom {
+		s := sc
+		s.Refine = RefFractal
+		add(s)
+	}
+	return out
+}
+
+// ReproSource renders a self-contained Go test skeleton that replays the
+// scenario, ready to paste into a _test.go file next to this package.
+func ReproSource(sc Scenario, failure error) string {
+	var b strings.Builder
+	name := fmt.Sprintf("TestHarnessRepro_Seed%d", sc.Seed)
+	if sc.Seed < 0 {
+		name = fmt.Sprintf("TestHarnessRepro_SeedNeg%d", -sc.Seed)
+	}
+	fmt.Fprintf(&b, "// %s replays a scenario the stress harness found failing:\n", name)
+	fmt.Fprintf(&b, "//   %v\n", failure)
+	fmt.Fprintf(&b, "// Replay from the command line with: go run ./cmd/stress -replay %d\n", sc.Seed)
+	fmt.Fprintf(&b, "func %s(t *testing.T) {\n", name)
+	fmt.Fprintf(&b, "\tsc := %s\n", sc.GoLiteral())
+	fmt.Fprintf(&b, "\tif res := harness.Run(sc); res.Err != nil {\n")
+	fmt.Fprintf(&b, "\t\tt.Fatalf(\"scenario %%v failed: %%v\", sc, res.Err)\n")
+	fmt.Fprintf(&b, "\t}\n}\n")
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package octant
+
+import (
+	"testing"
+)
+
+// clampDimLevel maps arbitrary fuzz input onto a legal (dim, level) pair for
+// which the Morton index fits a uint64: dim*level <= 63.
+func clampDimLevel(d, l uint8) (int, int) {
+	dim := 2
+	if d%2 == 1 {
+		dim = 3
+	}
+	max := MaxLevel // 2*30 = 60 bits
+	if dim == 3 {
+		max = 21 // 3*21 = 63 bits
+	}
+	return dim, int(l) % (max + 1)
+}
+
+// FuzzMortonRoundTrip checks FromMortonIndex/MortonIndex are inverse over
+// the whole index range of every (dim, level), and that the decoded octant
+// is structurally valid and inside the root.
+func FuzzMortonRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint64(0))
+	f.Add(uint8(1), uint8(21), uint64(1)<<63-1)
+	f.Add(uint8(0), uint8(30), uint64(0xdeadbeefcafebabe))
+	f.Fuzz(func(t *testing.T, d, l uint8, idx uint64) {
+		dim, level := clampDimLevel(d, l)
+		if dim*level < 64 {
+			idx &= 1<<(uint(dim*level)) - 1
+		}
+		o := FromMortonIndex(dim, level, idx)
+		if err := o.Check(); err != nil {
+			t.Fatalf("FromMortonIndex(%d, %d, %#x) invalid: %v", dim, level, idx, err)
+		}
+		if !o.InsideRoot() {
+			t.Fatalf("FromMortonIndex(%d, %d, %#x) outside root: %v", dim, level, idx, o)
+		}
+		if got := o.MortonIndex(); got != idx {
+			t.Fatalf("MortonIndex(FromMortonIndex(%d, %d, %#x)) = %#x", dim, level, idx, got)
+		}
+	})
+}
+
+// FuzzCompareOrder checks the space-filling-curve order against its
+// defining properties: reflexivity, antisymmetry, agreement with the Morton
+// index at equal level, ancestors-first across levels, and Successor being
+// the immediate same-level successor.
+func FuzzCompareOrder(f *testing.F) {
+	f.Add(uint8(0), uint8(3), uint64(5), uint8(4), uint64(11))
+	f.Add(uint8(1), uint8(2), uint64(7), uint8(2), uint64(7))
+	f.Fuzz(func(t *testing.T, d, l1 uint8, i1 uint64, l2 uint8, i2 uint64) {
+		dim, lv1 := clampDimLevel(d, l1)
+		_, lv2 := clampDimLevel(d, l2)
+		if dim*lv1 < 64 {
+			i1 &= 1<<(uint(dim*lv1)) - 1
+		}
+		if dim*lv2 < 64 {
+			i2 &= 1<<(uint(dim*lv2)) - 1
+		}
+		a := FromMortonIndex(dim, lv1, i1)
+		b := FromMortonIndex(dim, lv2, i2)
+
+		sign := func(v int) int {
+			switch {
+			case v < 0:
+				return -1
+			case v > 0:
+				return 1
+			}
+			return 0
+		}
+		if Compare(a, a) != 0 || Compare(b, b) != 0 {
+			t.Fatal("Compare is not reflexive")
+		}
+		if sign(Compare(a, b)) != -sign(Compare(b, a)) {
+			t.Fatalf("Compare not antisymmetric for %v, %v", a, b)
+		}
+		if lv1 == lv2 {
+			want := 0
+			if i1 < i2 {
+				want = -1
+			} else if i1 > i2 {
+				want = 1
+			}
+			if got := sign(Compare(a, b)); got != want {
+				t.Fatalf("same-level Compare(%v, %v) = %d, Morton order says %d", a, b, got, want)
+			}
+		}
+		if lv1 > 0 {
+			p := a.Parent()
+			if Compare(p, a) >= 0 {
+				t.Fatalf("ancestor %v does not precede descendant %v", p, a)
+			}
+		}
+		// Successor is the +1 of the same-level Morton index.
+		if dim*lv1 <= 62 && i1+1 < 1<<uint(dim*lv1) {
+			s := a.Successor()
+			if got := s.MortonIndex(); got != i1+1 {
+				t.Fatalf("Successor(%v).MortonIndex() = %#x, want %#x", a, got, i1+1)
+			}
+			if Compare(a, s) >= 0 {
+				t.Fatalf("Compare(o, Successor(o)) = %d", Compare(a, s))
+			}
+		}
+	})
+}

@@ -1,5 +1,22 @@
 // Package otest provides deterministic random octree generators shared by
 // the test suites of the other packages.  It is not part of the public API.
+//
+// # Seed convention
+//
+// All randomness in the test suites flows from a single int64 seed so that
+// any failure is replayable byte-for-byte:
+//
+//   - Generators that walk a tree sequentially take an explicit *rand.Rand
+//     (never the global math/rand source); create one with NewRand(seed).
+//   - Refinement predicates used with Forest.Refine must instead be pure
+//     functions of (tree, octant): during a distributed refinement every
+//     rank evaluates the predicate on its own leaves, so any traversal-order
+//     or shared-stream dependence would make ranks disagree.  The *Refiner
+//     constructors below therefore hash (seed, tree, coordinates) with
+//     SplitMix64 rather than consuming a stream.
+//   - Derived sub-seeds (per tree, per axis, per trial) are obtained with
+//     SplitMix64 of the parent seed xor a role constant, never by reusing
+//     the parent seed directly for two roles.
 package otest
 
 import (
@@ -7,6 +24,21 @@ import (
 
 	"repro/internal/octant"
 )
+
+// NewRand returns the canonical deterministic source for a test seed.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// SplitMix64 is the SplitMix64 finalizer: a strong 64-bit mixer used to
+// derive independent sub-seeds and to build pure hash-based refinement
+// predicates.
+func SplitMix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
 
 // RandomComplete returns a random complete linear octree of root: starting
 // from root, every octant is split with probability splitProb until
@@ -84,9 +116,69 @@ func RandomOctant(rng *rand.Rand, dim, minLevel, maxLevel int) octant.Octant {
 	l := minLevel + rng.Intn(maxLevel-minLevel+1)
 	idx := uint64(0)
 	if l > 0 {
-		idx = rng.Uint64() % (uint64(1) << (uint(dim) * uint(l)))
+		idx = rng.Uint64()
+		if bits := uint(dim) * uint(l); bits < 64 {
+			idx %= uint64(1) << bits
+		}
 	}
 	return octant.FromMortonIndex(dim, l, idx)
+}
+
+// RefineFunc is the predicate shape of Forest.Refine: pure in (tree, o).
+type RefineFunc func(tree int32, o octant.Octant) bool
+
+// FractalRefiner returns the paper's Figure 15 refinement rule as a pure
+// predicate: octants with child identifiers 0, 3, 5 and 6 split recursively
+// up to maxLevel.
+func FractalRefiner(maxLevel int) RefineFunc {
+	return func(tree int32, o octant.Octant) bool {
+		if int(o.Level) >= maxLevel {
+			return false
+		}
+		switch o.ChildID() {
+		case 0, 3, 5, 6:
+			return true
+		}
+		return false
+	}
+}
+
+// HashRefiner returns a pure pseudo-random refinement predicate: each octant
+// splits with probability percent/100, decided by SplitMix64 of (seed, tree,
+// corner, level).  Unlike RandomComplete it does not consume a stream, so
+// ranks of a distributed forest agree on every decision regardless of
+// partition or traversal order.
+func HashRefiner(seed uint64, maxLevel, percent int) RefineFunc {
+	return func(tree int32, o octant.Octant) bool {
+		if int(o.Level) >= maxLevel {
+			return false
+		}
+		h := SplitMix64(seed ^ uint64(uint32(tree)))
+		h = SplitMix64(h ^ uint64(uint32(o.X)))
+		h = SplitMix64(h ^ uint64(uint32(o.Y)))
+		h = SplitMix64(h ^ uint64(uint32(o.Z)))
+		h = SplitMix64(h ^ uint64(uint8(o.Level)))
+		return h%100 < uint64(percent)
+	}
+}
+
+// GradedRefiner returns a pure predicate that refines towards one focus
+// point per tree (derived from seed and the tree id), producing the highly
+// graded meshes that stress long-range balance interactions: octants
+// containing their tree's focus point refine all the way to maxLevel.
+func GradedRefiner(seed uint64, dim, maxLevel int) RefineFunc {
+	return func(tree int32, o octant.Octant) bool {
+		if int(o.Level) >= maxLevel {
+			return false
+		}
+		var focus [3]int64
+		h := SplitMix64(seed ^ uint64(uint32(tree)))
+		for i := 0; i < dim; i++ {
+			h = SplitMix64(h)
+			focus[i] = int64(h % uint64(octant.RootLen))
+		}
+		return containsPoint(o, focus)
+	}
 }
 
 // Equal reports whether two octant slices are element-wise identical.
