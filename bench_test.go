@@ -232,15 +232,65 @@ func benchBalance(b *testing.B, e Experiment) {
 	b.Helper()
 	var bytes int64
 	var after int64
+	var maxDepth int64
 	for i := 0; i < b.N; i++ {
 		res := e.Run()
 		for _, st := range res.Comm {
 			bytes += st.Bytes
+			if st.MaxQueueDepth > maxDepth {
+				maxDepth = st.MaxQueueDepth
+			}
 		}
 		after = res.OctantsAfter
 	}
 	b.ReportMetric(float64(bytes)/float64(b.N), "commbytes/op")
 	b.ReportMetric(float64(after), "octants")
+	b.ReportMetric(float64(maxDepth), "maxqueue")
+	assertQueueBounds(b, maxDepth)
+}
+
+// assertQueueBounds enforces the backpressure invariant on every balance
+// benchmark: mailboxes are bounded, so the peak queue depth observed by the
+// metering must never exceed the mailbox capacity.  A breach means either
+// the bound stopped being enforced or the depth accounting drifted.
+func assertQueueBounds(tb testing.TB, maxDepth int64) {
+	tb.Helper()
+	if maxDepth > int64(comm.DefaultMailboxCap) {
+		tb.Fatalf("peak mailbox depth %d exceeds the mailbox capacity %d — backpressure is not being enforced",
+			maxDepth, comm.DefaultMailboxCap)
+	}
+}
+
+// TestBalanceQueueDepthBounded runs the Figure 15-style workload once and
+// checks the new backpressure metering end to end: the multi-rank balance
+// must actually queue messages (depth > 0), stay under the mailbox bound,
+// and report a peak-in-flight volume that is positive yet no larger than
+// the total logical bytes of its phase.
+func TestBalanceQueueDepthBounded(t *testing.T) {
+	res := Experiment{
+		Conn:      FractalForest(3),
+		Ranks:     8,
+		BaseLevel: 2,
+		MaxLevel:  6,
+		Refine:    FractalRefine(6),
+	}.Run()
+	var total CommStats
+	for phase, st := range res.Comm {
+		if st.PeakInFlightBytes > st.Bytes {
+			t.Errorf("phase %q: peak in-flight bytes %d exceed total logical bytes %d",
+				phase, st.PeakInFlightBytes, st.Bytes)
+		}
+		if st.Bytes > 0 && st.PeakInFlightBytes == 0 {
+			t.Errorf("phase %q: moved %d bytes but recorded no in-flight peak", phase, st.Bytes)
+		}
+		total.Add(st)
+	}
+	if total.MaxQueueDepth == 0 {
+		t.Fatal("multi-rank balance recorded no mailbox depth at all — the metering is dead")
+	}
+	assertQueueBounds(t, total.MaxQueueDepth)
+	t.Logf("P=%d: %d msgs, %d bytes, peak mailbox depth %d, peak in-flight %d bytes",
+		res.Ranks, total.Messages, total.Bytes, total.MaxQueueDepth, total.PeakInFlightBytes)
 }
 
 // BenchmarkFig15WeakScaling reproduces the weak-scaling configuration of

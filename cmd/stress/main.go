@@ -5,16 +5,27 @@
 // simulated communicator, audits every distributed invariant, and diffs the
 // result octant-for-octant against the serial RefBalance oracle.
 //
+// With -chaos it becomes a chaos sweep: each passing scenario is re-run on
+// a seeded fault-injecting transport (message drops, duplication,
+// delay/reordering, per-rank stalls) and must produce the identical
+// balanced forest — same checksum as the perfect-transport run, same
+// octants as the oracle.  With -chaos-canary the reliable-delivery layer
+// is switched off under the same faults, and the sweep must FAIL: a
+// passing canary means lost messages went unnoticed.
+//
 // On a failure it shrinks the scenario to a smaller one that still fails
 // and prints both the replay command and a ready-to-paste Go test skeleton.
 //
 // Examples:
 //
-//	stress -seconds 30            # time-boxed sweep (CI default)
-//	stress -scenarios 500         # fixed number of scenarios
-//	stress -seed 7 -scenarios 100 # deterministic band of seeds
-//	stress -replay 123456         # re-run one failing seed verbatim
-//	stress -fault 1 -seconds 5    # widen the preclusion test; must fail
+//	stress -seconds 30             # time-boxed sweep (CI default)
+//	stress -scenarios 500          # fixed number of scenarios
+//	stress -seed 7 -scenarios 100  # deterministic band of seeds
+//	stress -replay 123456          # re-run one failing seed verbatim
+//	stress -seconds 30 -chaos 1    # chaos sweep: perfect vs chaos vs oracle
+//	stress -replay 42 -chaos 1     # replay one seed under the same chaos
+//	stress -chaos-canary -scenarios 3  # lost-message canary; must fail
+//	stress -fault 1 -seconds 5     # widen the preclusion test; must fail
 package main
 
 import (
@@ -26,7 +37,14 @@ import (
 
 	"repro/internal/forest"
 	"repro/internal/harness"
+	"repro/internal/otest"
 )
+
+// chaosSeedFor derives the per-scenario chaos seed from the sweep's chaos
+// base, so one printed pair (-seed, -chaos) replays the whole sweep.
+func chaosSeedFor(chaosBase uint64, seed int64) uint64 {
+	return otest.SplitMix64(chaosBase^uint64(seed)) | 1 // non-zero
+}
 
 func main() {
 	log.SetFlags(0)
@@ -37,6 +55,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "first scenario seed; scenario i uses seed+i")
 		replay    = flag.Int64("replay", 0, "replay exactly one scenario with this seed, then exit")
 		fault     = flag.Int("fault", 0, "inject a balance bug: widen the preclusion test by this many levels")
+		chaos     = flag.Uint64("chaos", 0, "chaos sweep: re-run every scenario under seeded transport faults derived from this base seed")
+		canary    = flag.Bool("chaos-canary", false, "run scenarios under chaos with reliable delivery DISABLED; the sweep must fail")
 		shrinkBud = flag.Int("shrink", 80, "run budget for shrinking a failing scenario")
 		verbose   = flag.Bool("v", false, "print every scenario as it runs")
 	)
@@ -49,13 +69,22 @@ func main() {
 
 	if *replay != 0 {
 		sc := harness.FromSeed(*replay)
+		if *chaos != 0 {
+			sc = sc.WithChaos(chaosSeedFor(*chaos, *replay))
+		}
+		sc.ChaosCanary = *canary
 		log.Printf("replaying %v", sc)
 		res := harness.Run(sc)
 		if res.Err != nil {
 			log.Printf("FAIL: %v", res.Err)
 			os.Exit(1)
 		}
-		log.Printf("ok: %d trees, %d -> %d leaves", res.Trees, res.LeavesBefore, res.LeavesAfter)
+		log.Printf("ok: %d trees, %d -> %d leaves, checksum %#x", res.Trees, res.LeavesBefore, res.LeavesAfter, res.Checksum)
+		return
+	}
+
+	if *canary {
+		runCanary(*seed, *scenarios, *chaos)
 		return
 	}
 
@@ -90,6 +119,28 @@ func main() {
 		if sc.Ranks > maxRanks {
 			maxRanks = sc.Ranks
 		}
+		if res.Err == nil && *chaos != 0 {
+			// Chaos leg: same scenario, faulty transport.  The forest
+			// must be identical — the oracle diff inside Run catches
+			// octant-level drift, and the checksum cross-check catches
+			// any divergence from the perfect-transport leg directly.
+			csc := sc.WithChaos(chaosSeedFor(*chaos, s))
+			cres := harness.Run(csc)
+			if cres.Err == nil && cres.Checksum != res.Checksum {
+				cres.Err = fmt.Errorf("chaos run diverged from perfect transport: checksum %#x != %#x",
+					cres.Checksum, res.Checksum)
+			}
+			if cres.Err != nil {
+				failed++
+				log.Printf("FAIL seed %d (chaos %d): %v", s, csc.ChaosSeed, cres.Err)
+				small, smallRes, attempts := harness.Shrink(csc, *shrinkBud)
+				log.Printf("shrunk after %d runs to: %v", attempts, small)
+				log.Printf("still failing with: %v", smallRes.Err)
+				log.Printf("replay with: go run ./cmd/stress -replay %d -chaos %d", small.Seed, *chaos)
+				fmt.Fprintf(os.Stderr, "\n%s\n", harness.ReproSource(small, smallRes.Err))
+				continue
+			}
+		}
 		if res.Err == nil {
 			continue
 		}
@@ -106,8 +157,12 @@ func main() {
 	}
 
 	elapsed := time.Since(start).Round(time.Millisecond)
-	log.Printf("%d scenarios in %v (%.1f/s), %d balanced leaves, up to %d ranks, %d failure(s)",
-		ran, elapsed, float64(ran)/elapsed.Seconds(), leaves, maxRanks, failed)
+	mode := ""
+	if *chaos != 0 {
+		mode = fmt.Sprintf(" (chaos base %d, each scenario run twice)", *chaos)
+	}
+	log.Printf("%d scenarios in %v (%.1f/s), %d balanced leaves, up to %d ranks, %d failure(s)%s",
+		ran, elapsed, float64(ran)/elapsed.Seconds(), leaves, maxRanks, failed, mode)
 	if *fault != 0 {
 		// Under fault injection the exit status is inverted: the run
 		// succeeds only if the harness caught the planted bug.
@@ -121,4 +176,42 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runCanary executes the lost-message canary: scenarios run under chaos
+// with the reliable-delivery protocol disabled, so injected drops become
+// real message loss.  The exit status is inverted — the canary passes only
+// if at least one scenario fails (deadlock caught by the watchdog, or an
+// oracle mismatch).  Single-rank scenarios are skipped: they exchange no
+// messages, so nothing can be lost.
+func runCanary(seed int64, scenarios int, chaosBase uint64) {
+	if scenarios <= 0 {
+		scenarios = 3
+	}
+	if chaosBase == 0 {
+		chaosBase = 1
+	}
+	var ran, failed int
+	log.Printf("canary: %d multi-rank scenarios under chaos with reliable delivery DISABLED; failures are the goal", scenarios)
+	for s := seed; ran < scenarios; s++ {
+		sc := harness.FromSeed(s)
+		if sc.Ranks < 2 {
+			continue
+		}
+		sc = sc.WithChaos(chaosSeedFor(chaosBase, s))
+		sc.ChaosCanary = true
+		res := harness.Run(sc)
+		ran++
+		if res.Err != nil {
+			failed++
+			log.Printf("seed %d: lost message caught, as it should be: %.200s", s, res.Err.Error())
+		} else {
+			log.Printf("seed %d: survived without reliable delivery (%v)", s, sc)
+		}
+	}
+	if failed == 0 {
+		log.Printf("NO scenario failed without reliable delivery — the chaos canary is dead")
+		os.Exit(2)
+	}
+	log.Printf("canary ok: %d/%d scenarios failed without reliable delivery", failed, ran)
 }

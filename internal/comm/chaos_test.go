@@ -1,0 +1,376 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chaosWorld builds a world on an aggressively faulty transport.
+func chaosWorld(t *testing.T, p int, seed uint64) (*World, *ChaosTransport) {
+	t.Helper()
+	tr := NewChaosTransport(DefaultChaosConfig(seed))
+	w := NewWorldTransport(p, tr)
+	t.Cleanup(w.Close)
+	w.SetTimeout(2 * time.Minute)
+	return w, tr
+}
+
+// TestChaosReliableDelivery floods every rank pair with tagged traffic
+// under drops, dups, delays and stalls, and requires exactly-once FIFO
+// delivery per (src, dst, tag) — the core contract of the reliable layer.
+func TestChaosReliableDelivery(t *testing.T) {
+	const p, n = 4, 120
+	w, tr := chaosWorld(t, p, 42)
+	w.Run(func(c *Comm) {
+		for dst := 0; dst < p; dst++ {
+			if dst == c.Rank() {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				c.Send(dst, 3, []byte{byte(c.Rank()), byte(i)})
+			}
+		}
+		for src := 0; src < p; src++ {
+			if src == c.Rank() {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				got := c.Recv(src, 3)
+				if got[0] != byte(src) || got[1] != byte(i) {
+					t.Errorf("rank %d: message %d from %d arrived as src=%d i=%d",
+						c.Rank(), i, src, got[0], got[1])
+				}
+			}
+		}
+	})
+	st := w.TotalStats()
+	if want := int64(p * (p - 1) * n); st.Messages != want {
+		t.Errorf("logical messages = %d, want %d (metering must ignore retries)", st.Messages, want)
+	}
+	counts := tr.Counts()
+	if counts.Dropped == 0 || counts.Duplicated == 0 || counts.Delayed == 0 {
+		t.Errorf("chaos injected nothing: %+v", counts)
+	}
+	net := w.NetStats()
+	if net.Retries == 0 {
+		t.Errorf("drops occurred but no retransmissions: %+v", net)
+	}
+	if net.DupsDropped == 0 {
+		t.Errorf("duplicates occurred but none were absorbed: %+v", net)
+	}
+}
+
+// TestChaosCollectives runs the collective suite under chaos on power-of-
+// two, non-power-of-two and singleton worlds.
+func TestChaosCollectives(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 13} {
+		tr := NewChaosTransport(DefaultChaosConfig(uint64(100 + p)))
+		w := NewWorldTransport(p, tr)
+		w.SetTimeout(2 * time.Minute)
+		w.Run(func(c *Comm) {
+			c.Barrier()
+			vals := c.AllgatherInt64(int64(c.Rank() * 3))
+			for q, v := range vals {
+				if v != int64(q*3) {
+					t.Errorf("P=%d rank %d: vals[%d] = %d", p, c.Rank(), q, v)
+				}
+			}
+			if got := c.AllreduceSumInt64(1); got != int64(p) {
+				t.Errorf("P=%d: sum = %d", p, got)
+			}
+			if got := c.AllreduceMaxInt64(int64(c.Rank())); got != int64(p-1) {
+				t.Errorf("P=%d: max = %d", p, got)
+			}
+			c.Barrier()
+		})
+		w.Close()
+	}
+}
+
+// TestChaosFaultPatternDeterministic replays the identical packet sequence
+// through two injectors with the same seed and requires the same delivery
+// multiset — the property that makes a chaos sweep replayable.
+func TestChaosFaultPatternDeterministic(t *testing.T) {
+	cfg := DefaultChaosConfig(7)
+	cfg.StallPct = 0 // stalls are time-based; irrelevant to the fate pattern
+	run := func() ([]int, ChaosCounts) {
+		tr := NewChaosTransport(cfg)
+		var mu sync.Mutex
+		var got []int
+		tr.Start(func(p Packet) {
+			mu.Lock()
+			got = append(got, int(p.Seq))
+			mu.Unlock()
+		})
+		for seq := 0; seq < 300; seq++ {
+			tr.Send(Packet{Src: 1, Dst: 2, Kind: PacketData, Tag: 5, Seq: uint64(seq)})
+		}
+		time.Sleep(20 * time.Millisecond) // let delayed copies land
+		tr.Stop()
+		mu.Lock()
+		defer mu.Unlock()
+		sort.Ints(got)
+		return got, tr.Counts()
+	}
+	a, ca := run()
+	b, _ := run()
+	if ca.Dropped == 0 || ca.Duplicated == 0 {
+		t.Fatalf("degenerate fault pattern: %+v", ca)
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed produced different delivery patterns:\n%v\n%v", a, b)
+	}
+}
+
+// TestChaosCanaryLosesMessages is the in-package lost-message canary: with
+// the reliability layer disabled the same fault mix must break the world,
+// and the watchdog must say who is stuck where.
+func TestChaosCanaryLosesMessages(t *testing.T) {
+	cfg := DefaultChaosConfig(99)
+	cfg.DropPct = 30
+	cfg.DisableReliability = true
+	w := NewWorldTransport(2, NewChaosTransport(cfg))
+	defer w.Close()
+	w.SetTimeout(1500 * time.Millisecond)
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("dropped messages without retry went unnoticed: the canary is dead")
+		}
+		msg := fmt.Sprint(p)
+		if !strings.Contains(msg, "watchdog") || !strings.Contains(msg, "Recv(src=0, tag=1)") {
+			t.Fatalf("watchdog dump does not name the stuck operation:\n%s", msg)
+		}
+		if !w.Poisoned() {
+			t.Fatal("world not poisoned after watchdog timeout")
+		}
+	}()
+	w.Run(func(c *Comm) {
+		const n = 200
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 1, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				c.Recv(0, 1)
+			}
+		}
+	})
+}
+
+// TestWatchdogDumpNamesCollective induces a collective deadlock (one rank
+// skips a Barrier) and checks the dump names the blocked collective, the
+// blocked ranks and their phases.
+func TestWatchdogDumpNamesCollective(t *testing.T) {
+	w := NewWorld(3)
+	w.SetTimeout(400 * time.Millisecond)
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("watchdog did not fire")
+		}
+		msg := fmt.Sprint(p)
+		for _, want := range []string{"Barrier #1", "rank 1", "rank 2", `phase "notify"`, "running (not blocked in comm)"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("dump is missing %q:\n%s", want, msg)
+			}
+		}
+	}()
+	w.Run(func(c *Comm) {
+		c.SetPhase("notify")
+		if c.Rank() == 0 {
+			// Violate SPMD discipline: rank 0 never enters the barrier,
+			// but stays alive so the others cannot be unblocked.
+			time.Sleep(2 * time.Second)
+			return
+		}
+		c.Barrier()
+	})
+}
+
+// TestRunAggregatesAllPanics checks Run reports every rank that panicked,
+// not just whichever hit the channel first.
+func TestRunAggregatesAllPanics(t *testing.T) {
+	w := NewWorld(4)
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("panics swallowed")
+		}
+		msg := fmt.Sprint(p)
+		for _, want := range []string{"rank 1: boom-1", "rank 3: boom-3", "2 ranks panicked"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("aggregate panic missing %q:\n%s", want, msg)
+			}
+		}
+	}()
+	w.Run(func(c *Comm) {
+		if c.Rank()%2 == 1 {
+			panic(fmt.Sprintf("boom-%d", c.Rank()))
+		}
+	})
+}
+
+// TestPoisonedWorldFailsLoudly checks that a watchdog timeout poisons the
+// world: leaked rank goroutines die instead of mutating shared state, and
+// any further use fails immediately.
+func TestPoisonedWorldFailsLoudly(t *testing.T) {
+	w := NewWorld(2)
+	w.SetTimeout(200 * time.Millisecond)
+	func() {
+		defer func() { recover() }() // the watchdog panic
+		w.Run(func(c *Comm) {
+			if c.Rank() == 0 {
+				c.Recv(1, 1) // never sent: deadlock
+			}
+		})
+	}()
+	if !w.Poisoned() {
+		t.Fatal("world not poisoned after watchdog timeout")
+	}
+	msgsBefore := w.TotalStats().Messages
+	// The leaked rank 0 goroutine must have been terminated, so no stats
+	// mutation can happen later.
+	time.Sleep(50 * time.Millisecond)
+	if got := w.TotalStats().Messages; got != msgsBefore {
+		t.Errorf("stats mutated after poisoning: %d -> %d", msgsBefore, got)
+	}
+	defer func() {
+		if p := recover(); p == nil || !strings.Contains(fmt.Sprint(p), "poisoned") {
+			t.Fatalf("reusing a poisoned world did not fail loudly: %v", p)
+		}
+	}()
+	w.Run(func(c *Comm) {})
+}
+
+// TestQueueDepthAndInFlightStats checks the backpressure accounting: a
+// burst of unreceived messages must be visible as mailbox depth and peak
+// in-flight bytes in the sender's phase.
+func TestQueueDepthAndInFlightStats(t *testing.T) {
+	const n = 32
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		c.SetPhase("burst")
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 1, make([]byte, 100))
+			}
+			c.Send(1, 2, nil) // release the receiver
+		} else {
+			c.Recv(0, 2) // wait until the burst is fully enqueued
+			for i := 0; i < n; i++ {
+				c.Recv(0, 1)
+			}
+		}
+	})
+	st := w.PhaseStats("burst")
+	if st.MaxQueueDepth < n {
+		t.Errorf("MaxQueueDepth = %d, want >= %d", st.MaxQueueDepth, n)
+	}
+	if st.PeakInFlightBytes < n*100 {
+		t.Errorf("PeakInFlightBytes = %d, want >= %d", st.PeakInFlightBytes, n*100)
+	}
+	if total := w.TotalStats(); total.MaxQueueDepth < n {
+		t.Errorf("TotalStats().MaxQueueDepth = %d, want >= %d", total.MaxQueueDepth, n)
+	}
+}
+
+// TestMailboxBackpressure bounds a mailbox and checks senders stall (and
+// are accounted) instead of growing the queue without limit.
+func TestMailboxBackpressure(t *testing.T) {
+	const n = 64
+	w := NewWorld(2)
+	w.SetMailboxCap(4)
+	w.SetTimeout(time.Minute)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 1, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				time.Sleep(100 * time.Microsecond) // drain slowly
+				if got := c.Recv(0, 1); got[0] != byte(i) {
+					t.Errorf("message %d arrived as %d", i, got[0])
+				}
+			}
+		}
+	})
+	if st := w.TotalStats(); st.MaxQueueDepth > 4 {
+		t.Errorf("MaxQueueDepth = %d exceeds the cap of 4", st.MaxQueueDepth)
+	}
+	if net := w.NetStats(); net.BackpressureStalls == 0 {
+		t.Error("no backpressure stalls recorded despite a full mailbox")
+	}
+}
+
+// TestChaosConcurrentWorlds runs a chaos world and a perfect world
+// interleaved in one process; channels must stay isolated (this is the
+// two-worlds satellite case under the race detector).
+func TestChaosConcurrentWorlds(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var w *World
+			if i == 0 {
+				tr := NewChaosTransport(DefaultChaosConfig(123))
+				w = NewWorldTransport(5, tr)
+			} else {
+				w = NewWorld(5)
+			}
+			defer w.Close()
+			w.SetTimeout(2 * time.Minute)
+			w.Run(func(c *Comm) {
+				next := (c.Rank() + 1) % 5
+				prev := (c.Rank() + 4) % 5
+				c.Send(next, 11, []byte{byte(100*i + c.Rank())})
+				if got := c.Recv(prev, 11); got[0] != byte(100*i+prev) {
+					t.Errorf("world %d: cross-delivery or corruption: %d", i, got[0])
+				}
+				if sum := c.AllreduceSumInt64(int64(i)); sum != int64(5*i) {
+					t.Errorf("world %d: sum = %d", i, sum)
+				}
+			})
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestRecvAnyInterleavedWithCollectives mixes promiscuous receives with
+// collectives under chaos: RecvAny must never swallow collective traffic
+// (negative tags) and collectives must not starve RecvAny.
+func TestRecvAnyInterleavedWithCollectives(t *testing.T) {
+	const p = 6
+	w, _ := chaosWorld(t, p, 77)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			seen := make(map[int]bool)
+			for i := 1; i < p; i++ {
+				src, data := c.RecvAny(9)
+				if seen[src] || int(data[0]) != src {
+					t.Errorf("RecvAny: bad or duplicate message from %d: %v", src, data)
+				}
+				seen[src] = true
+				// Interleave a collective between promiscuous receives.
+				if got := c.AllreduceSumInt64(1); got != p {
+					t.Errorf("sum = %d", got)
+				}
+			}
+		} else {
+			c.Send(0, 9, []byte{byte(c.Rank())})
+			for i := 1; i < p; i++ {
+				if got := c.AllreduceSumInt64(1); got != p {
+					t.Errorf("sum = %d", got)
+				}
+			}
+		}
+		c.Barrier()
+	})
+}

@@ -8,49 +8,97 @@
 // Every send is metered (message count and payload bytes, attributed to the
 // sender's current phase label), which is how this reproduction measures
 // the communication-volume claims of the paper without physical hardware.
+// Metering counts the *logical* channel: one Send is one message no matter
+// how often the transport layer below (transport.go) drops, duplicates or
+// retransmits the packet that carries it.  Physical traffic, including
+// retries and acks, is reported separately by NetStats.
+//
+// The layering, top to bottom:
+//
+//	Comm (Send/Recv/collectives, phase metering, blocked-op tracking)
+//	reliable delivery (reliable.go: per-channel seq, dedup, ack/retry)
+//	Transport (transport.go: Perfect by default, Chaos for fault injection)
+//	inbox (bounded per-rank mailboxes with backpressure accounting)
 package comm
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// message is a point-to-point payload in flight.
+// message is a logical point-to-point payload in flight.
 type message struct {
 	src, tag int
+	phase    string // sender's phase at send time (metering attribution)
 	data     []byte
 }
 
-// inbox is an unbounded mailbox owned by a single receiving rank.
+// DefaultMailboxCap bounds each rank's mailbox: a sender (or the transport
+// delivering on its behalf) blocks once this many messages are pending at
+// one receiver, which converts unbounded memory growth into observable
+// backpressure (NetStats.BackpressureStalls, Stats.MaxQueueDepth).
+const DefaultMailboxCap = 1 << 15
+
+// inbox is a bounded mailbox owned by a single receiving rank.
 type inbox struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	msgs []message
+	mu    sync.Mutex
+	cond  *sync.Cond
+	msgs  []message
+	world *World
 }
 
-func newInbox() *inbox {
-	ib := &inbox{}
+func newInbox(w *World) *inbox {
+	ib := &inbox{world: w}
 	ib.cond = sync.NewCond(&ib.mu)
 	return ib
 }
 
-func (ib *inbox) put(m message) {
+// put appends a message, blocking while the mailbox is full.  It reports
+// whether the message was delivered (false only on a poisoned world).
+func (ib *inbox) put(m message) bool {
+	w := ib.world
 	ib.mu.Lock()
+	for w.mailboxCap > 0 && len(ib.msgs) >= w.mailboxCap {
+		if w.poisoned.Load() {
+			ib.mu.Unlock()
+			return false
+		}
+		atomic.AddInt64(&w.net.BackpressureStalls, 1)
+		ib.cond.Wait()
+	}
+	if w.poisoned.Load() {
+		ib.mu.Unlock()
+		return false
+	}
 	ib.msgs = append(ib.msgs, m)
+	depth := len(ib.msgs)
 	ib.mu.Unlock()
+	w.noteQueueDepth(m.phase, depth)
 	ib.cond.Broadcast()
+	return true
 }
 
 // take removes and returns the first message matching (src, tag), blocking
-// until one arrives.  src < 0 matches any source.
+// until one arrives.  src < 0 matches any source.  It panics if the world
+// is poisoned, which is how rank goroutines leaked by a watchdog timeout
+// are terminated instead of blocking forever.
 func (ib *inbox) take(src, tag int) message {
+	w := ib.world
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
 	for {
+		if w.poisoned.Load() {
+			panic(poisonedMsg)
+		}
 		for i, m := range ib.msgs {
 			if m.tag == tag && (src < 0 || m.src == src) {
 				ib.msgs = append(ib.msgs[:i], ib.msgs[i+1:]...)
+				ib.cond.Broadcast() // wake senders blocked on a full mailbox
+				w.noteDequeue(m.phase, len(m.data))
 				return m
 			}
 		}
@@ -58,37 +106,164 @@ func (ib *inbox) take(src, tag int) message {
 	}
 }
 
-// Stats counts messages and payload bytes.
+// summary describes the pending contents for the watchdog dump.
+func (ib *inbox) summary() string {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if len(ib.msgs) == 0 {
+		return "empty"
+	}
+	tags := make(map[int]int)
+	for _, m := range ib.msgs {
+		tags[m.tag]++
+	}
+	keys := make([]int, 0, len(tags))
+	for t := range tags {
+		keys = append(keys, t)
+	}
+	sort.Ints(keys)
+	parts := make([]string, 0, len(keys))
+	for _, t := range keys {
+		parts = append(parts, fmt.Sprintf("tag %d ×%d", t, tags[t]))
+	}
+	return fmt.Sprintf("%d pending [%s]", len(ib.msgs), strings.Join(parts, ", "))
+}
+
+// Stats counts logical messages and payload bytes, plus the mailbox
+// pressure that traffic caused.
 type Stats struct {
 	Messages int64
 	Bytes    int64
+	// MaxQueueDepth is the peak receiver-mailbox depth (pending message
+	// count) observed when a message of this phase was enqueued.
+	MaxQueueDepth int64
+	// PeakInFlightBytes is the peak number of logical payload bytes of
+	// this phase that had been sent but not yet received.
+	PeakInFlightBytes int64
 }
 
-// Add accumulates other into s.
+// Add accumulates other into s: counters sum, peaks take the maximum.
 func (s *Stats) Add(other Stats) {
 	s.Messages += other.Messages
 	s.Bytes += other.Bytes
+	if other.MaxQueueDepth > s.MaxQueueDepth {
+		s.MaxQueueDepth = other.MaxQueueDepth
+	}
+	if other.PeakInFlightBytes > s.PeakInFlightBytes {
+		s.PeakInFlightBytes = other.PeakInFlightBytes
+	}
 }
+
+// NetStats counts physical transport activity, which the logical Stats
+// deliberately exclude: acknowledgements, retransmissions, duplicates
+// absorbed by dedup, and senders stalled on a full mailbox.
+type NetStats struct {
+	DataPackets        int64 // data packets handed to the transport, incl. retries
+	AckPackets         int64
+	Retries            int64
+	DupsDropped        int64 // duplicate data packets absorbed before the mailbox
+	WireBytes          int64 // payload bytes over the wire, incl. retries and dups
+	BackpressureStalls int64 // times a sender blocked on a full mailbox
+}
+
+// rankState is one rank's published execution state, read by the watchdog.
+type rankState struct {
+	mu    sync.Mutex
+	phase string
+	op    string // description of the blocking comm op, "" while computing
+	since time.Time
+}
+
+func (st *rankState) setPhase(phase string) {
+	st.mu.Lock()
+	st.phase = phase
+	st.mu.Unlock()
+}
+
+func (st *rankState) block(op string) {
+	st.mu.Lock()
+	st.op = op
+	st.since = time.Now()
+	st.mu.Unlock()
+}
+
+func (st *rankState) unblock() {
+	st.mu.Lock()
+	st.op = ""
+	st.mu.Unlock()
+}
+
+func (st *rankState) snapshot() (phase, op string, since time.Time) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.phase, st.op, st.since
+}
+
+const poisonedMsg = "comm: world is poisoned (a watchdog timeout or Close tore it down); create a new World"
 
 // World is a group of P communicating ranks.
 type World struct {
-	size    int
-	inboxes []*inbox
-	timeout time.Duration
+	size       int
+	inboxes    []*inbox
+	states     []*rankState
+	timeout    time.Duration
+	mailboxCap int
 
-	statsMu sync.Mutex
-	stats   map[string]Stats // per phase label
+	transport Transport
+	reliable  bool
+	sendChans []*sendChan // per (src,dst); nil when the transport is reliable
+	recvChans []*recvChan
+
+	net NetStats // updated atomically field by field
+
+	poisoned  atomic.Bool
+	closeCh   chan struct{}
+	closeOnce sync.Once
+
+	statsMu  sync.Mutex
+	stats    map[string]Stats // per phase label
+	inflight map[string]int64 // logical bytes sent but not yet received, per phase
 }
 
-// NewWorld creates a world of p ranks.
+// NewWorld creates a world of p ranks on the default perfect transport.
 func NewWorld(p int) *World {
+	return NewWorldTransport(p, NewPerfectTransport())
+}
+
+// NewWorldTransport creates a world of p ranks whose packets travel through
+// tr.  If tr is not Reliable, the world layers its ack/retry protocol on
+// top so that Send/Recv and the collectives keep exactly-once, in-order
+// semantics regardless of the faults tr injects.
+func NewWorldTransport(p int, tr Transport) *World {
 	if p < 1 {
 		panic("comm: world size must be positive")
 	}
-	w := &World{size: p, stats: make(map[string]Stats)}
+	w := &World{
+		size:       p,
+		transport:  tr,
+		reliable:   tr.Reliable(),
+		mailboxCap: DefaultMailboxCap,
+		closeCh:    make(chan struct{}),
+		stats:      make(map[string]Stats),
+		inflight:   make(map[string]int64),
+	}
 	w.inboxes = make([]*inbox, p)
+	w.states = make([]*rankState, p)
 	for i := range w.inboxes {
-		w.inboxes[i] = newInbox()
+		w.inboxes[i] = newInbox(w)
+		w.states[i] = &rankState{}
+	}
+	if !w.reliable {
+		w.sendChans = make([]*sendChan, p*p)
+		w.recvChans = make([]*recvChan, p*p)
+		for i := range w.sendChans {
+			w.sendChans[i] = &sendChan{unacked: make(map[uint64]*pending)}
+			w.recvChans[i] = &recvChan{held: make(map[uint64]Packet)}
+		}
+	}
+	tr.Start(w.onPacket)
+	if !w.reliable {
+		go w.retransmitter()
 	}
 	return w
 }
@@ -97,17 +272,79 @@ func NewWorld(p int) *World {
 func (w *World) Size() int { return w.size }
 
 // SetTimeout arms a deadlock watchdog: if a subsequent Run does not finish
-// within d, it panics instead of blocking forever.  The most common cause
-// is an SPMD discipline violation — ranks calling a collective operation a
-// different number of times, or a Recv whose matching Send never happens.
-// Zero (the default) disables the watchdog.
+// within d, it poisons the world and panics with a per-rank dump (current
+// phase, the operation each rank is blocked in, pending mailbox contents)
+// instead of blocking forever.  The most common cause is an SPMD discipline
+// violation — ranks calling a collective operation a different number of
+// times, or a Recv whose matching Send never happens.  Zero (the default)
+// disables the watchdog.
 func (w *World) SetTimeout(d time.Duration) { w.timeout = d }
 
+// SetMailboxCap bounds every rank's mailbox to n pending messages
+// (DefaultMailboxCap initially); n <= 0 removes the bound.  Must be called
+// before Run.
+func (w *World) SetMailboxCap(n int) { w.mailboxCap = n }
+
+// NetStats returns a snapshot of physical transport counters.
+func (w *World) NetStats() NetStats {
+	return NetStats{
+		DataPackets:        atomic.LoadInt64(&w.net.DataPackets),
+		AckPackets:         atomic.LoadInt64(&w.net.AckPackets),
+		Retries:            atomic.LoadInt64(&w.net.Retries),
+		DupsDropped:        atomic.LoadInt64(&w.net.DupsDropped),
+		WireBytes:          atomic.LoadInt64(&w.net.WireBytes),
+		BackpressureStalls: atomic.LoadInt64(&w.net.BackpressureStalls),
+	}
+}
+
+// Poisoned reports whether the world has been torn down by a watchdog
+// timeout or Close; all further communication on it fails loudly.
+func (w *World) Poisoned() bool { return w.poisoned.Load() }
+
+// Close stops the transport and the retransmission loop.  The world must
+// not be used afterwards.  Idempotent.
+func (w *World) Close() {
+	w.poison()
+}
+
+// poison marks the world dead and wakes every blocked goroutine so that
+// rank goroutines leaked by a watchdog timeout terminate (by panicking on
+// their next — or current — comm operation) instead of silently mutating
+// shared state forever.
+func (w *World) poison() {
+	w.poisoned.Store(true)
+	w.closeOnce.Do(func() {
+		close(w.closeCh)
+		w.transport.Stop()
+	})
+	for _, ib := range w.inboxes {
+		ib.mu.Lock() // ensure waiters are between checks, not mid-scan
+		ib.mu.Unlock()
+		ib.cond.Broadcast()
+	}
+}
+
+func (w *World) checkLive() {
+	if w.poisoned.Load() {
+		panic(poisonedMsg)
+	}
+}
+
+// panicGrace is how long Run waits for the surviving ranks after one rank
+// panicked before tearing the world down: a dead rank usually deadlocks
+// its peers (their collectives will never complete), and waiting for the
+// full watchdog timeout would only delay the report.
+const panicGrace = 5 * time.Second
+
 // Run executes fn concurrently on every rank and blocks until all ranks
-// return.  A panic on any rank is re-raised on the caller.
+// return.  Panics are re-raised on the caller: if several ranks panicked,
+// all of them are reported, not just the first.  If a watchdog timeout is
+// armed (SetTimeout) and expires, Run poisons the world and panics with a
+// per-rank diagnostic dump naming the operation each rank is blocked in.
 func (w *World) Run(fn func(c *Comm)) {
+	w.checkLive()
 	var wg sync.WaitGroup
-	panics := make(chan interface{}, w.size)
+	panics := make(chan string, w.size)
 	for r := 0; r < w.size; r++ {
 		wg.Add(1)
 		go func(rank int) {
@@ -117,7 +354,10 @@ func (w *World) Run(fn func(c *Comm)) {
 					panics <- fmt.Sprintf("rank %d: %v", rank, p)
 				}
 			}()
-			fn(&Comm{rank: rank, world: w, phase: "default"})
+			st := w.states[rank]
+			st.setPhase("default")
+			st.unblock()
+			fn(&Comm{rank: rank, world: w, st: st, phase: "default"})
 		}(r)
 	}
 	done := make(chan struct{})
@@ -125,21 +365,93 @@ func (w *World) Run(fn func(c *Comm)) {
 		wg.Wait()
 		close(done)
 	}()
+
+	var watchdogC <-chan time.Time
 	if w.timeout > 0 {
+		t := time.NewTimer(w.timeout)
+		defer t.Stop()
+		watchdogC = t.C
+	}
+	var collected []string
+	var graceC <-chan time.Time
+	for {
 		select {
 		case <-done:
-		case <-time.After(w.timeout):
-			panic(fmt.Sprintf("comm: world of %d ranks did not finish within %v "+
-				"(likely deadlock: mismatched collectives or unmatched Recv)", w.size, w.timeout))
+			collected = append(collected, drainPanics(panics)...)
+			if len(collected) > 0 {
+				panic(aggregatePanics(collected))
+			}
+			return
+		case p := <-panics:
+			collected = append(collected, p)
+			if graceC == nil {
+				t := time.NewTimer(panicGrace)
+				defer t.Stop()
+				graceC = t.C
+			}
+		case <-graceC:
+			dump := w.stuckDump()
+			w.poison()
+			collected = append(collected, drainPanics(panics)...)
+			panic(fmt.Sprintf("%s\ncomm: remaining ranks did not finish within %v of the first panic; per-rank state:\n%s",
+				aggregatePanics(collected), panicGrace, dump))
+		case <-watchdogC:
+			dump := w.stuckDump()
+			w.poison()
+			collected = append(collected, drainPanics(panics)...)
+			msg := fmt.Sprintf("comm: watchdog: world of %d ranks did not finish within %v "+
+				"(likely deadlock: mismatched collectives or unmatched Recv); per-rank state:\n%s",
+				w.size, w.timeout, dump)
+			if len(collected) > 0 {
+				msg += "\n" + aggregatePanics(collected)
+			}
+			panic(msg)
 		}
-	} else {
-		<-done
 	}
-	select {
-	case p := <-panics:
-		panic(p)
-	default:
+}
+
+func drainPanics(panics chan string) []string {
+	var out []string
+	for {
+		select {
+		case p := <-panics:
+			out = append(out, p)
+		default:
+			return out
+		}
 	}
+}
+
+func aggregatePanics(collected []string) string {
+	if len(collected) == 1 {
+		return collected[0]
+	}
+	return fmt.Sprintf("comm: %d ranks panicked:\n  %s",
+		len(collected), strings.Join(collected, "\n  "))
+}
+
+// stuckDump renders the per-rank diagnostic the watchdog reports: phase,
+// the comm operation the rank is blocked in and for how long, and the
+// pending mailbox contents; plus, on an unreliable transport, the channels
+// with unacknowledged packets.
+func (w *World) stuckDump() string {
+	var b strings.Builder
+	for r := 0; r < w.size; r++ {
+		phase, op, since := w.states[r].snapshot()
+		fmt.Fprintf(&b, "  rank %d: phase %q: ", r, phase)
+		if op == "" {
+			b.WriteString("running (not blocked in comm)")
+		} else {
+			fmt.Fprintf(&b, "blocked %v in %s", time.Since(since).Round(time.Millisecond), op)
+		}
+		fmt.Fprintf(&b, "; inbox %s\n", w.inboxes[r].summary())
+	}
+	if !w.reliable {
+		if lines := w.unackedSummary(); len(lines) > 0 {
+			fmt.Fprintf(&b, "  unacked channels: %s\n", strings.Join(lines, ", "))
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // PhaseStats returns the accumulated statistics for one phase label.
@@ -171,12 +483,37 @@ func (w *World) Phases() []string {
 	return out
 }
 
+// record meters one logical send: message count, payload bytes, and the
+// in-flight high-water mark, attributed to the sender's phase.
 func (w *World) record(phase string, bytes int) {
 	w.statsMu.Lock()
 	s := w.stats[phase]
 	s.Messages++
 	s.Bytes += int64(bytes)
+	w.inflight[phase] += int64(bytes)
+	if w.inflight[phase] > s.PeakInFlightBytes {
+		s.PeakInFlightBytes = w.inflight[phase]
+	}
 	w.stats[phase] = s
+	w.statsMu.Unlock()
+}
+
+// noteQueueDepth records the mailbox depth observed when a message of the
+// given phase was enqueued.
+func (w *World) noteQueueDepth(phase string, depth int) {
+	w.statsMu.Lock()
+	s := w.stats[phase]
+	if int64(depth) > s.MaxQueueDepth {
+		s.MaxQueueDepth = int64(depth)
+		w.stats[phase] = s
+	}
+	w.statsMu.Unlock()
+}
+
+// noteDequeue retires a delivered message from the in-flight account.
+func (w *World) noteDequeue(phase string, bytes int) {
+	w.statsMu.Lock()
+	w.inflight[phase] -= int64(bytes)
 	w.statsMu.Unlock()
 }
 
@@ -185,6 +522,7 @@ func (w *World) record(phase string, bytes int) {
 type Comm struct {
 	rank  int
 	world *World
+	st    *rankState
 	phase string
 	seq   int // collective sequence number for tag generation
 }
@@ -196,10 +534,13 @@ func (c *Comm) Rank() int { return c.rank }
 func (c *Comm) Size() int { return c.world.size }
 
 // SetPhase labels subsequent traffic for statistics attribution.
-func (c *Comm) SetPhase(phase string) { c.phase = phase }
+func (c *Comm) SetPhase(phase string) {
+	c.phase = phase
+	c.st.setPhase(phase)
+}
 
-// Send delivers data to rank dst with the given tag.  It never blocks
-// (mailboxes are unbounded).  Tags must be non-negative; negative tags are
+// Send delivers data to rank dst with the given tag.  It blocks only under
+// mailbox backpressure.  Tags must be non-negative; negative tags are
 // reserved for collectives.
 func (c *Comm) Send(dst, tag int, data []byte) {
 	if tag < 0 {
@@ -212,8 +553,17 @@ func (c *Comm) send(dst, tag int, data []byte) {
 	if dst < 0 || dst >= c.world.size {
 		panic(fmt.Sprintf("comm: send to invalid rank %d", dst))
 	}
+	c.world.checkLive()
 	c.world.record(c.phase, len(data))
-	c.world.inboxes[dst].put(message{src: c.rank, tag: tag, data: data})
+	c.world.post(c.rank, dst, tag, data, c.phase)
+}
+
+// recvBlocking performs a blocking mailbox take with the rank's published
+// state set to op, so the watchdog can name what this rank is waiting for.
+func (c *Comm) recvBlocking(src, tag int, op string) message {
+	c.st.block(op)
+	defer c.st.unblock()
+	return c.world.inboxes[c.rank].take(src, tag)
 }
 
 // Recv blocks until a message with the given tag arrives from rank src and
@@ -222,7 +572,7 @@ func (c *Comm) Recv(src, tag int) []byte {
 	if tag < 0 {
 		panic("comm: negative tags are reserved")
 	}
-	return c.world.inboxes[c.rank].take(src, tag).data
+	return c.recvBlocking(src, tag, fmt.Sprintf("Recv(src=%d, tag=%d)", src, tag)).data
 }
 
 // RecvAny blocks until a message with the given tag arrives from any rank
@@ -231,7 +581,7 @@ func (c *Comm) RecvAny(tag int) (src int, data []byte) {
 	if tag < 0 {
 		panic("comm: negative tags are reserved")
 	}
-	m := c.world.inboxes[c.rank].take(-1, tag)
+	m := c.recvBlocking(-1, tag, fmt.Sprintf("RecvAny(tag=%d)", tag))
 	return m.src, m.data
 }
 
@@ -258,17 +608,18 @@ func (c *Comm) Barrier() {
 		dst := (c.rank + dist) % p
 		src := (c.rank - dist + p) % p
 		c.sendCollective(dst, tag, nil)
-		c.recvCollective(src, tag)
+		c.recvCollective(src, tag, fmt.Sprintf("Barrier #%d (dissemination dist %d, awaiting rank %d)", c.seq, dist, src))
 	}
 }
 
 func (c *Comm) sendCollective(dst, tag int, data []byte) {
+	c.world.checkLive()
 	c.world.record(c.phase, len(data))
-	c.world.inboxes[dst].put(message{src: c.rank, tag: tag, data: data})
+	c.world.post(c.rank, dst, tag, data, c.phase)
 }
 
-func (c *Comm) recvCollective(src, tag int) []byte {
-	return c.world.inboxes[c.rank].take(src, tag).data
+func (c *Comm) recvCollective(src, tag int, op string) []byte {
+	return c.recvBlocking(src, tag, op).data
 }
 
 // Allgatherv gathers each rank's variable-length byte block on every rank,
@@ -288,7 +639,8 @@ func (c *Comm) Allgatherv(own []byte) [][]byte {
 	for step := 1; step < p; step++ {
 		c.sendCollective(next, tag, blocks[cur])
 		cur = (cur - 1 + p) % p
-		blocks[cur] = c.recvCollective(prev, tag)
+		blocks[cur] = c.recvCollective(prev, tag,
+			fmt.Sprintf("Allgatherv #%d (ring step %d/%d, awaiting rank %d)", c.seq, step, p-1, prev))
 	}
 	return blocks
 }

@@ -1,0 +1,198 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements exactly-once, in-order delivery over an arbitrary
+// Transport, the way a real message-passing stack rides a lossy fabric:
+//
+//   - every data packet on a (src, dst) channel carries a sequence number;
+//   - the receiver holds out-of-order packets until the gap fills, drops
+//     duplicates, and releases messages to the mailbox strictly in
+//     sequence order;
+//   - the receiver answers every data packet with a cumulative ack, and
+//     the sender retransmits unacknowledged packets with exponential
+//     backoff until they are acked.
+//
+// None of this is visible above Recv: the logical channel stays lossless
+// and FIFO per (src, dst, tag), and the logical meters (Stats) count each
+// Send exactly once.  Physical traffic is accounted in NetStats.
+//
+// When the Transport is Reliable (the default PerfectTransport), the
+// whole protocol is bypassed and packets flow straight into the mailbox.
+
+const (
+	// retryBase is the initial retransmission timeout.  Chaos delays are
+	// sub-millisecond, so most acks beat the first retry.
+	retryBase = 3 * time.Millisecond
+	// retryMax caps the exponential backoff.
+	retryMax = 25 * time.Millisecond
+	// retryTick is the granularity of the retransmission scan.
+	retryTick = 500 * time.Microsecond
+)
+
+// pending is one unacknowledged data packet on the sender side.
+type pending struct {
+	pkt     Packet
+	due     time.Time
+	backoff time.Duration
+	attempt int
+}
+
+// sendChan is the sender-side state of one directed (src, dst) channel.
+type sendChan struct {
+	mu      sync.Mutex
+	nextSeq uint64
+	unacked map[uint64]*pending
+}
+
+// recvChan is the receiver-side state of one directed (src, dst) channel.
+type recvChan struct {
+	mu       sync.Mutex
+	expected uint64            // next sequence number to release
+	held     map[uint64]Packet // out-of-order packets awaiting the gap
+}
+
+func (w *World) sendChan(src, dst int) *sendChan { return w.sendChans[src*w.size+dst] }
+func (w *World) recvChan(src, dst int) *recvChan { return w.recvChans[src*w.size+dst] }
+
+// post injects one logical message into the network below the metering
+// layer.  On a reliable transport it is a plain delivery; otherwise it is
+// enrolled in the ack/retry protocol first.
+func (w *World) post(src, dst, tag int, data []byte, phase string) {
+	pkt := Packet{Src: src, Dst: dst, Kind: PacketData, Tag: tag, Data: data, phase: phase}
+	if !w.reliable {
+		ch := w.sendChan(src, dst)
+		ch.mu.Lock()
+		pkt.Seq = ch.nextSeq
+		ch.nextSeq++
+		ch.unacked[pkt.Seq] = &pending{pkt: pkt, due: time.Now().Add(retryBase), backoff: retryBase}
+		ch.mu.Unlock()
+	}
+	atomic.AddInt64(&w.net.DataPackets, 1)
+	atomic.AddInt64(&w.net.WireBytes, int64(len(data)))
+	w.transport.Send(pkt)
+}
+
+// onPacket is the delivery callback every Transport invokes; it runs on
+// transport goroutines (or the sender's, for synchronous transports).
+func (w *World) onPacket(p Packet) {
+	if w.poisoned.Load() {
+		return // late deliveries into a dead world are discarded
+	}
+	if w.reliable {
+		w.inboxes[p.Dst].put(message{src: p.Src, tag: p.Tag, phase: p.phase, data: p.Data})
+		return
+	}
+	switch p.Kind {
+	case PacketAck:
+		// The ack from p.Src acknowledges the (p.Dst -> p.Src) channel.
+		ch := w.sendChan(p.Dst, p.Src)
+		ch.mu.Lock()
+		for seq := range ch.unacked {
+			if seq < p.Seq {
+				delete(ch.unacked, seq)
+			}
+		}
+		ch.mu.Unlock()
+	case PacketData:
+		rc := w.recvChan(p.Src, p.Dst)
+		rc.mu.Lock()
+		var release []Packet
+		if _, dup := rc.held[p.Seq]; p.Seq < rc.expected || dup {
+			atomic.AddInt64(&w.net.DupsDropped, 1)
+		} else {
+			rc.held[p.Seq] = p
+			for {
+				next, ok := rc.held[rc.expected]
+				if !ok {
+					break
+				}
+				delete(rc.held, rc.expected)
+				rc.expected++
+				release = append(release, next)
+			}
+		}
+		ack := rc.expected
+		rc.mu.Unlock()
+		// Release in sequence order outside the channel lock: put may
+		// block under backpressure, and acks must not be held hostage by
+		// a full mailbox on some *other* channel's delivery.
+		for _, pkt := range release {
+			w.inboxes[pkt.Dst].put(message{src: pkt.Src, tag: pkt.Tag, phase: pkt.phase, data: pkt.Data})
+		}
+		atomic.AddInt64(&w.net.AckPackets, 1)
+		w.transport.Send(Packet{Src: p.Dst, Dst: p.Src, Kind: PacketAck, Seq: ack})
+	}
+}
+
+// retransmitter periodically rescans all channels for overdue unacked
+// packets and resends them with exponential backoff.  It runs for the
+// lifetime of a world on an unreliable transport and exits on Close or
+// poison.
+func (w *World) retransmitter() {
+	ticker := time.NewTicker(retryTick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.closeCh:
+			return
+		case now := <-ticker.C:
+			var resend []Packet
+			for _, ch := range w.sendChans {
+				ch.mu.Lock()
+				for _, pd := range ch.unacked {
+					if now.After(pd.due) {
+						pd.attempt++
+						pd.backoff *= 2
+						if pd.backoff > retryMax {
+							pd.backoff = retryMax
+						}
+						pd.due = now.Add(pd.backoff)
+						pkt := pd.pkt
+						pkt.Attempt = pd.attempt
+						resend = append(resend, pkt)
+					}
+				}
+				ch.mu.Unlock()
+			}
+			for _, pkt := range resend {
+				atomic.AddInt64(&w.net.Retries, 1)
+				atomic.AddInt64(&w.net.DataPackets, 1)
+				atomic.AddInt64(&w.net.WireBytes, int64(len(pkt.Data)))
+				w.transport.Send(pkt)
+			}
+		}
+	}
+}
+
+// unackedSummary lists channels with outstanding unacknowledged packets,
+// for the watchdog dump.
+func (w *World) unackedSummary() []string {
+	var lines []string
+	for src := 0; src < w.size; src++ {
+		for dst := 0; dst < w.size; dst++ {
+			ch := w.sendChan(src, dst)
+			ch.mu.Lock()
+			if n := len(ch.unacked); n > 0 {
+				oldest := uint64(1<<64 - 1)
+				attempts := 0
+				for seq, pd := range ch.unacked {
+					if seq < oldest {
+						oldest, attempts = seq, pd.attempt
+					}
+				}
+				lines = append(lines, fmt.Sprintf("%d->%d: %d unacked (oldest seq %d, attempt %d)",
+					src, dst, n, oldest, attempts))
+			}
+			ch.mu.Unlock()
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}

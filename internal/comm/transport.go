@@ -1,0 +1,89 @@
+package comm
+
+// This file defines the physical layer of the simulated network: the
+// Transport interface sits between a World's logical channel (Send/Recv,
+// collectives, metered per phase) and the per-rank mailboxes.  A Transport
+// moves Packets; it is free to delay, reorder, duplicate or drop them.  The
+// reliable-delivery protocol in reliable.go absorbs those faults below
+// Recv, so the algorithms above (notify, balance query/response) never see
+// them — exactly the property a real MPI stack provides over a lossy
+// fabric.
+//
+// Two implementations ship with the package: PerfectTransport (the
+// default; instant, lossless, ordered) and ChaosTransport (chaos.go;
+// seeded fault injection).
+
+// PacketKind distinguishes payload-carrying packets from protocol acks.
+type PacketKind uint8
+
+const (
+	// PacketData carries one logical message (or a retransmission of one).
+	PacketData PacketKind = iota
+	// PacketAck is a cumulative acknowledgement: Seq acknowledges every
+	// data packet on the (Dst -> Src) channel with sequence number < Seq.
+	PacketAck
+)
+
+func (k PacketKind) String() string {
+	if k == PacketAck {
+		return "ack"
+	}
+	return "data"
+}
+
+// Packet is one datagram on the simulated wire.
+type Packet struct {
+	Src, Dst int
+	Kind     PacketKind
+	Tag      int
+	// Seq is the per-(Src,Dst)-channel sequence number for data packets;
+	// for acks it is the cumulative acknowledgement (all seq < Seq seen).
+	Seq uint64
+	// Attempt counts retransmissions of the same sequence number (0 for
+	// the first transmission).  Fault injectors key their per-packet
+	// decisions on (channel, Seq, Attempt) so a retried packet gets a
+	// fresh, deterministic fate and delivery is eventually achieved.
+	Attempt int
+	Data    []byte
+
+	// phase is metering metadata (the sender's phase label at logical
+	// send time), not wire data; it attributes mailbox pressure to the
+	// phase that caused it.
+	phase string
+}
+
+// Transport moves packets from senders to the destination endpoint.
+type Transport interface {
+	// Start installs the delivery callback.  It is called exactly once,
+	// before any Send; deliver is safe for concurrent use.
+	Start(deliver func(Packet))
+	// Send submits one packet for delivery.  The transport may invoke
+	// deliver synchronously on the calling goroutine or later from its
+	// own goroutines; it may also drop or duplicate the packet.
+	Send(p Packet)
+	// Reliable reports whether the transport guarantees exactly-once,
+	// in-order delivery per (src, dst) channel.  When true the World
+	// bypasses the ack/retry protocol and packets flow straight into the
+	// destination mailbox.
+	Reliable() bool
+	// Stop tears the transport down; deliveries after Stop are discarded.
+	Stop()
+}
+
+// PerfectTransport is the default transport: synchronous, lossless and
+// ordered, preserving the exact semantics the simulation had before the
+// transport layer existed.
+type PerfectTransport struct {
+	deliver func(Packet)
+}
+
+// NewPerfectTransport returns the lossless default transport.
+func NewPerfectTransport() *PerfectTransport { return &PerfectTransport{} }
+
+func (t *PerfectTransport) Start(deliver func(Packet)) { t.deliver = deliver }
+
+func (t *PerfectTransport) Send(p Packet) { t.deliver(p) }
+
+func (t *PerfectTransport) Reliable() bool { return true }
+
+func (t *PerfectTransport) Stop() {}

@@ -608,3 +608,43 @@ func TestBalanceManyRanksStress(t *testing.T) {
 		t.Fatalf("old/new disagree at P=64: %#x vs %#x", sums[0], sums[1])
 	}
 }
+
+// TestBalanceUnderChaosTransport runs the full one-pass balance — the
+// query/response loop the paper builds on lossless ordered MPI — over a
+// fault-injecting transport and requires the result to match the serial
+// oracle octant-for-octant.  Drops, duplicates, reordering and rank stalls
+// must all be absorbed by the reliable-delivery layer below Recv.
+func TestBalanceUnderChaosTransport(t *testing.T) {
+	conn := NewBrick(2, 3, 2, 1, [3]bool{true, false, false})
+	const k = 2
+	for _, p := range []int{2, 5, 8} {
+		for _, scheme := range []NotifyScheme{NotifyNaive, NotifyRanges, NotifyDC} {
+			// Oracle and perfect-transport baseline.
+			forests := runForest(t, conn, p, 1, func(c *comm.Comm, f *Forest) {
+				f.Refine(c, 5, fractalRefine(5))
+				f.Partition(c, nil)
+			})
+			want := RefBalance(conn, gather(conn, forests), k)
+
+			tr := comm.NewChaosTransport(comm.DefaultChaosConfig(uint64(31*p) + uint64(scheme)))
+			w := comm.NewWorldTransport(p, tr)
+			w.SetTimeout(2 * time.Minute)
+			balanced := make([]*Forest, p)
+			w.Run(func(c *comm.Comm) {
+				f := NewUniform(conn, c, 1)
+				f.Refine(c, 5, fractalRefine(5))
+				f.Partition(c, nil)
+				f.Balance(c, k, BalanceOptions{Notify: scheme})
+				balanced[c.Rank()] = f
+			})
+			counts := tr.Counts()
+			w.Close()
+			if got := gather(conn, balanced); !forestsEqual(got, want) {
+				t.Fatalf("P=%d notify=%v: balance under chaos diverged from the serial oracle", p, scheme)
+			}
+			if counts.Dropped == 0 && counts.Duplicated == 0 && counts.Delayed == 0 {
+				t.Fatalf("P=%d notify=%v: chaos transport injected no faults (%+v) — the test is vacuous", p, scheme, counts)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/forest"
+	"repro/internal/otest"
 )
 
 // TestDifferentialSeeds is the in-tree slice of the stress harness: a fixed
@@ -209,4 +210,58 @@ func TestAuditPassesHealthyPipeline(t *testing.T) {
 	if res := Run(sc); res.Err != nil {
 		t.Fatalf("healthy pipeline failed audit/oracle: %v", res.Err)
 	}
+}
+
+// TestChaosDifferentialSeeds is the in-tree slice of the chaos sweep: the
+// same seed band as TestDifferentialSeeds, but every scenario is run twice
+// — perfect transport and seeded chaos transport — and must produce the
+// identical balanced forest (same checksum, and each leg independently
+// matches the serial oracle inside Run).
+func TestChaosDifferentialSeeds(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		sc := FromSeed(seed)
+		perfect := Run(sc)
+		if perfect.Err != nil {
+			t.Fatalf("scenario %v failed on the perfect transport: %v", sc, perfect.Err)
+		}
+		csc := sc.WithChaos(otest.SplitMix64(uint64(seed)^0xC4A05) | 1)
+		chaotic := Run(csc)
+		if chaotic.Err != nil {
+			t.Fatalf("scenario %v failed under chaos: %v\n\nrepro skeleton:\n%s",
+				csc, chaotic.Err, ReproSource(csc, chaotic.Err))
+		}
+		if chaotic.Checksum != perfect.Checksum {
+			t.Fatalf("scenario %v: chaos run diverged from perfect transport: checksum %#x != %#x",
+				csc, chaotic.Checksum, perfect.Checksum)
+		}
+	}
+}
+
+// TestChaosCanaryCatchesLoss plants real message loss (chaos drops with
+// the reliable-delivery layer disabled) and requires the harness to catch
+// it — via the watchdog's stuck-rank dump or an oracle/audit failure.  If
+// this scenario ever passes, reliable delivery has stopped protecting the
+// balance exchange.
+func TestChaosCanaryCatchesLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deliberately deadlocks; skipped in -short")
+	}
+	old := canaryWorldTimeout
+	canaryWorldTimeout = 3 * time.Second
+	defer func() { canaryWorldTimeout = old }()
+
+	sc := FromSeed(2).WithChaos(0xC0FFEE)
+	sc.ChaosCanary = true
+	if sc.Ranks < 2 {
+		t.Fatalf("canary scenario must be multi-rank, got %v", sc)
+	}
+	res := Run(sc)
+	if res.Err == nil {
+		t.Fatal("scenario survived without reliable delivery — the lost-message canary is dead")
+	}
+	t.Logf("canary caught, as it should be: %.300s", res.Err.Error())
 }

@@ -17,6 +17,12 @@ type Result struct {
 	LeavesBefore int64 // global leaves after refinement, before balance
 	LeavesAfter  int64 // global leaves after the parallel balance
 
+	// Checksum is the partition-invariant digest of the balanced forest
+	// (forest.ChecksumGlobal).  A scenario run under chaos must produce
+	// the same checksum as the perfect-transport run of the same
+	// scenario; cmd/stress -chaos asserts exactly that.
+	Checksum uint64
+
 	// Err is non-nil when the run failed: an oracle mismatch, an audit
 	// violation, or a panic/deadlock inside the simulated world.
 	Err error
@@ -45,8 +51,34 @@ func (e *MismatchError) Error() string {
 
 // worldTimeout is the deadlock watchdog per scenario.  Scenarios are small;
 // anything over this is a hung collective, which the watchdog converts into
-// a panic that Run reports as a failure.
+// a panic that Run reports as a failure.  Canary scenarios (reliability
+// disabled under chaos) are *supposed* to deadlock, so they get a short
+// fuse: the watchdog firing is the expected outcome, not a budget for
+// useful work.
 const worldTimeout = 2 * time.Minute
+
+// canaryWorldTimeout is a variable so tests can shorten the fuse further.
+var canaryWorldTimeout = 10 * time.Second
+
+// newScenarioWorld builds the simulated world the scenario asks for: the
+// perfect transport by default, a seeded chaos transport when ChaosSeed is
+// set, and — for canary runs — chaos without the reliable-delivery layer.
+func newScenarioWorld(sc Scenario) *comm.World {
+	if sc.ChaosSeed == 0 {
+		w := comm.NewWorld(sc.Ranks)
+		w.SetTimeout(worldTimeout)
+		return w
+	}
+	cfg := comm.DefaultChaosConfig(sc.ChaosSeed)
+	cfg.DisableReliability = sc.ChaosCanary
+	w := comm.NewWorldTransport(sc.Ranks, comm.NewChaosTransport(cfg))
+	if sc.ChaosCanary {
+		w.SetTimeout(canaryWorldTimeout)
+	} else {
+		w.SetTimeout(worldTimeout)
+	}
+	return w
+}
 
 // Run executes the scenario end-to-end: build, refine, partition, balance
 // in parallel under the simulated communicator, audit the distributed
@@ -66,8 +98,8 @@ func Run(sc Scenario) (res Result) {
 	refine := sc.Refiner()
 	opts := sc.Options()
 
-	w := comm.NewWorld(sc.Ranks)
-	w.SetTimeout(worldTimeout)
+	w := newScenarioWorld(sc)
+	defer w.Close()
 	before := make([][]forest.TreeChunk, sc.Ranks)
 	forests := make([]*forest.Forest, sc.Ranks)
 	auditErrs := make([]error, sc.Ranks)
@@ -106,6 +138,7 @@ func Run(sc Scenario) (res Result) {
 	afterTrees := gatherForests(conn, forests)
 	res.LeavesBefore = countLeaves(beforeTrees)
 	res.LeavesAfter = countLeaves(afterTrees)
+	res.Checksum = forest.ChecksumGlobal(afterTrees)
 
 	want := forest.RefBalance(conn, beforeTrees, sc.K)
 	if err := diffForests(afterTrees, want, sc); err != nil {

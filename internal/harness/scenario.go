@@ -119,6 +119,27 @@ type Scenario struct {
 	Algo      forest.Algo
 	Notify    forest.NotifyScheme
 	MaxRanges int // for NotifyRanges; 0 = default
+
+	// ChaosSeed, when non-zero, runs the scenario on a seeded
+	// comm.ChaosTransport (message drops, duplication, delay/reordering
+	// and per-rank stalls) instead of the perfect transport.  The
+	// balanced forest must come out octant-for-octant identical either
+	// way — that is the transport-robustness claim the chaos sweep
+	// verifies.
+	ChaosSeed uint64
+	// ChaosCanary additionally disables the reliable-delivery protocol,
+	// so injected drops become real message loss.  A canary scenario is
+	// EXPECTED to fail (deadlock caught by the watchdog, or an oracle
+	// mismatch); if it passes, reliable delivery has silently stopped
+	// mattering and the chaos sweep has lost its teeth.
+	ChaosCanary bool
+}
+
+// WithChaos returns a copy of the scenario that runs under seeded
+// transport fault injection.
+func (sc Scenario) WithChaos(seed uint64) Scenario {
+	sc.ChaosSeed = seed
+	return sc
 }
 
 // FromSeed deterministically derives a Scenario from one seed.
@@ -311,9 +332,16 @@ func (sc Scenario) String() string {
 	if sc.MaskPct > 0 {
 		mask = fmt.Sprintf("%d%%", sc.MaskPct)
 	}
-	return fmt.Sprintf("seed=%d dim=%d k=%d brick=%dx%dx%d per=%s mask=%s P=%d lvl=%d..%d ref=%v part=%v algo=%v notify=%d",
+	chaos := ""
+	if sc.ChaosSeed != 0 {
+		chaos = fmt.Sprintf(" chaos=%d", sc.ChaosSeed)
+		if sc.ChaosCanary {
+			chaos += "(canary)"
+		}
+	}
+	return fmt.Sprintf("seed=%d dim=%d k=%d brick=%dx%dx%d per=%s mask=%s P=%d lvl=%d..%d ref=%v part=%v algo=%v notify=%d%s",
 		sc.Seed, sc.Dim, sc.K, sc.NX, sc.NY, sc.NZ, per, mask,
-		sc.Ranks, sc.BaseLevel, sc.MaxLevel, sc.Refine, sc.Partition, sc.Algo, sc.Notify)
+		sc.Ranks, sc.BaseLevel, sc.MaxLevel, sc.Refine, sc.Partition, sc.Algo, sc.Notify, chaos)
 }
 
 // GoLiteral renders the scenario as a Go composite literal, used by the
@@ -336,6 +364,9 @@ func (sc Scenario) GoLiteral() string {
 	add("Refine: harness.%s, RefineSeed: %#x, RefinePct: %d,", refKindIdent(sc.Refine), sc.RefineSeed, sc.RefinePct)
 	add("Partition: harness.%s,", partModeIdent(sc.Partition))
 	add("Algo: %d, Notify: %d, MaxRanges: %d,", int(sc.Algo), int(sc.Notify), sc.MaxRanges)
+	if sc.ChaosSeed != 0 {
+		add("ChaosSeed: %#x, ChaosCanary: %v,", sc.ChaosSeed, sc.ChaosCanary)
+	}
 	return s + "\t}"
 }
 

@@ -55,6 +55,13 @@ func shrinkCandidates(sc Scenario) []Scenario {
 	var out []Scenario
 	add := func(s Scenario) { out = append(out, s) }
 
+	// No chaos: if the failure survives on the perfect transport, the
+	// transport layer is exonerated and the repro is easier to debug.
+	if sc.ChaosSeed != 0 && !sc.ChaosCanary {
+		s := sc
+		s.ChaosSeed = 0
+		add(s)
+	}
 	// Fewer trees.
 	if sc.NX > 1 {
 		s := sc

@@ -4,9 +4,24 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/comm"
 )
+
+// supersetOf reports whether sorted got contains every element of want.
+func supersetOf(got, want []int) bool {
+	i := 0
+	for _, w := range want {
+		for i < len(got) && got[i] < w {
+			i++
+		}
+		if i >= len(got) || got[i] != w {
+			return false
+		}
+	}
+	return true
+}
 
 // randomPattern builds, for each of p ranks, a random receiver list, and
 // returns both the lists and the exact reversal (senders per rank).
@@ -294,4 +309,39 @@ func TestNotifyLargeWorld(t *testing.T) {
 		t.Fatalf("message count %d exceeds O(P log P) bound %d", st.Messages, p*9*2)
 	}
 	t.Logf("P=%d: %d messages, %d bytes", p, st.Messages, st.Bytes)
+}
+
+// TestNotifySchemesUnderChaos reruns the exact-reversal property on a
+// fault-injecting transport: the asynchronous point-to-point exchange of
+// the divide-and-conquer Notify is exactly the pattern where reordering
+// and duplication leak into correctness if the reliable-delivery layer
+// below Recv ever regresses.
+func TestNotifySchemesUnderChaos(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range []int{2, 3, 5, 8, 13} {
+		receivers, want := randomPattern(rng, p, 0.3)
+		for name, scheme := range map[string]func(*comm.Comm, []int) []int{
+			"naive":  Naive,
+			"notify": Notify,
+			"ranges": func(c *comm.Comm, r []int) []int { return Ranges(c, r, 4) },
+		} {
+			tr := comm.NewChaosTransport(comm.DefaultChaosConfig(uint64(1000*p) + 17))
+			w := comm.NewWorldTransport(p, tr)
+			w.SetTimeout(2 * time.Minute)
+			got := make([][]int, p)
+			w.Run(func(c *comm.Comm) {
+				got[c.Rank()] = scheme(c, receivers[c.Rank()])
+			})
+			w.Close()
+			for q := 0; q < p; q++ {
+				ok := equalInts(got[q], want[q])
+				if name == "ranges" {
+					ok = supersetOf(got[q], want[q])
+				}
+				if !ok {
+					t.Fatalf("%s P=%d rank %d under chaos: got %v, want %v", name, p, q, got[q], want[q])
+				}
+			}
+		}
+	}
 }
