@@ -1,0 +1,56 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// asyncTransport delivers every packet on its own goroutine with no delay
+// ordering guarantee — a legal Transport per the interface contract, and
+// an approximation of ChaosTransport's time.AfterFunc path.
+type asyncTransport struct {
+	deliver func(Packet)
+	wg      sync.WaitGroup
+}
+
+func (t *asyncTransport) Start(d func(Packet)) { t.deliver = d }
+func (t *asyncTransport) Send(p Packet) {
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.deliver(p)
+	}()
+}
+func (t *asyncTransport) Reliable() bool { return false }
+func (t *asyncTransport) Stop()          {}
+
+func TestScratchReleaseOrdering(t *testing.T) {
+	const p, n = 2, 2000
+	for iter := 0; iter < 200; iter++ {
+		tr := &asyncTransport{}
+		w := NewWorldTransport(p, tr)
+		w.SetTimeout(30 * time.Second)
+		bad := false
+		w.Run(func(c *Comm) {
+			if c.Rank() == 0 {
+				for i := 0; i < n; i++ {
+					c.Send(1, 3, []byte{byte(i / 256), byte(i % 256)})
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					got := c.Recv(0, 3)
+					if int(got[0])*256+int(got[1]) != i {
+						bad = true
+						t.Errorf("iter %d: message %d arrived as %d", iter, i, int(got[0])*256+int(got[1]))
+						return
+					}
+				}
+			}
+		})
+		w.Close()
+		if bad {
+			return
+		}
+	}
+}
