@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 
 	octbalance "repro"
@@ -36,6 +37,7 @@ func main() {
 		grid      = flag.Int("grid", 8, "ice sheet tree grid extent")
 		seed      = flag.Int64("seed", 42, "random workload seed")
 		prob      = flag.Int("prob", 22, "random workload split probability (percent)")
+		jsonOut   = flag.String("json", "", "also write the runs as a bench record to this path")
 	)
 	flag.Parse()
 
@@ -90,6 +92,16 @@ func main() {
 	fmt.Printf("forest: %v, ranks %d, workload %s, notify %s\n\n",
 		base.Conn, *ranks, *workloadF, scheme)
 
+	kEff := *k
+	if kEff == 0 {
+		kEff = base.Conn.Dim()
+	}
+	rec := &obs.BenchRecord{
+		Schema: obs.BenchSchema, Workload: *workloadF, Dim: base.Conn.Dim(),
+		Ranks: *ranks, K: kEff, Notify: scheme.String(),
+		BaseLevel: *level, MaxLevel: *level + *depth, Env: obs.CurrentEnv(),
+	}
+
 	tbl := stats.NewTable("one-pass 2:1 balance (seconds; comm volume in bytes)",
 		"algo", "octants before", "octants after", "total", "local bal", "notify", "query/resp", "rebalance", "msgs", "bytes")
 	var results []octbalance.Result
@@ -98,24 +110,29 @@ func main() {
 		e.Options = octbalance.BalanceOptions{Algo: algo, Notify: scheme}
 		res := e.Run()
 		results = append(results, res)
-		var msgs, bytes int64
-		for _, st := range res.Comm {
-			msgs += st.Messages
-			bytes += st.Bytes
-		}
+		rec.Runs = append(rec.Runs, res.BenchRun())
+		msgs, bytes := res.CommTotals()
+		agg := res.PhaseAgg
 		tbl.AddRow(algo, res.OctantsBefore, res.OctantsAfter,
-			res.MaxPhases.Total(), res.MaxPhases.LocalBalance, res.MaxPhases.Notify,
-			res.MaxPhases.QueryResponse, res.MaxPhases.Rebalance, msgs, bytes)
+			agg[octbalance.PhaseTotal].Max, agg["local-balance"].Max, agg["notify"].Max,
+			agg["query-response"].Max, agg["rebalance"].Max, msgs, bytes)
 	}
 	fmt.Print(tbl)
 	if len(results) == 2 {
+		oldAgg, newAgg := results[0].PhaseAgg, results[1].PhaseAgg
 		fmt.Printf("\nspeedup (old/new): total %s, local balance %s, rebalance %s\n",
-			stats.Speedup(results[0].MaxPhases.Total(), results[1].MaxPhases.Total()),
-			stats.Speedup(results[0].MaxPhases.LocalBalance, results[1].MaxPhases.LocalBalance),
-			stats.Speedup(results[0].MaxPhases.Rebalance, results[1].MaxPhases.Rebalance))
+			stats.SpeedupRatio(oldAgg[octbalance.PhaseTotal].Max, newAgg[octbalance.PhaseTotal].Max),
+			stats.SpeedupRatio(oldAgg["local-balance"].Max, newAgg["local-balance"].Max),
+			stats.SpeedupRatio(oldAgg["rebalance"].Max, newAgg["rebalance"].Max))
 		if results[0].OctantsAfter != results[1].OctantsAfter {
 			fmt.Fprintln(os.Stderr, "WARNING: old and new algorithms produced different octant counts")
 			os.Exit(1)
 		}
+	}
+	if *jsonOut != "" {
+		if err := obs.WriteBenchRecord(*jsonOut, rec); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nrecord: %s\n", *jsonOut)
 	}
 }

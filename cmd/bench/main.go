@@ -1,0 +1,211 @@
+// Command bench runs a workload end to end, measures the balance phases and
+// the hot kernels, and writes a machine-readable BENCH_<workload>.json
+// record (schema octbalance-bench/v1) — the perf trajectory later changes
+// are compared against.  With -trace it additionally exports the run as a
+// Chrome trace-event file (load it in chrome://tracing or Perfetto).
+//
+// Examples:
+//
+//	bench -workload fractal -ranks 8
+//	bench -workload icesheet -ranks 16 -algo both -trace trace.json
+//	bench -validate BENCH_fractal.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/obs"
+	"repro/internal/stats"
+
+	octbalance "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	var (
+		dim       = flag.Int("dim", 3, "dimension (2 or 3)")
+		ranks     = flag.Int("ranks", 8, "number of simulated ranks")
+		level     = flag.Int("level", 2, "base uniform refinement level")
+		depth     = flag.Int("depth", 4, "additional adaptive refinement depth")
+		k         = flag.Int("k", 0, "balance condition 1..dim (0 = full corner balance)")
+		workloadF = flag.String("workload", "fractal", "workload: fractal, icesheet, random")
+		algoF     = flag.String("algo", "new", "algorithm: old, new, both")
+		notifyF   = flag.String("notify", "notify", "pattern reversal: naive, ranges, notify")
+		grid      = flag.Int("grid", 8, "ice sheet tree grid extent")
+		seed      = flag.Int64("seed", 42, "random workload seed")
+		prob      = flag.Int("prob", 22, "random workload split probability (percent)")
+		out       = flag.String("out", "", "output record path (default BENCH_<workload>.json)")
+		traceOut  = flag.String("trace", "", "also export a Chrome trace-event file to this path")
+		kernelsF  = flag.Bool("kernels", true, "run the hot-kernel micro-benchmarks")
+		validateF = flag.String("validate", "", "validate an existing record and exit")
+	)
+	flag.Parse()
+
+	if *validateF != "" {
+		rec, err := obs.ReadBenchRecord(*validateF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.Validate(); err != nil {
+			log.Fatalf("%s: invalid: %v", *validateF, err)
+		}
+		fmt.Printf("%s: valid %s record (%s, %d ranks, %d runs, %d kernels)\n",
+			*validateF, rec.Schema, rec.Workload, rec.Ranks, len(rec.Runs), len(rec.Kernels))
+		return
+	}
+
+	var scheme octbalance.NotifyScheme
+	switch *notifyF {
+	case "naive":
+		scheme = octbalance.SchemeNaive
+	case "ranges":
+		scheme = octbalance.SchemeRanges
+	case "notify":
+		scheme = octbalance.SchemeNotify
+	default:
+		log.Fatalf("unknown notify scheme %q", *notifyF)
+	}
+
+	base := octbalance.Experiment{
+		Ranks:     *ranks,
+		BaseLevel: *level,
+		MaxLevel:  *level + *depth,
+		K:         *k,
+	}
+	switch *workloadF {
+	case "fractal":
+		base.Conn = octbalance.FractalForest(*dim)
+		base.Refine = octbalance.FractalRefine(*level + *depth)
+	case "icesheet":
+		if *dim != 2 {
+			log.Print("note: ice sheet workload is 2D; ignoring -dim")
+		}
+		is := octbalance.NewIceSheet(2, *grid, *level+*depth)
+		base.Conn = is.Conn
+		base.Refine = is.Refine
+	case "random":
+		base.Conn = octbalance.FractalForest(*dim)
+		base.Refine = octbalance.RandomRefine(*seed, *prob, *level+*depth)
+	default:
+		log.Fatalf("unknown workload %q", *workloadF)
+	}
+
+	var algos []octbalance.Algo
+	switch *algoF {
+	case "old":
+		algos = []octbalance.Algo{octbalance.AlgoOld}
+	case "new":
+		algos = []octbalance.Algo{octbalance.AlgoNew}
+	case "both":
+		algos = []octbalance.Algo{octbalance.AlgoOld, octbalance.AlgoNew}
+	default:
+		log.Fatalf("unknown algorithm %q", *algoF)
+	}
+
+	kEff := *k
+	if kEff == 0 {
+		kEff = base.Conn.Dim()
+	}
+	rec := &obs.BenchRecord{
+		Schema:    obs.BenchSchema,
+		Workload:  *workloadF,
+		Dim:       base.Conn.Dim(),
+		Ranks:     *ranks,
+		K:         kEff,
+		Notify:    scheme.String(),
+		BaseLevel: *level,
+		MaxLevel:  *level + *depth,
+		Env:       obs.CurrentEnv(),
+	}
+
+	fmt.Printf("forest: %v, ranks %d, workload %s, notify %s\n\n",
+		base.Conn, *ranks, *workloadF, scheme)
+
+	tbl := stats.NewTable("one-pass 2:1 balance (cross-rank max, seconds)",
+		"algo", "octants before", "octants after", "total", "local bal", "notify",
+		"query/resp", "rebalance", "imbalance", "msgs", "bytes")
+	for _, algo := range algos {
+		e := base
+		e.Options = octbalance.BalanceOptions{Algo: algo, Notify: scheme}
+		e.Tracer = octbalance.NewTracer(e.Ranks)
+		res := e.Run()
+		rec.Runs = append(rec.Runs, res.BenchRun())
+		msgs, bytes := res.CommTotals()
+		total := res.PhaseAgg[octbalance.PhaseTotal]
+		tbl.AddRow(algo, res.OctantsBefore, res.OctantsAfter,
+			total.Max,
+			res.PhaseAgg["local-balance"].Max, res.PhaseAgg["notify"].Max,
+			res.PhaseAgg["query-response"].Max, res.PhaseAgg["rebalance"].Max,
+			total.Imbalance, msgs, bytes)
+		if *traceOut != "" {
+			path := *traceOut
+			if len(algos) > 1 {
+				path = insertSuffix(path, "_"+algo.String())
+			}
+			if err := e.Tracer.WriteTraceFile(path); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("trace (%s): %s\n", algo, path)
+		}
+	}
+	fmt.Print(tbl)
+
+	if *kernelsF {
+		if err := kernels.Verify(); err != nil {
+			log.Fatal(err)
+		}
+		ktbl := stats.NewTable("hot kernels", "kernel", "ns/op", "iters")
+		for _, kn := range kernels.List() {
+			kn := kn
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				kn.Fn(b)
+			})
+			kr := kernelResult(kn.Name, r)
+			rec.Kernels = append(rec.Kernels, kr)
+			ktbl.AddRow(kn.Name, kr.NsPerOp, kr.Iterations)
+		}
+		fmt.Printf("\n%s", ktbl)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *workloadF + ".json"
+	}
+	if err := obs.WriteBenchRecord(path, rec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecord: %s\n", path)
+}
+
+// kernelResult converts a raw benchmark result, preferring the rescaled
+// per-call ns/op that the kernels report via ReportMetric over the
+// per-iteration wall time.
+func kernelResult(name string, r testing.BenchmarkResult) obs.KernelResult {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	if v, ok := r.Extra["ns/op"]; ok {
+		ns = v
+	}
+	return obs.KernelResult{
+		Name:        name,
+		NsPerOp:     ns,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// insertSuffix inserts s before the path's extension: trace.json ->
+// trace_new.json.
+func insertSuffix(path, s string) string {
+	if i := strings.LastIndex(path, "."); i > strings.LastIndex(path, "/") {
+		return path[:i] + s + path[i:]
+	}
+	return path + s
+}

@@ -6,10 +6,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"strconv"
 	"strings"
 
@@ -17,6 +19,31 @@ import (
 	"repro/internal/notify"
 	"repro/internal/stats"
 )
+
+// notifySchema versions the -json output of this driver.
+const notifySchema = "octbalance-notifybench/v1"
+
+// notifyRecord is the machine-readable form of the sweep.
+type notifyRecord struct {
+	Schema    string      `json:"schema"`
+	Window    int         `json:"window"`
+	LongRange float64     `json:"long_range"`
+	MaxRanges int         `json:"max_ranges"`
+	Seed      int64       `json:"seed"`
+	Sizes     []notifyRow `json:"sizes"`
+}
+
+// notifyRow is one world size's measurements.
+type notifyRow struct {
+	Ranks          int   `json:"ranks"`
+	NaiveMessages  int64 `json:"naive_messages"`
+	NaiveBytes     int64 `json:"naive_bytes"`
+	RangesMessages int64 `json:"ranges_messages"`
+	RangesBytes    int64 `json:"ranges_bytes"`
+	NotifyMessages int64 `json:"notify_messages"`
+	NotifyBytes    int64 `json:"notify_bytes"`
+	FalsePositives int   `json:"false_positives"`
+}
 
 func pattern(rng *rand.Rand, p, window int, longRange float64) [][]int {
 	receivers := make([][]int, p)
@@ -45,6 +72,7 @@ func main() {
 		longRange = flag.Float64("long", 0.3, "probability of one long-range receiver per rank")
 		maxRanges = flag.Int("maxranges", 8, "range budget for the Ranges scheme")
 		seed      = flag.Int64("seed", 1, "pattern seed")
+		jsonOut   = flag.String("json", "", "also write the sweep as JSON to this path")
 	)
 	flag.Parse()
 
@@ -60,6 +88,10 @@ func main() {
 	fmt.Println("pattern reversal schemes (Section V): message count / byte volume")
 	fmt.Printf("pattern: SFC-local window %d plus long-range links (p=%.2f)\n\n", *window, *longRange)
 
+	rec := notifyRecord{
+		Schema: notifySchema, Window: *window, LongRange: *longRange,
+		MaxRanges: *maxRanges, Seed: *seed,
+	}
 	tbl := stats.NewTable("",
 		"P", "naive msgs", "naive bytes", "ranges msgs", "ranges bytes", "notify msgs", "notify bytes",
 		"notify/naive bytes", "false pos")
@@ -92,8 +124,28 @@ func main() {
 			notifyStats.Messages, notifyStats.Bytes,
 			fmt.Sprintf("%.3f", float64(notifyStats.Bytes)/float64(naiveStats.Bytes)),
 			falsePos)
+		rec.Sizes = append(rec.Sizes, notifyRow{
+			Ranks:          p,
+			NaiveMessages:  naiveStats.Messages,
+			NaiveBytes:     naiveStats.Bytes,
+			RangesMessages: rangesStats.Messages,
+			RangesBytes:    rangesStats.Bytes,
+			NotifyMessages: notifyStats.Messages,
+			NotifyBytes:    notifyStats.Bytes,
+			FalsePositives: falsePos,
+		})
 	}
 	fmt.Print(tbl)
 	fmt.Println("\nnotify returns exact sender lists with point-to-point messages only;")
 	fmt.Println("ranges may include false positives that receive zero-length messages (Section V).")
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nrecords: %s\n", *jsonOut)
+	}
 }

@@ -6,12 +6,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 
 	octbalance "repro"
@@ -21,11 +24,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("strongscale: ")
 	var (
-		ranksF = flag.String("ranks", "1,2,4,8,16,32", "comma-separated rank counts")
-		grid   = flag.Int("grid", 10, "tree grid extent of the ice sheet domain")
-		level  = flag.Int("level", 7, "grounding line refinement level")
-		dim    = flag.Int("dim", 2, "dimension: 2, or 3 for a thin-sheet domain")
-		notify = flag.String("notify", "notify", "pattern reversal: naive, ranges, notify")
+		ranksF  = flag.String("ranks", "1,2,4,8,16,32", "comma-separated rank counts")
+		grid    = flag.Int("grid", 10, "tree grid extent of the ice sheet domain")
+		level   = flag.Int("level", 7, "grounding line refinement level")
+		dim     = flag.Int("dim", 2, "dimension: 2, or 3 for a thin-sheet domain")
+		notify  = flag.String("notify", "notify", "pattern reversal: naive, ranges, notify")
+		jsonOut = flag.String("json", "", "also write the sweep as a JSON array of bench records")
 	)
 	flag.Parse()
 
@@ -57,6 +61,13 @@ func main() {
 	}
 	var base [2][]float64 // per phase, old/new at the smallest rank count
 
+	// aggKey maps the table's phase labels onto the PhaseAgg keys.
+	aggKey := map[string]string{
+		"total": octbalance.PhaseTotal, "local balance": "local-balance",
+		"query/response": "query-response", "rebalance": "rebalance", "notify": "notify",
+	}
+
+	var records []*obs.BenchRecord
 	var meshBefore, meshAfter int64
 	for i, p := range ranks {
 		run := func(algo octbalance.Algo) octbalance.Result {
@@ -76,18 +87,7 @@ func main() {
 		}
 		meshBefore, meshAfter = newRes.OctantsBefore, newRes.OctantsAfter
 		sel := func(r octbalance.Result, phase string) float64 {
-			d := r.MaxPhases.Total()
-			switch phase {
-			case "local balance":
-				d = r.MaxPhases.LocalBalance
-			case "query/response":
-				d = r.MaxPhases.QueryResponse
-			case "rebalance":
-				d = r.MaxPhases.Rebalance
-			case "notify":
-				d = r.MaxPhases.Notify
-			}
-			return d.Seconds()
+			return r.PhaseAgg[aggKey[phase]].Max
 		}
 		for j, ph := range phases {
 			o, n := sel(oldRes, ph), sel(newRes, ph)
@@ -102,10 +102,36 @@ func main() {
 			}
 			tables[j].AddRow(p, perfect, o, n, ratio)
 		}
+		records = append(records, &obs.BenchRecord{
+			Schema: obs.BenchSchema, Workload: "icesheet", Dim: is.Conn.Dim(),
+			Ranks: p, K: is.Conn.Dim(), Notify: scheme.String(),
+			BaseLevel: 1, MaxLevel: is.MaxLevel(), Env: obs.CurrentEnv(),
+			Runs: []obs.BenchRun{oldRes.BenchRun(), newRes.BenchRun()},
+		})
 	}
 	fmt.Printf("mesh: %d octants refined, %d after balance (the paper's 55M -> 85M growth analogue: %.2fx)\n\n",
 		meshBefore, meshAfter, float64(meshAfter)/float64(meshBefore))
 	for _, tbl := range tables {
 		fmt.Println(tbl)
 	}
+	if *jsonOut != "" {
+		writeRecords(*jsonOut, records)
+	}
+}
+
+// writeRecords validates and writes the sweep as an indented JSON array.
+func writeRecords(path string, records []*obs.BenchRecord) {
+	for _, r := range records {
+		if err := r.Validate(); err != nil {
+			log.Fatalf("invalid record (P=%d): %v", r.Ranks, err)
+		}
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("records: %s\n", path)
 }

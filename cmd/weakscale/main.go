@@ -11,12 +11,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 
 	octbalance "repro"
@@ -26,10 +29,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("weakscale: ")
 	var (
-		dim    = flag.Int("dim", 3, "dimension (2 or 3)")
-		ranksF = flag.String("ranks", "1,2,4,8,16", "comma-separated rank counts")
-		level  = flag.Int("level", 2, "base level at the smallest rank count")
-		notify = flag.String("notify", "notify", "pattern reversal: naive, ranges, notify")
+		dim     = flag.Int("dim", 3, "dimension (2 or 3)")
+		ranksF  = flag.String("ranks", "1,2,4,8,16", "comma-separated rank counts")
+		level   = flag.Int("level", 2, "base level at the smallest rank count")
+		notify  = flag.String("notify", "notify", "pattern reversal: naive, ranges, notify")
+		jsonOut = flag.String("json", "", "also write the sweep as a JSON array of bench records")
 	)
 	flag.Parse()
 
@@ -61,6 +65,13 @@ func main() {
 			"ranks", "octants", "oct/rank", "old [s/(M/rank)]", "new [s/(M/rank)]", "speedup")
 	}
 
+	// aggKey maps the table's phase labels onto the PhaseAgg keys.
+	aggKey := map[string]string{
+		"total": octbalance.PhaseTotal, "local balance": "local-balance",
+		"query/response": "query-response", "rebalance": "rebalance", "notify": "notify",
+	}
+
+	var records []*obs.BenchRecord
 	// Increase the level by one every 2^dim-fold increase in ranks to keep
 	// octants per rank roughly constant.
 	for _, p := range ranks {
@@ -88,18 +99,7 @@ func main() {
 		}
 		n := newRes.OctantsAfter
 		sel := func(r octbalance.Result, phase string) float64 {
-			var d = r.MaxPhases.Total()
-			switch phase {
-			case "local balance":
-				d = r.MaxPhases.LocalBalance
-			case "query/response":
-				d = r.MaxPhases.QueryResponse
-			case "rebalance":
-				d = r.MaxPhases.Rebalance
-			case "notify":
-				d = r.MaxPhases.Notify
-			}
-			return stats.Normalized(d, n, p)
+			return stats.NormalizedSeconds(r.PhaseAgg[aggKey[phase]].Max, n, p)
 		}
 		for j, ph := range phases {
 			o, nn := sel(oldRes, ph), sel(newRes, ph)
@@ -109,8 +109,34 @@ func main() {
 			}
 			tables[j].AddRow(p, n, n/int64(p), o, nn, ratio)
 		}
+		records = append(records, &obs.BenchRecord{
+			Schema: obs.BenchSchema, Workload: "fractal", Dim: *dim,
+			Ranks: p, K: *dim, Notify: scheme.String(),
+			BaseLevel: lvl, MaxLevel: lvl + 4, Env: obs.CurrentEnv(),
+			Runs: []obs.BenchRun{oldRes.BenchRun(), newRes.BenchRun()},
+		})
 	}
 	for _, tbl := range tables {
 		fmt.Println(tbl)
 	}
+	if *jsonOut != "" {
+		writeRecords(*jsonOut, records)
+	}
+}
+
+// writeRecords validates and writes the sweep as an indented JSON array.
+func writeRecords(path string, records []*obs.BenchRecord) {
+	for _, r := range records {
+		if err := r.Validate(); err != nil {
+			log.Fatalf("invalid record (P=%d): %v", r.Ranks, err)
+		}
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("records: %s\n", path)
 }

@@ -28,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // message is a logical point-to-point payload in flight.
@@ -49,10 +51,11 @@ type inbox struct {
 	cond  *sync.Cond
 	msgs  []message
 	world *World
+	rank  int // owning (receiving) rank, for tracer attribution
 }
 
-func newInbox(w *World) *inbox {
-	ib := &inbox{world: w}
+func newInbox(w *World, rank int) *inbox {
+	ib := &inbox{world: w, rank: rank}
 	ib.cond = sync.NewCond(&ib.mu)
 	return ib
 }
@@ -78,6 +81,7 @@ func (ib *inbox) put(m message) bool {
 	depth := len(ib.msgs)
 	ib.mu.Unlock()
 	w.noteQueueDepth(m.phase, depth)
+	w.Tracer().ObserveMax(ib.rank, "mailbox/depth", int64(depth))
 	ib.cond.Broadcast()
 	return true
 }
@@ -214,6 +218,11 @@ type World struct {
 	sendChans []*sendChan // per (src,dst); nil when the transport is reliable
 	recvChans []*recvChan
 
+	// tracer is the attached observability sink (nil when disabled).  It
+	// is read from rank and transport goroutines, some of which start
+	// before SetTracer can be called, hence the atomic pointer.
+	tracer atomic.Pointer[obs.Tracer]
+
 	net NetStats // updated atomically field by field
 
 	poisoned  atomic.Bool
@@ -250,7 +259,7 @@ func NewWorldTransport(p int, tr Transport) *World {
 	w.inboxes = make([]*inbox, p)
 	w.states = make([]*rankState, p)
 	for i := range w.inboxes {
-		w.inboxes[i] = newInbox(w)
+		w.inboxes[i] = newInbox(w, i)
 		w.states[i] = &rankState{}
 	}
 	if !w.reliable {
@@ -284,6 +293,21 @@ func (w *World) SetTimeout(d time.Duration) { w.timeout = d }
 // (DefaultMailboxCap initially); n <= 0 removes the bound.  Must be called
 // before Run.
 func (w *World) SetMailboxCap(n int) { w.mailboxCap = n }
+
+// SetTracer attaches an observability tracer: collectives and blocking
+// receives become spans on the caller's rank track, sends bump per-rank
+// counters, and the reliable layer marks retransmissions.  The tracer must
+// have at least Size() rank tracks.  tr may be nil to detach.  Tracing is
+// purely additive: the logical Stats meters are not affected.
+func (w *World) SetTracer(tr *obs.Tracer) {
+	if tr != nil && tr.NumRanks() < w.size {
+		panic(fmt.Sprintf("comm: tracer has %d rank tracks, world needs %d", tr.NumRanks(), w.size))
+	}
+	w.tracer.Store(tr)
+}
+
+// Tracer returns the attached tracer, or nil (a valid disabled tracer).
+func (w *World) Tracer() *obs.Tracer { return w.tracer.Load() }
 
 // NetStats returns a snapshot of physical transport counters.
 func (w *World) NetStats() NetStats {
@@ -539,6 +563,12 @@ func (c *Comm) SetPhase(phase string) {
 	c.st.setPhase(phase)
 }
 
+// Tracer returns the world's attached tracer, or nil.  The nil tracer is
+// safe to call, so instrumented code needs no guard:
+//
+//	defer c.Tracer().Begin(c.Rank(), "ghost", "forest").End()
+func (c *Comm) Tracer() *obs.Tracer { return c.world.Tracer() }
+
 // Send delivers data to rank dst with the given tag.  It blocks only under
 // mailbox backpressure.  Tags must be non-negative; negative tags are
 // reserved for collectives.
@@ -555,7 +585,17 @@ func (c *Comm) send(dst, tag int, data []byte) {
 	}
 	c.world.checkLive()
 	c.world.record(c.phase, len(data))
+	c.traceSend(len(data))
 	c.world.post(c.rank, dst, tag, data, c.phase)
+}
+
+// traceSend mirrors the logical send meters into the tracer's per-rank
+// counters (the Stats map itself is world-global, not per rank).
+func (c *Comm) traceSend(bytes int) {
+	if tr := c.world.Tracer(); tr != nil {
+		tr.Add(c.rank, "comm/msgs", 1)
+		tr.Add(c.rank, "comm/bytes", int64(bytes))
+	}
 }
 
 // recvBlocking performs a blocking mailbox take with the rank's published
@@ -572,6 +612,8 @@ func (c *Comm) Recv(src, tag int) []byte {
 	if tag < 0 {
 		panic("comm: negative tags are reserved")
 	}
+	sp := c.Tracer().Begin(c.rank, "Recv", "p2p")
+	defer sp.End()
 	return c.recvBlocking(src, tag, fmt.Sprintf("Recv(src=%d, tag=%d)", src, tag)).data
 }
 
@@ -581,6 +623,8 @@ func (c *Comm) RecvAny(tag int) (src int, data []byte) {
 	if tag < 0 {
 		panic("comm: negative tags are reserved")
 	}
+	sp := c.Tracer().Begin(c.rank, "RecvAny", "p2p")
+	defer sp.End()
 	m := c.recvBlocking(-1, tag, fmt.Sprintf("RecvAny(tag=%d)", tag))
 	return m.src, m.data
 }
@@ -602,6 +646,8 @@ const (
 // Barrier blocks until all ranks have entered it.  It uses a dissemination
 // barrier: ceil(log2 P) point-to-point rounds.
 func (c *Comm) Barrier() {
+	sp := c.Tracer().Begin(c.rank, "Barrier", "collective")
+	defer sp.End()
 	tag := c.collectiveTag(opBarrier)
 	p := c.world.size
 	for dist := 1; dist < p; dist *= 2 {
@@ -615,6 +661,7 @@ func (c *Comm) Barrier() {
 func (c *Comm) sendCollective(dst, tag int, data []byte) {
 	c.world.checkLive()
 	c.world.record(c.phase, len(data))
+	c.traceSend(len(data))
 	c.world.post(c.rank, dst, tag, data, c.phase)
 }
 
@@ -626,6 +673,8 @@ func (c *Comm) recvCollective(src, tag int, op string) []byte {
 // indexed by rank.  It uses a ring algorithm: P-1 rounds in which each rank
 // forwards the most recently received block to its successor.
 func (c *Comm) Allgatherv(own []byte) [][]byte {
+	sp := c.Tracer().Begin(c.rank, "Allgatherv", "collective")
+	defer sp.End()
 	tag := c.collectiveTag(opGather)
 	p := c.world.size
 	blocks := make([][]byte, p)

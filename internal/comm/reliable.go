@@ -56,6 +56,10 @@ type recvChan struct {
 	mu       sync.Mutex
 	expected uint64            // next sequence number to release
 	held     map[uint64]Packet // out-of-order packets awaiting the gap
+	// queue holds gap-filled packets awaiting release to the mailbox, in
+	// sequence order; releasing marks that some goroutine is draining it.
+	queue     []Packet
+	releasing bool
 }
 
 func (w *World) sendChan(src, dst int) *sendChan { return w.sendChans[src*w.size+dst] }
@@ -103,9 +107,9 @@ func (w *World) onPacket(p Packet) {
 	case PacketData:
 		rc := w.recvChan(p.Src, p.Dst)
 		rc.mu.Lock()
-		var release []Packet
 		if _, dup := rc.held[p.Seq]; p.Seq < rc.expected || dup {
 			atomic.AddInt64(&w.net.DupsDropped, 1)
+			w.Tracer().Add(p.Dst, "net/dups-dropped", 1)
 		} else {
 			rc.held[p.Seq] = p
 			for {
@@ -115,17 +119,31 @@ func (w *World) onPacket(p Packet) {
 				}
 				delete(rc.held, rc.expected)
 				rc.expected++
-				release = append(release, next)
+				rc.queue = append(rc.queue, next)
 			}
 		}
 		ack := rc.expected
-		rc.mu.Unlock()
-		// Release in sequence order outside the channel lock: put may
-		// block under backpressure, and acks must not be held hostage by
-		// a full mailbox on some *other* channel's delivery.
-		for _, pkt := range release {
-			w.inboxes[pkt.Dst].put(message{src: pkt.Src, tag: pkt.Tag, phase: pkt.phase, data: pkt.Data})
+		// Single-drainer release: whichever goroutine finds the queue
+		// unclaimed drains it, with the lock dropped around put (which may
+		// block under backpressure, and acks must not be held hostage by a
+		// full mailbox).  Concurrent deliveries on the same channel append
+		// under the lock — expected only grows, so the queue is in
+		// sequence order — and leave the draining to the claim holder,
+		// which re-checks after each batch.  Without this claim, two
+		// transport goroutines gap-filling back to back could race their
+		// unlocked put calls and invert the delivery order.
+		for !rc.releasing && len(rc.queue) > 0 {
+			rc.releasing = true
+			batch := rc.queue
+			rc.queue = nil
+			rc.mu.Unlock()
+			for _, pkt := range batch {
+				w.inboxes[pkt.Dst].put(message{src: pkt.Src, tag: pkt.Tag, phase: pkt.phase, data: pkt.Data})
+			}
+			rc.mu.Lock()
+			rc.releasing = false
 		}
+		rc.mu.Unlock()
 		atomic.AddInt64(&w.net.AckPackets, 1)
 		w.transport.Send(Packet{Src: p.Dst, Dst: p.Src, Kind: PacketAck, Seq: ack})
 	}
@@ -161,10 +179,18 @@ func (w *World) retransmitter() {
 				}
 				ch.mu.Unlock()
 			}
+			tr := w.Tracer()
 			for _, pkt := range resend {
 				atomic.AddInt64(&w.net.Retries, 1)
 				atomic.AddInt64(&w.net.DataPackets, 1)
 				atomic.AddInt64(&w.net.WireBytes, int64(len(pkt.Data)))
+				if tr != nil {
+					// Mark the retransmission on the sender's track: a
+					// cluster of retx ticks under a span is the timeline
+					// signature of a lossy or stalled channel.
+					tr.Instant(pkt.Src, "retx", "net")
+					tr.Add(pkt.Src, "net/retries", 1)
+				}
 				w.transport.Send(pkt)
 			}
 		}

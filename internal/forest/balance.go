@@ -8,6 +8,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/linear"
 	"repro/internal/notify"
+	"repro/internal/obs"
 	"repro/internal/octant"
 )
 
@@ -129,6 +130,44 @@ func (p PhaseTimes) Max(q PhaseTimes) PhaseTimes {
 	return m
 }
 
+// AllreducePhaseTimes reduces per-rank phase timings to their elementwise
+// maximum over all ranks, on every rank.  Collective.  The traffic is
+// attributed to the caller's current phase label.
+func AllreducePhaseTimes(c *comm.Comm, p PhaseTimes) PhaseTimes {
+	return PhaseTimes{
+		LocalBalance:  time.Duration(c.AllreduceMaxInt64(int64(p.LocalBalance))),
+		Notify:        time.Duration(c.AllreduceMaxInt64(int64(p.Notify))),
+		QueryResponse: time.Duration(c.AllreduceMaxInt64(int64(p.QueryResponse))),
+		Rebalance:     time.Duration(c.AllreduceMaxInt64(int64(p.Rebalance))),
+	}
+}
+
+// phaseSpan ties one balance phase to the observability layer: it labels
+// the rank's comm traffic, opens a tracer span, and measures the phase.
+// With a tracer attached the reported duration is the span's own clock —
+// PhaseTimes then is literally a view over the trace (and follows a
+// virtual clock in tests); without one it falls back to the local clock.
+type phaseSpan struct {
+	start time.Time
+	sp    obs.Span
+}
+
+func beginPhase(c *comm.Comm, name string) phaseSpan {
+	c.SetPhase(name)
+	ps := phaseSpan{sp: c.Tracer().Begin(c.Rank(), name, "balance")}
+	if !ps.sp.Live() {
+		ps.start = time.Now()
+	}
+	return ps
+}
+
+func (p phaseSpan) end() time.Duration {
+	if p.sp.Live() {
+		return p.sp.End()
+	}
+	return time.Since(p.start)
+}
+
 // Message tags used by the balance exchange.
 const (
 	tagQuery    = 100
@@ -173,19 +212,17 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 
 	// Phase 1: Local balance.  Balance each local tree chunk as a
 	// subtree, clipped back to the owned curve range.
-	c.SetPhase("local-balance")
-	t0 := time.Now()
+	ps := beginPhase(c, "local-balance")
 	for i := range f.Local {
 		tc := &f.Local[i]
 		tc.Leaves = localBalanceChunk(root, tc.Leaves, k, localAlgo)
 	}
-	times.LocalBalance = time.Since(t0)
+	times.LocalBalance = ps.end()
 
 	// Phase 2: Query construction.  For each local leaf whose insulation
 	// layer leaves the local partition, build query messages for the
 	// owners of the overlapped regions.
-	c.SetPhase("query")
-	t0 = time.Now()
+	ps = beginPhase(c, "query")
 	peers := make(map[int]map[query]struct{}) // peer rank -> query set
 	selfQueries := make(map[query]struct{})
 	type origin struct {
@@ -225,11 +262,10 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 			}
 		}
 	}
-	queryBuildTime := time.Since(t0)
+	queryBuildTime := ps.end()
 
 	// Phase 3: Notify — reverse the asymmetric pattern.
-	c.SetPhase("notify")
-	t0 = time.Now()
+	ps = beginPhase(c, "notify")
 	receivers := make([]int, 0, len(peers))
 	for rank := range peers {
 		receivers = append(receivers, rank)
@@ -252,11 +288,10 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 	default:
 		senders = notify.Notify(c, receivers)
 	}
-	times.Notify = time.Since(t0)
+	times.Notify = ps.end()
 
 	// Phase 4: Query and Response exchange.
-	c.SetPhase("query-response")
-	t0 = time.Now()
+	ps = beginPhase(c, "query-response")
 	for _, rank := range sendTo {
 		var payload []byte
 		qs := sortedQueries(peers[rank])
@@ -297,12 +332,11 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 	for q, octs := range selfResponses {
 		responses = append(responses, response{q: q, octs: octs})
 	}
-	times.QueryResponse = time.Since(t0) + queryBuildTime
+	times.QueryResponse = ps.end() + queryBuildTime
 
 	// Phase 5: Local rebalance.  Transform the response octants back into
 	// the local frames and merge their influence into the partition.
-	c.SetPhase("rebalance")
-	t0 = time.Now()
+	ps = beginPhase(c, "rebalance")
 	// Group response octants by local tree after inverse transformation.
 	perTree := make(map[int32]map[octant.Octant][]octant.Octant) // tree -> local leaf r -> octants
 	for _, resp := range responses {
@@ -336,7 +370,7 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 			tc.Leaves = rebalanceOld(root, tc.Leaves, groups, k)
 		}
 	}
-	times.Rebalance = time.Since(t0)
+	times.Rebalance = ps.end()
 
 	c.SetPhase("default")
 	f.NumGlobal = c.AllreduceSumInt64(f.NumLocal())

@@ -197,6 +197,7 @@ func (f *Forest) OwnersOfRegion(t int32, region octant.Octant) (first, last int)
 // valid; only the global count must be refreshed, which is why Refine is
 // still collective (it ends with an Allreduce).
 func (f *Forest) Refine(c *comm.Comm, maxLevel int, fn func(tree int32, o octant.Octant) bool) {
+	defer c.Tracer().Begin(c.Rank(), "refine", "forest").End()
 	for i := range f.Local {
 		tc := &f.Local[i]
 		out := make([]octant.Octant, 0, len(tc.Leaves))
@@ -226,6 +227,7 @@ func (f *Forest) Refine(c *comm.Comm, maxLevel int, fn func(tree int32, o octant
 // whose anchor it shares, which leaves the position unchanged, so GFP
 // remains valid.
 func (f *Forest) Coarsen(c *comm.Comm, fn func(tree int32, family []octant.Octant) bool) {
+	defer c.Tracer().Begin(c.Rank(), "coarsen", "forest").End()
 	nc := octant.NumChildren(f.Conn.dim)
 	for i := range f.Local {
 		tc := &f.Local[i]

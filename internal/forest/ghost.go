@@ -47,6 +47,7 @@ const tagGhost = 102
 // keeps the received leaves that are adjacent to one of its own.  The
 // asymmetric pattern is reversed with the Notify algorithm of Section V.
 func (f *Forest) BuildGhost(c *comm.Comm) *GhostLayer {
+	defer c.Tracer().Begin(c.Rank(), "ghost", "forest").End()
 	dirs := octant.Directions(f.Conn.dim, f.Conn.dim)
 	type entry struct {
 		Tree int32

@@ -13,6 +13,7 @@ import (
 // weight is called once per local leaf and must return a positive value;
 // nil means unit weights (equal leaf counts).  Collective.
 func (f *Forest) Partition(c *comm.Comm, weight func(tree int32, o octant.Octant) int64) {
+	defer c.Tracer().Begin(c.Rank(), "partition", "forest").End()
 	p := c.Size()
 	const tag = 1 << 19
 

@@ -1,0 +1,51 @@
+package forest
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+)
+
+func TestAllreducePhaseTimes(t *testing.T) {
+	const p = 4
+	w := comm.NewWorld(p)
+	got := make([]PhaseTimes, p)
+	w.Run(func(c *comm.Comm) {
+		r := time.Duration(c.Rank() + 1)
+		// Each phase peaks on a different rank.
+		local := PhaseTimes{
+			LocalBalance:  r * time.Millisecond,
+			Notify:        (time.Duration(p) - r + 1) * time.Millisecond,
+			QueryResponse: 7 * time.Millisecond,
+			Rebalance:     r * r * time.Microsecond,
+		}
+		got[c.Rank()] = AllreducePhaseTimes(c, local)
+	})
+	want := PhaseTimes{
+		LocalBalance:  p * time.Millisecond,
+		Notify:        p * time.Millisecond,
+		QueryResponse: 7 * time.Millisecond,
+		Rebalance:     p * p * time.Microsecond,
+	}
+	for r := 0; r < p; r++ {
+		if got[r] != want {
+			t.Errorf("rank %d: %+v, want %+v", r, got[r], want)
+		}
+	}
+}
+
+// TestPhaseSpanFallback checks the phase measurement works identically with
+// and without a tracer: with one attached the durations come from the
+// tracer's clock (and are visible as spans), without one from the local
+// wall clock.
+func TestPhaseSpanFallback(t *testing.T) {
+	w := comm.NewWorld(1)
+	w.Run(func(c *comm.Comm) {
+		ps := beginPhase(c, "test-phase")
+		time.Sleep(time.Millisecond)
+		if d := ps.end(); d < time.Millisecond {
+			t.Errorf("untraced phase duration %v < 1ms", d)
+		}
+	})
+}

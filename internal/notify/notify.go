@@ -28,6 +28,7 @@ import (
 // Naive reverses the pattern with Allgather + Allgatherv (Figure 12).  It
 // returns the sorted list of ranks that have c.Rank() in their receivers.
 func Naive(c *comm.Comm, receivers []int) []int {
+	defer c.Tracer().Begin(c.Rank(), "notify/naive", "notify").End()
 	own := make([]int32, len(receivers))
 	for i, r := range receivers {
 		own[i] = int32(r)
@@ -59,6 +60,7 @@ func Ranges(c *comm.Comm, receivers []int, maxRanges int) []int {
 	if maxRanges < 1 {
 		panic("notify: maxRanges must be at least 1")
 	}
+	defer c.Tracer().Begin(c.Rank(), "notify/ranges", "notify").End()
 	rs := encodeRanges(receivers, maxRanges)
 	// Fixed-size block: 2*maxRanges int32s, -1 padded.
 	block := make([]int32, 0, 2*maxRanges)
@@ -158,6 +160,7 @@ func encodeRanges(receivers []int, maxRanges int) [][2]int {
 // O(P log P) messages in total, with no rank handling more than O(1) times
 // the data of any other (the non-power-of-two redirection rule).
 func Notify(c *comm.Comm, receivers []int) []int {
+	defer c.Tracer().Begin(c.Rank(), "notify/dc", "notify").End()
 	p, size := c.Rank(), c.Size()
 	// knowledge maps receiver -> original senders known to this rank.
 	knowledge := make(map[int][]int)

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Summary is the cross-rank aggregate of one scalar measurement: the
+// per-phase min/mean/max bars of the paper's phase-breakdown figures plus
+// the imbalance ratio max/mean (1.0 means perfectly balanced ranks).
+type Summary struct {
+	Min       float64 `json:"min"`
+	Mean      float64 `json:"mean"`
+	Max       float64 `json:"max"`
+	Imbalance float64 `json:"imbalance"`
+}
+
+// Summarize reduces one value per rank into a Summary.  An empty or
+// all-zero input yields an imbalance of 1 (nothing to be imbalanced).
+func Summarize(vs []float64) Summary {
+	if len(vs) == 0 {
+		return Summary{Imbalance: 1}
+	}
+	s := Summary{Min: vs[0], Max: vs[0]}
+	var sum float64
+	for _, v := range vs {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		sum += v
+	}
+	s.Mean = sum / float64(len(vs))
+	if s.Mean != 0 {
+		s.Imbalance = s.Max / s.Mean
+	} else {
+		s.Imbalance = 1
+	}
+	return s
+}
+
+// Gatherer is the slice of the comm runtime the aggregation needs; it is
+// satisfied by *comm.Comm.  Keeping it an interface here avoids an import
+// cycle (comm itself attaches a Tracer).
+type Gatherer interface {
+	Rank() int
+	Size() int
+	Allgatherv(own []byte) [][]byte
+}
+
+// Aggregate gathers one value from every rank and returns its Summary on
+// every rank.  Collective: all ranks must call it together.
+func Aggregate(g Gatherer, v float64) Summary {
+	return AggregateMany(g, []float64{v})[0]
+}
+
+// AggregateMany gathers a fixed-length vector of values from every rank
+// and returns the per-index Summary on every rank.  Collective; all ranks
+// must pass vectors of the same length (SPMD discipline).
+func AggregateMany(g Gatherer, vs []float64) []Summary {
+	own := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(own[8*i:], math.Float64bits(v))
+	}
+	blocks := g.Allgatherv(own)
+	out := make([]Summary, len(vs))
+	perRank := make([]float64, len(blocks))
+	for i := range vs {
+		for q, b := range blocks {
+			if len(b) != 8*len(vs) {
+				panic(fmt.Sprintf("obs: AggregateMany: rank %d sent %d values, rank %d sent %d (SPMD violation)",
+					g.Rank(), len(vs), q, len(b)/8))
+			}
+			perRank[q] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+		out[i] = Summarize(perRank)
+	}
+	return out
+}

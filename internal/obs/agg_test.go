@@ -1,0 +1,154 @@
+package obs_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestSummarize(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want obs.Summary
+	}{
+		{"empty", nil, obs.Summary{Imbalance: 1}},
+		{"single", []float64{4}, obs.Summary{Min: 4, Mean: 4, Max: 4, Imbalance: 1}},
+		{"three", []float64{1, 2, 3}, obs.Summary{Min: 1, Mean: 2, Max: 3, Imbalance: 1.5}},
+		{"zeros", []float64{0, 0}, obs.Summary{Imbalance: 1}},
+		{"skewed", []float64{0, 0, 0, 4}, obs.Summary{Min: 0, Mean: 1, Max: 4, Imbalance: 4}},
+	}
+	for _, c := range cases {
+		if got := obs.Summarize(c.in); got != c.want {
+			t.Errorf("%s: Summarize(%v) = %+v, want %+v", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+// fakeGatherer is an in-memory SPMD world: n goroutines rendezvous on each
+// Allgatherv call.
+type fakeGatherer struct {
+	rank int
+	n    int
+	sh   *gatherShared
+}
+
+type gatherShared struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	blocks [][]byte
+	filled int
+	round  int
+}
+
+func newFakeWorld(n int) []*fakeGatherer {
+	sh := &gatherShared{blocks: make([][]byte, n)}
+	sh.cond = sync.NewCond(&sh.mu)
+	out := make([]*fakeGatherer, n)
+	for r := range out {
+		out[r] = &fakeGatherer{rank: r, n: n, sh: sh}
+	}
+	return out
+}
+
+func (g *fakeGatherer) Rank() int { return g.rank }
+func (g *fakeGatherer) Size() int { return g.n }
+
+func (g *fakeGatherer) Allgatherv(own []byte) [][]byte {
+	sh := g.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	round := sh.round
+	sh.blocks[g.rank] = append([]byte(nil), own...)
+	sh.filled++
+	if sh.filled == g.n {
+		sh.round++
+		sh.cond.Broadcast()
+	}
+	for sh.round == round {
+		sh.cond.Wait()
+	}
+	out := make([][]byte, g.n)
+	copy(out, sh.blocks)
+	if sh.filled == g.n {
+		// Last one out of the previous round resets for the next.
+		sh.filled = 0
+	}
+	return out
+}
+
+func TestAggregateMany(t *testing.T) {
+	world := newFakeWorld(4)
+	var wg sync.WaitGroup
+	results := make([][]obs.Summary, 4)
+	for r, g := range world {
+		r, g := r, g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Rank r contributes [r+1, 10*(r+1)].
+			results[r] = obs.AggregateMany(g, []float64{float64(r + 1), float64(10 * (r + 1))})
+		}()
+	}
+	wg.Wait()
+	want := []obs.Summary{
+		{Min: 1, Mean: 2.5, Max: 4, Imbalance: 1.6},
+		{Min: 10, Mean: 25, Max: 40, Imbalance: 1.6},
+	}
+	for r, got := range results {
+		if len(got) != 2 {
+			t.Fatalf("rank %d: %d summaries", r, len(got))
+		}
+		for i := range want {
+			if math.Abs(got[i].Min-want[i].Min) > 1e-12 || math.Abs(got[i].Mean-want[i].Mean) > 1e-12 ||
+				math.Abs(got[i].Max-want[i].Max) > 1e-12 || math.Abs(got[i].Imbalance-want[i].Imbalance) > 1e-12 {
+				t.Errorf("rank %d index %d: %+v, want %+v", r, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAggregateSingle(t *testing.T) {
+	world := newFakeWorld(2)
+	var wg sync.WaitGroup
+	results := make([]obs.Summary, 2)
+	for r, g := range world {
+		r, g := r, g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[r] = obs.Aggregate(g, float64(2*(r+1)))
+		}()
+	}
+	wg.Wait()
+	want := obs.Summary{Min: 2, Mean: 3, Max: 4, Imbalance: 4.0 / 3.0}
+	for r, got := range results {
+		if math.Abs(got.Imbalance-want.Imbalance) > 1e-12 || got.Min != want.Min || got.Max != want.Max {
+			t.Errorf("rank %d: %+v, want %+v", r, got, want)
+		}
+	}
+}
+
+func TestAggregateManySPMDViolation(t *testing.T) {
+	world := newFakeWorld(2)
+	var wg sync.WaitGroup
+	panics := make([]any, 2)
+	for r, g := range world {
+		r, g := r, g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { panics[r] = recover() }()
+			// Rank 0 sends 1 value, rank 1 sends 2: both must panic.
+			obs.AggregateMany(g, make([]float64, r+1))
+		}()
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p == nil {
+			t.Errorf("rank %d: no panic on SPMD length mismatch", r)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// This file exports a Tracer's timeline in the Chrome trace-event JSON
+// format (the "JSON Object Format" with a traceEvents array), which both
+// chrome://tracing and Perfetto (ui.perfetto.dev) open directly.  Each
+// rank becomes one named thread track; spans are B/E duration events,
+// instants are "i" events, and final counter values are emitted as "C"
+// counter samples so Perfetto renders them as counter tracks.
+
+// traceEvent is one entry of the traceEvents array.
+type traceEvent struct {
+	Name string         `json:"name,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the top-level JSON object.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+func micros(d int64) float64 { return float64(d) / 1e3 } // ns -> µs
+
+// traceEvents renders the recorded timeline.
+func (t *Tracer) traceEvents() []traceEvent {
+	if t == nil {
+		return nil
+	}
+	var out []traceEvent
+	for rank, rb := range t.ranks {
+		rb.mu.Lock()
+		events := make([]event, len(rb.events))
+		copy(events, rb.events)
+		counters := make(map[string]int64, len(rb.counters))
+		for k, v := range rb.counters {
+			counters[k] = v
+		}
+		rb.mu.Unlock()
+
+		out = append(out, traceEvent{
+			Name: "thread_name", Ph: "M", Tid: rank,
+			Args: map[string]any{"name": rankTrackName(rank)},
+		})
+		var last float64
+		for _, e := range events {
+			te := traceEvent{Name: e.name, Cat: e.cat, TS: micros(int64(e.ts)), Tid: rank}
+			switch e.kind {
+			case evBegin:
+				te.Ph = "B"
+			case evEnd:
+				te.Ph = "E"
+			case evInstant:
+				te.Ph = "i"
+				te.S = "t"
+			}
+			last = te.TS
+			out = append(out, te)
+		}
+		// Final counter samples at the track's last timestamp, in sorted
+		// order for deterministic output.
+		names := make([]string, 0, len(counters))
+		for name := range counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			out = append(out, traceEvent{
+				Name: name, Cat: "counter", Ph: "C", TS: last, Tid: rank,
+				Args: map[string]any{"value": counters[name]},
+			})
+		}
+	}
+	return out
+}
+
+func rankTrackName(rank int) string {
+	return fmt.Sprintf("rank %d", rank)
+}
+
+// WriteTrace writes the timeline as Chrome trace-event JSON.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: t.traceEvents(), DisplayTimeUnit: "ms"})
+}
+
+// WriteTraceFile writes the timeline to the named file.
+func (t *Tracer) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,125 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+type exportedEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+type exportedTrace struct {
+	TraceEvents     []exportedEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+func TestWriteTrace(t *testing.T) {
+	tr := obs.NewTracer(2)
+	clk := &vclock{step: time.Millisecond}
+	tr.SetClock(clk.read)
+
+	sp := tr.Begin(0, "balance", "phase")
+	tr.Begin(0, "notify", "phase").End()
+	tr.Instant(0, "retx", "net")
+	sp.End()
+	tr.Begin(1, "balance", "phase").End()
+	tr.Add(0, "comm/msgs", 42)
+	tr.Add(1, "comm/msgs", 17)
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf exportedTrace
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", tf.DisplayTimeUnit)
+	}
+
+	perTid := make(map[int][]exportedEvent)
+	meta := make(map[int]bool)
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "M" {
+			if e.Name == "thread_name" {
+				meta[e.Tid] = true
+			}
+			continue
+		}
+		perTid[e.Tid] = append(perTid[e.Tid], e)
+	}
+	if !meta[0] || !meta[1] {
+		t.Errorf("missing thread_name metadata: %v", meta)
+	}
+
+	for tid, evs := range perTid {
+		last := -1.0
+		depth := 0
+		counters := 0
+		for _, e := range evs {
+			switch e.Ph {
+			case "B":
+				depth++
+			case "E":
+				depth--
+				if depth < 0 {
+					t.Fatalf("tid %d: E without B at ts %v", tid, e.TS)
+				}
+			case "i":
+			case "C":
+				counters++
+				if e.Args["value"] == nil {
+					t.Errorf("tid %d: counter %q without value", tid, e.Name)
+				}
+				continue // counter samples share the last timestamp
+			default:
+				t.Errorf("tid %d: unexpected phase %q", tid, e.Ph)
+			}
+			if e.TS < last {
+				t.Errorf("tid %d: ts %v after %v (non-monotonic)", tid, e.TS, last)
+			}
+			last = e.TS
+		}
+		if depth != 0 {
+			t.Errorf("tid %d: %d unmatched B events", tid, depth)
+		}
+		if counters != 1 {
+			t.Errorf("tid %d: %d counter samples, want 1", tid, counters)
+		}
+	}
+	// Rank 0: B(balance) B(notify) E(notify) i(retx) E(balance) C(comm/msgs).
+	if len(perTid[0]) != 6 {
+		t.Errorf("tid 0: %d events, want 6: %+v", len(perTid[0]), perTid[0])
+	}
+
+	// Span timestamps are the virtual clock's (µs): first Begin at 1ms.
+	if first := perTid[0][0]; first.Ph != "B" || first.Name != "balance" || first.TS != 1000 {
+		t.Errorf("first event %+v, want B balance at 1000µs", first)
+	}
+}
+
+func TestWriteTraceNil(t *testing.T) {
+	var tr *obs.Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf exportedTrace
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("nil trace not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) != 0 {
+		t.Errorf("nil tracer exported %d events", len(tf.TraceEvents))
+	}
+}

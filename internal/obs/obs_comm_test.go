@@ -1,0 +1,79 @@
+package obs_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/obs"
+)
+
+// TestTracedChaosWorld attaches a tracer to a world on a fault-injecting
+// transport and hammers it from every rank — under -race this doubles as
+// the concurrency test for the tracer (rank goroutines plus the
+// retransmitter record concurrently).  It then cross-checks the tracer's
+// counters against the world's own meters: logical accounting must agree
+// no matter what the transport did.
+func TestTracedChaosWorld(t *testing.T) {
+	const p = 4
+	tr := comm.NewChaosTransport(comm.DefaultChaosConfig(12345))
+	w := comm.NewWorldTransport(p, tr)
+	w.SetTimeout(2 * time.Minute)
+	tracer := obs.NewTracer(p)
+	w.SetTracer(tracer)
+
+	w.Run(func(c *comm.Comm) {
+		me := c.Rank()
+		for round := 0; round < 20; round++ {
+			for d := 0; d < p; d++ {
+				if d != me {
+					c.Send(d, round, []byte{byte(me), byte(round)})
+				}
+			}
+			for s := 0; s < p; s++ {
+				if s == me {
+					continue
+				}
+				got := c.Recv(s, round)
+				if len(got) != 2 || got[0] != byte(s) || got[1] != byte(round) {
+					t.Errorf("rank %d round %d from %d: %v", me, round, s, got)
+				}
+			}
+			c.Barrier()
+		}
+		c.Allgatherv([]byte{byte(me)})
+	})
+	w.Close()
+
+	// Logical meters and tracer counters must agree exactly: the tracer
+	// hooks the same send path the Stats meters do, and retransmissions
+	// are counted separately (net/retries), never as comm traffic.
+	total := w.TotalStats()
+	if got := tracer.TotalCounter("comm/msgs"); got != total.Messages {
+		t.Errorf("tracer comm/msgs = %d, world meters say %d", got, total.Messages)
+	}
+	if got := tracer.TotalCounter("comm/bytes"); got != total.Bytes {
+		t.Errorf("tracer comm/bytes = %d, world meters say %d", got, total.Bytes)
+	}
+	net := w.NetStats()
+	if got := tracer.TotalCounter("net/retries"); got != net.Retries {
+		t.Errorf("tracer net/retries = %d, NetStats says %d", got, net.Retries)
+	}
+	if got := tracer.TotalCounter("net/dups-dropped"); got != net.DupsDropped {
+		t.Errorf("tracer net/dups-dropped = %d, NetStats says %d", got, net.DupsDropped)
+	}
+
+	// Every rank's track has matched, ts-ordered spans (Recv and the
+	// collectives are instrumented), and the export is well-formed.
+	for r := 0; r < p; r++ {
+		spans := tracer.Spans(r) // panics on unmatched End
+		if len(spans) == 0 {
+			t.Errorf("rank %d recorded no spans", r)
+		}
+		for _, s := range spans {
+			if s.End < s.Start {
+				t.Errorf("rank %d span %s ends before it starts", r, s.Name)
+			}
+		}
+	}
+}

@@ -92,8 +92,23 @@ func (t *Table) String() string {
 
 // Speedup formats the ratio old/new, the headline metric of Section VI.
 func Speedup(old, new time.Duration) string {
+	return SpeedupRatio(old.Seconds(), new.Seconds())
+}
+
+// SpeedupRatio is Speedup on plain seconds, for values that come out of the
+// cross-rank obs aggregates rather than time.Duration measurements.
+func SpeedupRatio(old, new float64) string {
 	if new <= 0 {
 		return "inf"
 	}
-	return fmt.Sprintf("%.2fx", old.Seconds()/new.Seconds())
+	return fmt.Sprintf("%.2fx", old/new)
+}
+
+// NormalizedSeconds is Normalized on plain seconds.
+func NormalizedSeconds(sec float64, globalOctants int64, ranks int) float64 {
+	millionPerRank := float64(globalOctants) / float64(ranks) / 1e6
+	if millionPerRank == 0 {
+		return 0
+	}
+	return sec / millionPerRank
 }

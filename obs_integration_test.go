@@ -1,0 +1,136 @@
+package octbalance_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	octbalance "repro"
+)
+
+func tracedExperiment() octbalance.Experiment {
+	return octbalance.Experiment{
+		Conn:      octbalance.FractalForest(2),
+		Ranks:     4,
+		BaseLevel: 2,
+		MaxLevel:  5,
+		Refine:    octbalance.FractalRefine(5),
+	}
+}
+
+// logicalComm projects per-phase comm stats down to the deterministic
+// logical meters (message and byte counts), dropping the queue-depth
+// high-water marks that depend on goroutine scheduling.
+func logicalComm(m map[string]octbalance.CommStats) map[string][2]int64 {
+	out := make(map[string][2]int64, len(m))
+	for phase, st := range m {
+		out[phase] = [2]int64{st.Messages, st.Bytes}
+	}
+	return out
+}
+
+// TestTracingDoesNotChangeStats runs the same experiment with and without a
+// tracer attached and asserts the logical communication meters are
+// byte-for-byte identical: instrumentation observes, it must not perturb.
+func TestTracingDoesNotChangeStats(t *testing.T) {
+	plain := tracedExperiment().Run()
+
+	e := tracedExperiment()
+	e.Tracer = octbalance.NewTracer(e.Ranks)
+	traced := e.Run()
+
+	if plain.OctantsBefore != traced.OctantsBefore || plain.OctantsAfter != traced.OctantsAfter {
+		t.Fatalf("octant counts changed under tracing: %d->%d vs %d->%d",
+			plain.OctantsBefore, plain.OctantsAfter, traced.OctantsBefore, traced.OctantsAfter)
+	}
+	// Compare only the logical meters.  MaxQueueDepth and PeakInFlightBytes
+	// are physical high-water marks that wobble with goroutine scheduling on
+	// any pair of runs, traced or not.
+	if !reflect.DeepEqual(logicalComm(plain.Comm), logicalComm(traced.Comm)) {
+		t.Errorf("per-phase comm stats changed under tracing:\nplain  %+v\ntraced %+v",
+			plain.Comm, traced.Comm)
+	}
+	pm, pb := plain.CommTotals()
+	tm, tb := traced.CommTotals()
+	if pm != tm || pb != tb {
+		t.Errorf("comm totals changed under tracing: %d/%d vs %d/%d", pm, pb, tm, tb)
+	}
+}
+
+// TestExperimentTraceExport checks a traced experiment exports a valid
+// Chrome trace-event timeline containing the balance phases on every rank.
+func TestExperimentTraceExport(t *testing.T) {
+	e := tracedExperiment()
+	e.Tracer = octbalance.NewTracer(e.Ranks)
+	e.Run()
+
+	var buf bytes.Buffer
+	if err := e.Tracer.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	phaseSeen := make(map[int]map[string]bool)
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "B" {
+			continue
+		}
+		if phaseSeen[ev.Tid] == nil {
+			phaseSeen[ev.Tid] = make(map[string]bool)
+		}
+		phaseSeen[ev.Tid][ev.Name] = true
+	}
+	for r := 0; r < e.Ranks; r++ {
+		for _, phase := range octbalance.BalancePhases {
+			if !phaseSeen[r][phase] {
+				t.Errorf("rank %d: no %q span in trace", r, phase)
+			}
+		}
+	}
+}
+
+// TestExperimentPhaseAgg checks the cross-rank aggregates the bench record
+// is built from: present for every phase, internally consistent, and the
+// obs/aggregate collective's own traffic excluded from the totals.
+func TestExperimentPhaseAgg(t *testing.T) {
+	res := tracedExperiment().Run()
+	keys := append(append([]string{}, octbalance.BalancePhases...), octbalance.PhaseTotal)
+	for _, key := range keys {
+		s, ok := res.PhaseAgg[key]
+		if !ok {
+			t.Fatalf("PhaseAgg missing %q", key)
+		}
+		if s.Min > s.Mean || s.Mean > s.Max || (s.Max > 0 && s.Imbalance < 1) {
+			t.Errorf("PhaseAgg[%q] inconsistent: %+v", key, s)
+		}
+	}
+	if _, ok := res.Comm["obs/aggregate"]; !ok {
+		t.Error("aggregation traffic not attributed to obs/aggregate")
+	}
+	msgs, _ := res.CommTotals()
+	var withObs int64
+	for _, st := range res.Comm {
+		withObs += st.Messages
+	}
+	if msgs >= withObs {
+		t.Errorf("CommTotals (%d msgs) does not exclude obs/ phases (%d with them)", msgs, withObs)
+	}
+
+	run := res.BenchRun()
+	if run.TotalMessages != msgs {
+		t.Errorf("BenchRun.TotalMessages %d != CommTotals %d", run.TotalMessages, msgs)
+	}
+	if run.Algo == "" || len(run.Phases) != len(keys) {
+		t.Errorf("BenchRun incomplete: %+v", run)
+	}
+}

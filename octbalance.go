@@ -34,6 +34,7 @@ import (
 	"repro/internal/linear"
 	"repro/internal/mesh"
 	"repro/internal/notify"
+	"repro/internal/obs"
 	"repro/internal/octant"
 	"repro/internal/vtk"
 	"repro/internal/workload"
@@ -110,6 +111,38 @@ type (
 
 // NewWorld creates a world of p ranks.
 var NewWorld = comm.NewWorld
+
+// Observability (internal/obs): rank-aware tracing, phase aggregation,
+// Chrome trace-event export and the BENCH record schema.
+type (
+	// Tracer records spans, instants and counters per rank; attach one to
+	// a World (SetTracer) or an Experiment (Tracer field) and export the
+	// timeline with WriteTrace.  A nil *Tracer is a valid disabled tracer.
+	Tracer = obs.Tracer
+	// Span is an open tracer span.
+	Span = obs.Span
+	// PhaseSummary is a cross-rank min/mean/max/imbalance aggregate.
+	PhaseSummary = obs.Summary
+	// BenchRecord is the machine-readable benchmark record of cmd/bench.
+	BenchRecord = obs.BenchRecord
+	// BenchRun is one balance execution inside a BenchRecord.
+	BenchRun = obs.BenchRun
+	// KernelResult is one hot-kernel micro-benchmark measurement.
+	KernelResult = obs.KernelResult
+)
+
+var (
+	// NewTracer creates a tracer with one track per rank.
+	NewTracer = obs.NewTracer
+	// SummarizeValues reduces one value per rank to a PhaseSummary.
+	SummarizeValues = obs.Summarize
+	// AggregateValue gathers one value from every rank and summarizes it
+	// on every rank (collective).
+	AggregateValue = obs.Aggregate
+	// AllreducePhaseTimes reduces PhaseTimes to the elementwise maximum
+	// over all ranks (collective).
+	AllreducePhaseTimes = forest.AllreducePhaseTimes
+)
 
 // Pattern reversal schemes (Section V).
 var (

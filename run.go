@@ -2,10 +2,12 @@ package octbalance
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/comm"
 	"repro/internal/forest"
+	"repro/internal/obs"
 	"repro/internal/octant"
 )
 
@@ -34,7 +36,18 @@ type Experiment struct {
 	Options BalanceOptions
 	// SkipPartition leaves the post-refinement load imbalance in place.
 	SkipPartition bool
+	// Tracer, when non-nil, is attached to the world: every phase,
+	// collective and reliable-layer event of the run lands on it, ready
+	// for Chrome trace-event export.  It must have at least Ranks tracks.
+	Tracer *obs.Tracer
 }
+
+// Phase labels of the one-pass balance, in execution order, as used by the
+// comm meters, the tracer spans and the Result.PhaseAgg keys.
+var BalancePhases = []string{"local-balance", "notify", "query-response", "rebalance"}
+
+// PhaseTotal is the PhaseAgg key of the summed-over-phases aggregate.
+const PhaseTotal = "total"
 
 // Result reports one experiment run.
 type Result struct {
@@ -46,6 +59,57 @@ type Result struct {
 	Phases        PhaseTimes
 	MaxPhases     PhaseTimes           // maximum over ranks
 	Comm          map[string]CommStats // per balance phase label
+	// PhaseAgg is the cross-rank aggregate (min/mean/max/imbalance, in
+	// seconds) of each balance phase plus the PhaseTotal key — the
+	// Figure 18/19-style breakdown.  It is computed with the world's own
+	// collectives, attributed to the "obs/aggregate" phase so the balance
+	// phases' volume claims stay untouched.
+	PhaseAgg map[string]obs.Summary
+	// Net is the physical transport traffic of the whole run (all zero on
+	// the default perfect transport).
+	Net comm.NetStats
+}
+
+// CommTotals sums the logical message and byte counts over all algorithm
+// phases, excluding the internal "obs/" measurement phases.
+func (r Result) CommTotals() (msgs, bytes int64) {
+	for phase, st := range r.Comm {
+		if strings.HasPrefix(phase, "obs/") {
+			continue
+		}
+		msgs += st.Messages
+		bytes += st.Bytes
+	}
+	return msgs, bytes
+}
+
+// BenchRun converts the result into its machine-readable benchmark form.
+func (r Result) BenchRun() obs.BenchRun {
+	run := obs.BenchRun{
+		Algo:          r.Algo.String(),
+		OctantsBefore: r.OctantsBefore,
+		OctantsAfter:  r.OctantsAfter,
+		Phases:        r.PhaseAgg,
+		Comm:          make(map[string]obs.CommVolume, len(r.Comm)),
+		Net: obs.NetVolume{
+			DataPackets:        r.Net.DataPackets,
+			AckPackets:         r.Net.AckPackets,
+			Retries:            r.Net.Retries,
+			DupsDropped:        r.Net.DupsDropped,
+			WireBytes:          r.Net.WireBytes,
+			BackpressureStalls: r.Net.BackpressureStalls,
+		},
+	}
+	for phase, st := range r.Comm {
+		run.Comm[phase] = obs.CommVolume{
+			Messages:          st.Messages,
+			Bytes:             st.Bytes,
+			MaxQueueDepth:     st.MaxQueueDepth,
+			PeakInFlightBytes: st.PeakInFlightBytes,
+		}
+	}
+	run.TotalMessages, run.TotalBytes = r.CommTotals()
+	return run
 }
 
 // String formats the headline numbers.
@@ -66,6 +130,9 @@ func (e Experiment) Run() Result {
 		k = e.Conn.Dim()
 	}
 	w := comm.NewWorld(e.Ranks)
+	if e.Tracer != nil {
+		w.SetTracer(e.Tracer)
+	}
 	var (
 		mu     sync.Mutex
 		res    Result
@@ -87,10 +154,28 @@ func (e Experiment) Run() Result {
 		before := f.NumGlobal
 		pt := f.Balance(c, k, e.Options)
 		phases[c.Rank()] = pt
+		// Cross-rank phase aggregation through the world's own
+		// collectives, under a dedicated phase label so the balance
+		// phases' logical volume meters are left exactly as measured.
+		c.SetPhase("obs/aggregate")
+		vals := []float64{
+			pt.LocalBalance.Seconds(), pt.Notify.Seconds(),
+			pt.QueryResponse.Seconds(), pt.Rebalance.Seconds(),
+			pt.Total().Seconds(),
+		}
+		aggs := obs.AggregateMany(c, vals)
+		c.SetPhase("default")
 		if c.Rank() == 0 {
 			mu.Lock()
 			res.OctantsBefore = before
 			res.OctantsAfter = f.NumGlobal
+			res.PhaseAgg = map[string]obs.Summary{
+				BalancePhases[0]: aggs[0],
+				BalancePhases[1]: aggs[1],
+				BalancePhases[2]: aggs[2],
+				BalancePhases[3]: aggs[3],
+				PhaseTotal:       aggs[4],
+			}
 			mu.Unlock()
 		}
 	})
@@ -103,6 +188,7 @@ func (e Experiment) Run() Result {
 	for _, phase := range w.Phases() {
 		res.Comm[phase] = w.PhaseStats(phase)
 	}
+	res.Net = w.NetStats()
 	return res
 }
 
