@@ -37,6 +37,7 @@ func main() {
 		grid      = flag.Int("grid", 8, "ice sheet tree grid extent")
 		seed      = flag.Int64("seed", 42, "random workload seed")
 		prob      = flag.Int("prob", 22, "random workload split probability (percent)")
+		workersF  = flag.Int("workers", 0, "rank-local worker pool size (0 = serial, -1 = one per CPU)")
 		jsonOut   = flag.String("json", "", "also write the runs as a bench record to this path")
 	)
 	flag.Parse()
@@ -107,7 +108,7 @@ func main() {
 	var results []octbalance.Result
 	for _, algo := range algos {
 		e := base
-		e.Options = octbalance.BalanceOptions{Algo: algo, Notify: scheme}
+		e.Options = octbalance.BalanceOptions{Algo: algo, Notify: scheme, Workers: *workersF}
 		res := e.Run()
 		results = append(results, res)
 		rec.Runs = append(rec.Runs, res.BenchRun())

@@ -8,7 +8,9 @@
 //
 //	bench -workload fractal -ranks 8
 //	bench -workload icesheet -ranks 16 -algo both -trace trace.json
+//	bench -workers 4 -workload fractal      # serial AND 4-worker runs
 //	bench -validate BENCH_fractal.json
+//	bench -validate BENCH_local.json -baseline results/BENCH_local.json
 package main
 
 import (
@@ -43,7 +45,10 @@ func main() {
 		out       = flag.String("out", "", "output record path (default BENCH_<workload>.json)")
 		traceOut  = flag.String("trace", "", "also export a Chrome trace-event file to this path")
 		kernelsF  = flag.Bool("kernels", true, "run the hot-kernel micro-benchmarks")
+		workersF  = flag.Int("workers", 0, "rank-local worker pool size; > 1 records a serial AND a parallel run per algorithm")
 		validateF = flag.String("validate", "", "validate an existing record and exit")
+		baselineF = flag.String("baseline", "", "with -validate: baseline record; fail if LocalBalance kernel allocs/op regressed")
+		maxRegr   = flag.Float64("max-alloc-regress", 10, "with -baseline: allowed allocs/op regression in percent")
 	)
 	flag.Parse()
 
@@ -57,6 +62,20 @@ func main() {
 		}
 		fmt.Printf("%s: valid %s record (%s, %d ranks, %d runs, %d kernels)\n",
 			*validateF, rec.Schema, rec.Workload, rec.Ranks, len(rec.Runs), len(rec.Kernels))
+		if *baselineF != "" {
+			base, err := obs.ReadBenchRecord(*baselineF)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Allocation counts are deterministic for a fixed input, unlike
+			// ns/op, so they make a sharp regression gate for the
+			// local-balance hot path even on noisy CI machines.
+			if err := obs.CompareKernelAllocs(base, rec, "LocalBalance", *maxRegr); err != nil {
+				log.Fatalf("alloc regression vs %s: %v", *baselineF, err)
+			}
+			fmt.Printf("%s: LocalBalance kernel allocs/op within %.0f%% of baseline %s\n",
+				*validateF, *maxRegr, *baselineF)
+		}
 		return
 	}
 
@@ -127,31 +146,43 @@ func main() {
 	fmt.Printf("forest: %v, ranks %d, workload %s, notify %s\n\n",
 		base.Conn, *ranks, *workloadF, scheme)
 
+	// With -workers N > 1 every algorithm runs twice — serial, then with the
+	// rank-local worker pool — so the record carries its own serial-vs-
+	// parallel comparison (the forest must be bit-identical either way).
+	workerCounts := []int{0}
+	if *workersF > 1 {
+		workerCounts = append(workerCounts, *workersF)
+	}
 	tbl := stats.NewTable("one-pass 2:1 balance (cross-rank max, seconds)",
-		"algo", "octants before", "octants after", "total", "local bal", "notify",
+		"algo", "wk", "octants before", "octants after", "total", "local bal", "notify",
 		"query/resp", "rebalance", "imbalance", "msgs", "bytes")
 	for _, algo := range algos {
-		e := base
-		e.Options = octbalance.BalanceOptions{Algo: algo, Notify: scheme}
-		e.Tracer = octbalance.NewTracer(e.Ranks)
-		res := e.Run()
-		rec.Runs = append(rec.Runs, res.BenchRun())
-		msgs, bytes := res.CommTotals()
-		total := res.PhaseAgg[octbalance.PhaseTotal]
-		tbl.AddRow(algo, res.OctantsBefore, res.OctantsAfter,
-			total.Max,
-			res.PhaseAgg["local-balance"].Max, res.PhaseAgg["notify"].Max,
-			res.PhaseAgg["query-response"].Max, res.PhaseAgg["rebalance"].Max,
-			total.Imbalance, msgs, bytes)
-		if *traceOut != "" {
-			path := *traceOut
-			if len(algos) > 1 {
-				path = insertSuffix(path, "_"+algo.String())
+		for _, wk := range workerCounts {
+			e := base
+			e.Options = octbalance.BalanceOptions{Algo: algo, Notify: scheme, Workers: wk}
+			e.Tracer = octbalance.NewTracer(e.Ranks)
+			res := e.Run()
+			rec.Runs = append(rec.Runs, res.BenchRun())
+			msgs, bytes := res.CommTotals()
+			total := res.PhaseAgg[octbalance.PhaseTotal]
+			tbl.AddRow(algo, wk, res.OctantsBefore, res.OctantsAfter,
+				total.Max,
+				res.PhaseAgg["local-balance"].Max, res.PhaseAgg["notify"].Max,
+				res.PhaseAgg["query-response"].Max, res.PhaseAgg["rebalance"].Max,
+				total.Imbalance, msgs, bytes)
+			if *traceOut != "" {
+				path := *traceOut
+				if len(algos) > 1 {
+					path = insertSuffix(path, "_"+algo.String())
+				}
+				if len(workerCounts) > 1 {
+					path = insertSuffix(path, fmt.Sprintf("_wk%d", wk))
+				}
+				if err := e.Tracer.WriteTraceFile(path); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("trace (%s, %d workers): %s\n", algo, wk, path)
 			}
-			if err := e.Tracer.WriteTraceFile(path); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("trace (%s): %s\n", algo, path)
 		}
 	}
 	fmt.Print(tbl)

@@ -58,9 +58,23 @@ func main() {
 		chaos     = flag.Uint64("chaos", 0, "chaos sweep: re-run every scenario under seeded transport faults derived from this base seed")
 		canary    = flag.Bool("chaos-canary", false, "run scenarios under chaos with reliable delivery DISABLED; the sweep must fail")
 		shrinkBud = flag.Int("shrink", 80, "run budget for shrinking a failing scenario")
+		workersF  = flag.Int("workers", -1, "pin the rank-local worker pool size for every scenario (-1 = scenario-chosen)")
 		verbose   = flag.Bool("v", false, "print every scenario as it runs")
 	)
 	flag.Parse()
+
+	// pin applies the -workers override; replay commands printed below
+	// carry the same flag so a pinned failure stays reproducible.
+	pin := func(sc harness.Scenario) harness.Scenario {
+		if *workersF >= 0 {
+			sc.Workers = *workersF
+		}
+		return sc.Normalized()
+	}
+	pinFlag := ""
+	if *workersF >= 0 {
+		pinFlag = fmt.Sprintf(" -workers %d", *workersF)
+	}
 
 	forest.PreclusionFaultLevels = *fault
 	if *fault != 0 {
@@ -68,7 +82,7 @@ func main() {
 	}
 
 	if *replay != 0 {
-		sc := harness.FromSeed(*replay)
+		sc := pin(harness.FromSeed(*replay))
 		if *chaos != 0 {
 			sc = sc.WithChaos(chaosSeedFor(*chaos, *replay))
 		}
@@ -109,7 +123,7 @@ func main() {
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			break
 		}
-		sc := harness.FromSeed(s)
+		sc := pin(harness.FromSeed(s))
 		if *verbose {
 			log.Printf("seed %d: %v", s, sc)
 		}
@@ -136,7 +150,7 @@ func main() {
 				small, smallRes, attempts := harness.Shrink(csc, *shrinkBud)
 				log.Printf("shrunk after %d runs to: %v", attempts, small)
 				log.Printf("still failing with: %v", smallRes.Err)
-				log.Printf("replay with: go run ./cmd/stress -replay %d -chaos %d", small.Seed, *chaos)
+				log.Printf("replay with: go run ./cmd/stress -replay %d -chaos %d%s", small.Seed, *chaos, pinFlag)
 				fmt.Fprintf(os.Stderr, "\n%s\n", harness.ReproSource(small, smallRes.Err))
 				continue
 			}
@@ -149,7 +163,7 @@ func main() {
 		small, smallRes, attempts := harness.Shrink(sc, *shrinkBud)
 		log.Printf("shrunk after %d runs to: %v", attempts, small)
 		log.Printf("still failing with: %v", smallRes.Err)
-		log.Printf("replay with: go run ./cmd/stress -replay %d", small.Seed)
+		log.Printf("replay with: go run ./cmd/stress -replay %d%s", small.Seed, pinFlag)
 		fmt.Fprintf(os.Stderr, "\n%s\n", harness.ReproSource(small, smallRes.Err))
 		if *fault != 0 {
 			break // fault mode only needs to prove the bug is catchable

@@ -1,7 +1,7 @@
 package forest
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/balance"
@@ -94,6 +94,13 @@ type BalanceOptions struct {
 	// algorithm together — they must agree, since seeds and raw octants
 	// are interpreted differently by the receiver (ablation).
 	RemoteStage StageOverride
+	// Workers bounds the rank-local worker pool that the local pipeline
+	// stages (per-tree subtree balance, query responses, the rebalance
+	// subtree reconstruction and merge) fan out over.  0 and 1 run
+	// serially on the rank's own goroutine; n > 1 uses a pool of n
+	// goroutines; a negative value uses one worker per available CPU.
+	// The balanced forest is bit-identical at every worker count.
+	Workers int
 }
 
 // PhaseTimes records wall-clock durations of the one-pass balance phases as
@@ -209,14 +216,34 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 	root := octant.Root(f.Conn.dim)
 	localAlgo := opt.LocalStage.resolve(opt.Algo)
 	remoteAlgo := opt.RemoteStage.resolve(opt.Algo)
+	workers := opt.workerCount()
+	if workers > 1 {
+		c.Tracer().ObserveMax(c.Rank(), obs.GaugeLocalWorkers, int64(workers))
+	}
+	// runParallel fans n independent tasks out over the worker pool,
+	// bracketed by a local/par span.  The span is opened and closed on the
+	// rank's own goroutine (workers never touch the tracer), so the strict
+	// per-rank span nesting holds.
+	runParallel := func(n int, task func(i int)) {
+		if workers > 1 && n > 1 {
+			sp := c.Tracer().Begin(c.Rank(), obs.SpanLocalPar, "balance")
+			parallelFor(workers, n, task)
+			sp.End()
+			return
+		}
+		parallelFor(1, n, task)
+	}
 
 	// Phase 1: Local balance.  Balance each local tree chunk as a
-	// subtree, clipped back to the owned curve range.
+	// subtree, clipped back to the owned curve range.  Chunks are
+	// independent (each is balanced within its own enclosing subtree), so
+	// they go to the pool as-is; a chunk is never subdivided further
+	// because balance interactions couple everything inside it.
 	ps := beginPhase(c, "local-balance")
-	for i := range f.Local {
+	runParallel(len(f.Local), func(i int) {
 		tc := &f.Local[i]
 		tc.Leaves = localBalanceChunk(root, tc.Leaves, k, localAlgo)
-	}
+	})
 	times.LocalBalance = ps.end()
 
 	// Phase 2: Query construction.  For each local leaf whose insulation
@@ -270,7 +297,7 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 	for rank := range peers {
 		receivers = append(receivers, rank)
 	}
-	sort.Ints(receivers)
+	slices.Sort(receivers)
 	var senders []int
 	sendTo := receivers
 	switch opt.Notify {
@@ -306,11 +333,11 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 	// empty query lists under the Ranges scheme).
 	for _, rank := range senders {
 		data := c.Recv(rank, tagQuery)
-		c.Send(rank, tagResponse, f.respond(data, k, remoteAlgo))
+		c.Send(rank, tagResponse, f.respond(data, k, remoteAlgo, runParallel))
 	}
 	// Handle self queries (inter-tree interactions within this rank)
 	// through the same response path, without messages.
-	selfResponses := f.respondQueries(sortedQueries(selfQueries), k, remoteAlgo)
+	selfResponses := f.respondQueries(sortedQueries(selfQueries), k, remoteAlgo, runParallel)
 	// Collect responses.
 	type response struct {
 		q    query
@@ -358,17 +385,46 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 			m[localR] = append(m[localR], inv.Apply(o))
 		}
 	}
-	for i := range f.Local {
-		tc := &f.Local[i]
-		groups := perTree[tc.Tree]
-		if len(groups) == 0 {
-			continue
+	if remoteAlgo == AlgoNew {
+		// Flatten the per-query-octant reconstructions across all local
+		// trees into one job list so the pool stays busy even when the
+		// responses concentrate on a single tree, then splice each
+		// reconstructed subtree into its tree's leaf array (a k-way merge
+		// over contiguous leaf segments, itself parallel across trees).
+		var jobs []rebalanceJob
+		jobRange := make([][2]int, len(f.Local))
+		for i := range f.Local {
+			start := len(jobs)
+			jobs = appendRebalanceJobs(jobs, perTree[f.Local[i].Tree])
+			jobRange[i] = [2]int{start, len(jobs)}
 		}
-		if remoteAlgo == AlgoNew {
-			tc.Leaves = rebalanceNew(tc.Leaves, groups, k)
-		} else {
+		runParallel(len(jobs), func(i int) {
+			j := &jobs[i]
+			linear.Sort(j.seeds)
+			seeds := dedupOctants(j.seeds)
+			sub := balance.SubtreeNew(j.r, seeds, k)
+			if len(sub) == 1 && sub[0] == j.r {
+				return // no split forced; keep the leaf
+			}
+			j.sub = sub
+		})
+		runParallel(len(f.Local), func(i int) {
+			lo, hi := jobRange[i][0], jobRange[i][1]
+			if lo == hi {
+				return
+			}
+			tc := &f.Local[i]
+			tc.Leaves = spliceReplace(tc.Leaves, jobs[lo:hi])
+		})
+	} else {
+		runParallel(len(f.Local), func(i int) {
+			tc := &f.Local[i]
+			groups := perTree[tc.Tree]
+			if len(groups) == 0 {
+				return
+			}
 			tc.Leaves = rebalanceOld(root, tc.Leaves, groups, k)
-		}
+		})
 	}
 	times.Rebalance = ps.end()
 
@@ -377,29 +433,32 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 	return times
 }
 
-// sortedQueries returns the query set in a deterministic order.
+// sortedQueries returns the query set in a deterministic order.  The key is
+// the coordinate tuple, not the Morton index: query octants can lie outside
+// the responder tree's root cube, where the Morton comparison is not a
+// usable order (negative coordinates flip its bit interleaving).
 func sortedQueries(set map[query]struct{}) []query {
 	qs := make([]query, 0, len(set))
 	for q := range set {
 		qs = append(qs, q)
 	}
-	sort.Slice(qs, func(i, j int) bool {
-		if qs[i].Tree != qs[j].Tree {
-			return qs[i].Tree < qs[j].Tree
-		}
-		a, b := qs[i].R, qs[j].R
-		if a.X != b.X {
-			return a.X < b.X
-		}
-		if a.Y != b.Y {
-			return a.Y < b.Y
-		}
-		if a.Z != b.Z {
-			return a.Z < b.Z
-		}
-		return a.Level < b.Level
-	})
+	slices.SortFunc(qs, compareQueries)
 	return qs
+}
+
+func compareQueries(a, b query) int {
+	switch {
+	case a.Tree != b.Tree:
+		return int(a.Tree) - int(b.Tree)
+	case a.R.X != b.R.X:
+		return int(a.R.X) - int(b.R.X)
+	case a.R.Y != b.R.Y:
+		return int(a.R.Y) - int(b.R.Y)
+	case a.R.Z != b.R.Z:
+		return int(a.R.Z) - int(b.R.Z)
+	default:
+		return int(a.R.Level) - int(b.R.Level)
+	}
 }
 
 // localBalanceChunk balances one rank's contiguous leaf range of a tree:
@@ -437,14 +496,14 @@ func clipToRange(octs []octant.Octant, first, last octant.Octant) []octant.Octan
 // respond processes one incoming query message and produces the response
 // payload: for each query octant, the local octants (old algorithm) or
 // seed octants (new algorithm) that encode how the query octant must split.
-func (f *Forest) respond(data []byte, k int, algo Algo) []byte {
+func (f *Forest) respond(data []byte, k int, algo Algo, par func(int, func(int))) []byte {
 	n, off := comm.Int32At(data, 0)
 	qs := make([]query, n)
 	for i := range qs {
 		qs[i].Tree, off = comm.Int32At(data, off)
 		qs[i].R, off = octantAt(data, off)
 	}
-	resp := f.respondQueries(qs, k, algo)
+	resp := f.respondQueries(qs, k, algo, par)
 	var payload []byte
 	for _, q := range qs {
 		octs := resp[q]
@@ -458,28 +517,68 @@ func (f *Forest) respond(data []byte, k int, algo Algo) []byte {
 	return payload
 }
 
+// maxConsiderRegions bounds the candidate regions per query: the query
+// octant itself plus its full-codimension neighborhood (3^d - 1 directions,
+// at most 26 in 3D).
+const maxConsiderRegions = 27
+
 // respondQueries computes response octants for a list of queries against
-// the local partition.
-func (f *Forest) respondQueries(qs []query, k int, algo Algo) map[query][]octant.Octant {
-	out := make(map[query][]octant.Octant, len(qs))
+// the local partition.  Queries are independent, so they fan out over the
+// worker pool via par; each result lands in the slot of its query index,
+// keeping the output deterministic.
+func (f *Forest) respondQueries(qs []query, k int, algo Algo, par func(int, func(int))) map[query][]octant.Octant {
+	results := make([][]octant.Octant, len(qs))
 	root := octant.Root(f.Conn.dim)
 	dirs := octant.Directions(f.Conn.dim, f.Conn.dim)
-	for _, q := range qs {
+	par(len(qs), func(qi int) {
+		q := qs[qi]
 		tc := f.chunkFor(q.Tree)
 		if tc == nil {
-			continue
+			return
 		}
 		// Candidate local octants: leaves overlapping the insulation
 		// layer of the query octant (restricted to this tree's root).
-		seen := make(map[octant.Octant]bool)
-		var resp []octant.Octant
-		consider := func(region octant.Octant) {
+		// The per-region overlap ranges can intersect; merging the index
+		// ranges up front visits every candidate leaf exactly once and
+		// replaces the per-query dedup hash the hot loop used to allocate.
+		var rbuf [maxConsiderRegions][2]int
+		ranges := rbuf[:0]
+		addRegion := func(region octant.Octant) {
 			lo, hi := linear.OverlapRange(tc.Leaves, region)
+			if lo < hi {
+				ranges = append(ranges, [2]int{lo, hi})
+			}
+		}
+		if root.IsAncestorOrEqual(q.R) {
+			addRegion(q.R) // only possible if R overlaps local leaves: skipped by ownership, but safe
+		}
+		for _, d := range dirs {
+			ins := q.R.Neighbor(d)
+			if !root.IsAncestorOrEqual(ins) {
+				continue // other trees handle their own portion
+			}
+			addRegion(ins)
+		}
+		// Insertion sort: at most 27 tiny entries, no closure, no alloc.
+		for i := 1; i < len(ranges); i++ {
+			for j := i; j > 0 && ranges[j][0] < ranges[j-1][0]; j-- {
+				ranges[j], ranges[j-1] = ranges[j-1], ranges[j]
+			}
+		}
+		var resp []octant.Octant
+		done := 0 // leaves before this index have been considered
+		for _, rg := range ranges {
+			lo, hi := rg[0], rg[1]
+			if lo < done {
+				lo = done
+			}
+			if hi <= done {
+				continue
+			}
 			for _, o := range tc.Leaves[lo:hi] {
-				if seen[o] || precluded(o, q.R) {
+				if precluded(o, q.R) {
 					continue
 				}
-				seen[o] = true
 				if algo == AlgoNew {
 					if seeds, splits := balance.Seeds(o, q.R, k); splits {
 						resp = append(resp, seeds...)
@@ -488,21 +587,17 @@ func (f *Forest) respondQueries(qs []query, k int, algo Algo) map[query][]octant
 					resp = append(resp, o)
 				}
 			}
-		}
-		if root.IsAncestorOrEqual(q.R) {
-			consider(q.R) // only possible if R overlaps local leaves: skipped by ownership, but safe
-		}
-		for _, d := range dirs {
-			ins := q.R.Neighbor(d)
-			if !root.IsAncestorOrEqual(ins) {
-				continue // other trees handle their own portion
-			}
-			consider(ins)
+			done = hi
 		}
 		if len(resp) > 0 {
 			linear.Sort(resp)
-			resp = dedupOctants(resp)
-			out[q] = resp
+			results[qi] = dedupOctants(resp)
+		}
+	})
+	out := make(map[query][]octant.Octant, len(qs))
+	for i, q := range qs {
+		if len(results[i]) > 0 {
+			out[q] = results[i]
 		}
 	}
 	return out
@@ -518,25 +613,75 @@ func dedupOctants(octs []octant.Octant) []octant.Octant {
 	return out
 }
 
-// rebalanceNew is the paper's Local rebalance: for every query octant r,
-// the seeds received for r are balanced inside r (reconstructing
+// rebalanceJob is one unit of the paper's Local rebalance: the seeds
+// received for query octant r are balanced inside r (reconstructing
 // Tk(o) ∩ r for all influencing octants o at once), and the resulting
-// subtrees replace r in the partition.
-func rebalanceNew(leaves []octant.Octant, groups map[octant.Octant][]octant.Octant, k int) []octant.Octant {
-	extra := make([]octant.Octant, 0, len(groups)*4)
+// subtree replaces r in the partition.  Jobs are independent, so Balance
+// hands them to the worker pool; sub stays nil when r need not split.
+type rebalanceJob struct {
+	r     octant.Octant
+	seeds []octant.Octant
+	sub   []octant.Octant
+}
+
+// appendRebalanceJobs flattens one tree's response groups into jobs, sorted
+// by the query octant's Morton position (r is a local leaf, so the Morton
+// order is well defined) for a deterministic job list and for the splice
+// merge, which consumes jobs in leaf order.
+func appendRebalanceJobs(jobs []rebalanceJob, groups map[octant.Octant][]octant.Octant) []rebalanceJob {
+	start := len(jobs)
 	for r, seeds := range groups {
-		linear.Sort(seeds)
-		seeds = dedupOctants(seeds)
-		sub := balance.SubtreeNew(r, seeds, k)
-		if len(sub) == 1 && sub[0] == r {
-			continue
-		}
-		extra = append(extra, sub...)
+		jobs = append(jobs, rebalanceJob{r: r, seeds: seeds})
 	}
-	if len(extra) == 0 {
+	added := jobs[start:]
+	slices.SortFunc(added, func(a, b rebalanceJob) int { return octant.Compare(a.r, b.r) })
+	return jobs
+}
+
+// spliceReplace merges the reconstructed subtrees into the tree's leaf
+// array: each job's subtree replaces the leaf it was built for.  jobs must
+// be sorted by r.  Every r is expected to be a current leaf — queries are
+// built from the phase-1 leaves, which do not change until this phase, and
+// SubtreeNew(r, ...) returns a complete subtree of r — so replacing r by
+// its subtree in place preserves sortedness and linearity without the
+// global sort+linearize pass this merge used to run.  Should an r ever not
+// match a leaf, the general merge handles it.
+func spliceReplace(leaves []octant.Octant, jobs []rebalanceJob) []octant.Octant {
+	grow := 0
+	for i := range jobs {
+		if jobs[i].sub != nil {
+			grow += len(jobs[i].sub) - 1
+		}
+	}
+	if grow == 0 {
 		return leaves
 	}
-	merged := append(append(make([]octant.Octant, 0, len(leaves)+len(extra)), leaves...), extra...)
+	out := make([]octant.Octant, 0, len(leaves)+grow)
+	j, matched := 0, 0
+	for _, leaf := range leaves {
+		for j < len(jobs) && octant.Compare(jobs[j].r, leaf) < 0 {
+			j++ // r is not a leaf; resolved by the fallback below
+		}
+		if j < len(jobs) && jobs[j].r == leaf {
+			if sub := jobs[j].sub; sub != nil {
+				out = append(out, sub...)
+			} else {
+				out = append(out, leaf)
+			}
+			j++
+			matched++
+		} else {
+			out = append(out, leaf)
+		}
+	}
+	if matched == len(jobs) {
+		return out
+	}
+	merged := make([]octant.Octant, 0, len(leaves)+grow+len(jobs))
+	merged = append(merged, leaves...)
+	for i := range jobs {
+		merged = append(merged, jobs[i].sub...)
+	}
 	linear.Sort(merged)
 	return linear.Linearize(merged)
 }

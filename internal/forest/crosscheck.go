@@ -1,0 +1,97 @@
+package forest
+
+import (
+	"fmt"
+
+	"repro/internal/octant"
+)
+
+// This file is the independent audit for inter-tree 2:1 balance.
+// balance.Check, CheckForest and RefBalance all share the same single-sided
+// covering-leaf test built on Canonicalize and OverlapRange — a bug in that
+// shared logic (say, a neighbor silently skipped at a tree boundary) could
+// hide the same violation from the checker that it lets the balancer
+// produce.  CheckForestPairwise shares none of it: it enumerates tree-pair
+// shifts from the root's neighbors and then compares leaves pairwise with
+// octant.Adjacency, so a cross-tree violation cannot be skipped just
+// because a neighbor octant fell outside a root cube.  The differential
+// harness runs it (budget permitting) next to CheckForest, and
+// crosscheck_test.go keeps the two in agreement over randomized forests.
+
+// CheckForestPairwise verifies that a complete global forest is k-balanced
+// by brute force: every pair of leaves — within a tree and across every
+// connected tree pair under every connecting shift — must not be adjacent
+// through a boundary object of codimension <= k while differing by more
+// than one level.  It is quadratic in the per-tree leaf counts and exists
+// as an independent cross-check of CheckForest, not as a fast path.
+func CheckForestPairwise(conn *Connectivity, trees [][]octant.Octant, k int) error {
+	dim := conn.dim
+	root := octant.Root(dim)
+
+	// Intra-tree pairs (zero shift).
+	for t := range trees {
+		leaves := trees[t]
+		for i, a := range leaves {
+			for _, b := range leaves[i+1:] {
+				if err := pairBalanced(a, b, k); err != nil {
+					return fmt.Errorf("forest: tree %d: %w", t, err)
+				}
+			}
+		}
+	}
+
+	// Cross-tree pairs: for each tree, every shift under which a neighbor
+	// tree connects to it.  The shifts come from canonicalizing the root's
+	// own neighbors, which covers faces, edges and corners of the unit
+	// cube, including periodic wraparound and masked-brick holes.
+	for t0 := int32(0); t0 < conn.NumTrees(); t0++ {
+		type conn2 struct {
+			tree  int32
+			shift Shift
+		}
+		var seen []conn2
+		for _, d := range octant.Directions(dim, dim) {
+			nt, _, sh, ok := conn.Canonicalize(t0, root.Neighbor(d))
+			if !ok {
+				continue
+			}
+			dup := false
+			for _, c := range seen {
+				if c.tree == nt && c.shift == sh {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			seen = append(seen, conn2{nt, sh})
+			inv := sh.Inverse()
+			for _, a := range trees[t0] {
+				for _, b := range trees[nt] {
+					// Express b in t0's frame and compare directly.
+					if err := pairBalanced(a, inv.Apply(b), k); err != nil {
+						return fmt.Errorf("forest: trees %d/%d (shift %v): %w", t0, nt, sh, err)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// pairBalanced checks one leaf pair, expressed in a common coordinate
+// frame, against the k-balance condition.
+func pairBalanced(a, b octant.Octant, k int) error {
+	dl := int(a.Level) - int(b.Level)
+	if dl < 0 {
+		dl = -dl
+	}
+	if dl < 2 {
+		return nil
+	}
+	if adj := octant.Adjacency(a, b); adj >= 1 && adj <= k {
+		return fmt.Errorf("%v and %v share a codimension-%d boundary but differ by %d levels (k=%d)", a, b, adj, dl, k)
+	}
+	return nil
+}

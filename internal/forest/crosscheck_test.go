@@ -1,0 +1,196 @@
+package forest
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/linear"
+	"repro/internal/octant"
+)
+
+// craftedCrossViolation builds a two-tree forest with a planted cross-tree
+// 2:1 violation: tree 0 of a 2x1 brick is refined to level 3 in its
+// +x/+y corner — flush against the boundary to tree 1 — while tree 1 stays
+// a single root leaf.  Each tree is balanced in isolation; only the
+// inter-tree check can see the violation.
+func craftedCrossViolation(t *testing.T) (*Connectivity, [][]octant.Octant) {
+	t.Helper()
+	conn := NewBrick(2, 2, 1, 1, [3]bool{})
+	root := octant.Root(2)
+	leaves := []octant.Octant{root}
+	for round := 0; round < 3; round++ {
+		corner := leaves[len(leaves)-1] // max-corner leaf touches the +x face
+		leaves = leaves[:len(leaves)-1]
+		for ci := 0; ci < octant.NumChildren(2); ci++ {
+			leaves = append(leaves, corner.Child(ci))
+		}
+	}
+	linear.Sort(leaves)
+	if !linear.IsComplete(root, leaves) {
+		t.Fatal("crafted tree 0 is not a complete octree")
+	}
+	trees := [][]octant.Octant{leaves, {root}}
+	return conn, trees
+}
+
+// TestCraftedCrossTreeViolation is the regression test for silently skipped
+// inter-tree boundaries: balance.Check continues past neighbors outside the
+// root cube, so a violation between two trees is invisible to the per-tree
+// check and MUST be caught by the forest-level checkers.  Both CheckForest
+// and the independent pairwise checker have to flag the crafted forest, and
+// RefBalance has to repair it.
+func TestCraftedCrossTreeViolation(t *testing.T) {
+	conn, trees := craftedCrossViolation(t)
+	const k = 1
+
+	err := CheckForest(conn, trees, k)
+	if err == nil {
+		t.Fatal("CheckForest missed the crafted cross-tree violation")
+	}
+	if !strings.Contains(err.Error(), "tree 0") || !strings.Contains(err.Error(), "tree 1") {
+		t.Errorf("CheckForest error does not name both trees: %v", err)
+	}
+	if err := CheckForestPairwise(conn, trees, k); err == nil {
+		t.Fatal("CheckForestPairwise missed the crafted cross-tree violation")
+	}
+
+	bal := RefBalance(conn, trees, k)
+	if err := CheckForest(conn, bal, k); err != nil {
+		t.Errorf("RefBalance left the forest unbalanced: %v", err)
+	}
+	if err := CheckForestPairwise(conn, bal, k); err != nil {
+		t.Errorf("RefBalance result fails the pairwise check: %v", err)
+	}
+	if len(bal[1]) == 1 {
+		t.Error("RefBalance did not refine tree 1, the violation cannot have been repaired")
+	}
+}
+
+// TestCheckForestPairwiseAgreement sweeps randomized brick forests —
+// 2D/3D, periodic, masked — and demands CheckForest and the independent
+// pairwise checker agree: both must pass every RefBalance output, and both
+// must fail when a balanced leaf is artificially coarsened back.  This is
+// the audit that the shared Canonicalize+OverlapRange logic in CheckForest
+// has no boundary hole the balancer also falls into.
+func TestCheckForestPairwiseAgreement(t *testing.T) {
+	iters := 120
+	if testing.Short() {
+		iters = 20
+	}
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < iters; iter++ {
+		dim := 2
+		if rng.Intn(3) == 0 {
+			dim = 3
+		}
+		k := 1 + rng.Intn(dim)
+		nx, ny, nz := 1+rng.Intn(3), 1+rng.Intn(3), 1
+		if dim == 3 && rng.Intn(2) == 0 {
+			nz = 1 + rng.Intn(2)
+		}
+		var per [3]bool
+		if nx >= 3 && rng.Intn(3) == 0 {
+			per[0] = true
+		}
+		if ny >= 3 && rng.Intn(3) == 0 {
+			per[1] = true
+		}
+		var conn *Connectivity
+		if rng.Intn(2) == 0 && nx*ny*nz > 2 {
+			seed := rng.Int63()
+			conn = NewMaskedBrick(dim, nx, ny, nz, per, func(x, y, z int) bool {
+				if x == 0 && y == 0 && z == 0 {
+					return true
+				}
+				return (uint64(seed)^uint64(x*7+y*13+z*29))%100 >= 35
+			})
+		} else {
+			conn = NewBrick(dim, nx, ny, nz, per)
+		}
+		root := octant.Root(dim)
+		trees := make([][]octant.Octant, conn.NumTrees())
+		maxl := 3 + rng.Intn(2)
+		for ti := range trees {
+			var rec func(o octant.Octant)
+			rec = func(o octant.Octant) {
+				if int(o.Level) < maxl && rng.Intn(100) < 30 {
+					for ci := 0; ci < octant.NumChildren(dim); ci++ {
+						rec(o.Child(ci))
+					}
+					return
+				}
+				trees[ti] = append(trees[ti], o)
+			}
+			rec(root)
+			if !linear.IsComplete(root, trees[ti]) {
+				t.Fatal("random refinement produced an incomplete tree")
+			}
+		}
+
+		bal := RefBalance(conn, trees, k)
+		if err := CheckForest(conn, bal, k); err != nil {
+			t.Fatalf("iter %d: CheckForest rejects RefBalance output: %v", iter, err)
+		}
+		if err := CheckForestPairwise(conn, bal, k); err != nil {
+			t.Fatalf("iter %d (dim=%d k=%d brick=%dx%dx%d per=%v): pairwise violation missed by CheckForest: %v",
+				iter, dim, k, nx, ny, nz, per, err)
+		}
+
+		// Negative control: coarsen one refined leaf's family back to its
+		// parent; if that breaks balance, both checkers must notice.
+		if broken, ok := coarsenOne(conn, bal, rng); ok {
+			got := CheckForest(conn, broken, k)
+			want := CheckForestPairwise(conn, broken, k)
+			if (got == nil) != (want == nil) {
+				t.Fatalf("iter %d: checkers disagree on the coarsened forest: CheckForest=%v pairwise=%v",
+					iter, got, want)
+			}
+		}
+	}
+}
+
+// coarsenOne replaces the finest leaf's whole sibling family with its
+// parent in a deep copy of the forest, returning false when no tree is
+// refined or the family is not fully present.
+func coarsenOne(conn *Connectivity, trees [][]octant.Octant, rng *rand.Rand) ([][]octant.Octant, bool) {
+	bestT, bestI := -1, -1
+	for ti, leaves := range trees {
+		for i, o := range leaves {
+			if bestT < 0 || o.Level > trees[bestT][bestI].Level {
+				bestT, bestI = ti, i
+			}
+		}
+	}
+	if bestT < 0 || trees[bestT][bestI].Level == 0 {
+		return nil, false
+	}
+	parent := trees[bestT][bestI].Parent()
+	out := make([][]octant.Octant, len(trees))
+	for ti := range trees {
+		if ti != bestT {
+			out[ti] = trees[ti]
+			continue
+		}
+		kept := make([]octant.Octant, 0, len(trees[ti]))
+		replaced := false
+		removed := 0
+		for _, o := range trees[ti] {
+			if parent.IsAncestor(o) {
+				removed++
+				if !replaced {
+					kept = append(kept, parent)
+					replaced = true
+				}
+				continue
+			}
+			kept = append(kept, o)
+		}
+		if removed != octant.NumChildren(int(parent.Dim)) {
+			return nil, false // family split across something; skip
+		}
+		out[ti] = kept
+	}
+	_ = rng
+	return out, true
+}

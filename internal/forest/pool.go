@@ -1,0 +1,105 @@
+package forest
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/octant"
+)
+
+// numCPUWorkers is the pool size a negative BalanceOptions.Workers asks for.
+func numCPUWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// This file is the rank-local worker pool behind BalanceOptions.Workers: a
+// bounded fork-join helper that fans independent index ranges out over a
+// fixed number of goroutines.  Tasks pull indices from a shared atomic
+// counter (work stealing over a static range), so scheduling order is
+// nondeterministic — every caller therefore writes its result into a slot
+// keyed by the task index, which keeps the observable output identical at
+// any worker count.
+
+// parallelFor runs task(0) .. task(n-1) on up to workers goroutines and
+// returns when all tasks finished.  With workers <= 1 (or a single task) it
+// degenerates to a plain inline loop, spawning nothing.  Tasks must be
+// independent; a panic in any task is re-raised on the calling goroutine
+// after the pool drains.
+func parallelFor(workers, n int, task func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = p
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}
+
+// workerCount resolves the option field to an effective pool size: 0 (the
+// zero value) and 1 mean serial execution, n > 1 means a pool of n workers,
+// and a negative value asks for one worker per available CPU.
+func (opt BalanceOptions) workerCount() int {
+	w := opt.Workers
+	if w < 0 {
+		w = numCPUWorkers()
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// BalanceChunks applies the per-chunk Local subtree balance (phase 1 of
+// Balance) to independent leaf ranges, with the given worker count.  Each
+// chunks[i] is replaced by its balanced, range-clipped form.  Exported for
+// the kernel micro-benchmarks and the worker-pool tests; Balance itself
+// runs the same code path over its local tree chunks.
+func BalanceChunks(chunks [][]octant.Octant, k int, algo Algo, workers int) {
+	dim := 0
+	for _, ch := range chunks {
+		if len(ch) > 0 {
+			dim = int(ch[0].Dim)
+			break
+		}
+	}
+	if dim == 0 {
+		return
+	}
+	root := octant.Root(dim)
+	parallelFor(workers, len(chunks), func(i int) {
+		chunks[i] = localBalanceChunk(root, chunks[i], k, algo)
+	})
+}

@@ -1,0 +1,109 @@
+package forest
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/obs"
+)
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, runtime.NumCPU(), 2 * runtime.NumCPU(), 100} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			hits := make([]int32, n)
+			parallelFor(workers, n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d executed %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelForPropagatesPanic(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p != "boom" {
+			t.Fatalf("recovered %v, want the task's panic value", p)
+		}
+	}()
+	parallelFor(4, 100, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+	t.Fatal("parallelFor returned instead of panicking")
+}
+
+// balanceTraced runs a small two-rank balance with the given worker count
+// under an attached tracer and returns the tracer for inspection.
+func balanceTraced(t *testing.T, workers int) *obs.Tracer {
+	t.Helper()
+	conn := NewBrick(3, 2, 1, 1, [3]bool{})
+	const p = 2
+	tracer := obs.NewTracer(p)
+	w := comm.NewWorld(p)
+	w.SetTracer(tracer)
+	w.Run(func(c *comm.Comm) {
+		f := NewUniform(conn, c, 1)
+		f.Refine(c, 4, fractalRefine(4))
+		f.Partition(c, nil)
+		f.Balance(c, 3, BalanceOptions{Workers: workers})
+	})
+	w.Close()
+	return tracer
+}
+
+// TestWorkerPoolTracing pins the observability contract of the worker
+// pool: with a pool active every rank samples the local/workers gauge and
+// records local/par spans (opened on the rank's own goroutine, so strict
+// span nesting holds — Spans panics otherwise); a serial run emits
+// neither.
+func TestWorkerPoolTracing(t *testing.T) {
+	tr := balanceTraced(t, 3)
+	if g := tr.MaxGauge(obs.GaugeLocalWorkers); g != 3 {
+		t.Errorf("gauge %s = %d, want 3", obs.GaugeLocalWorkers, g)
+	}
+	spans := 0
+	for r := 0; r < tr.NumRanks(); r++ {
+		for _, s := range tr.Spans(r) {
+			if s.Name == obs.SpanLocalPar {
+				spans++
+			}
+		}
+	}
+	if spans == 0 {
+		t.Errorf("no %s spans recorded with a 3-worker pool", obs.SpanLocalPar)
+	}
+
+	tr = balanceTraced(t, 0)
+	if g := tr.MaxGauge(obs.GaugeLocalWorkers); g != 0 {
+		t.Errorf("serial run sampled gauge %s = %d, want none", obs.GaugeLocalWorkers, g)
+	}
+	for r := 0; r < tr.NumRanks(); r++ {
+		for _, s := range tr.Spans(r) {
+			if s.Name == obs.SpanLocalPar {
+				t.Fatalf("serial run recorded a %s span", obs.SpanLocalPar)
+			}
+		}
+	}
+}
+
+func TestWorkerCountResolution(t *testing.T) {
+	cases := []struct {
+		workers int
+		want    int
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {7, 7}, {-1, runtime.GOMAXPROCS(0)},
+	}
+	for _, c := range cases {
+		if got := (BalanceOptions{Workers: c.workers}).workerCount(); got != c.want {
+			t.Errorf("workerCount(Workers=%d) = %d, want %d", c.workers, got, c.want)
+		}
+	}
+}

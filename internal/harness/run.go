@@ -149,9 +149,24 @@ func Run(sc Scenario) (res Result) {
 	// parallel result, independently of the diff.
 	if err := forest.CheckForest(conn, afterTrees, sc.K); err != nil {
 		res.Err = fmt.Errorf("harness: balanced forest fails CheckForest: %w", err)
+		return res
+	}
+	// Independent audit: CheckForest shares its Canonicalize+OverlapRange
+	// boundary logic with the balancer itself, so on small scenarios the
+	// result additionally goes through the brute-force pairwise checker,
+	// which shares none of it.  Quadratic, hence the size gate.
+	if res.LeavesAfter <= pairwiseCheckMaxLeaves {
+		if err := forest.CheckForestPairwise(conn, afterTrees, sc.K); err != nil {
+			res.Err = fmt.Errorf("harness: balanced forest fails the pairwise cross-check: %w", err)
+		}
 	}
 	return res
 }
+
+// pairwiseCheckMaxLeaves gates the O(n²) independent balance check: most
+// scenarios the generator draws are far below it, so the pairwise audit
+// still covers the lattice broadly without dominating the time budget.
+const pairwiseCheckMaxLeaves = 1500
 
 // snapshotChunks deep-copies a forest's local leaves.
 func snapshotChunks(f *forest.Forest) []forest.TreeChunk {

@@ -120,6 +120,13 @@ type Scenario struct {
 	Notify    forest.NotifyScheme
 	MaxRanges int // for NotifyRanges; 0 = default
 
+	// Workers is the rank-local worker pool size for the balance phases
+	// (forest.BalanceOptions.Workers); 0 runs serially.  The balanced
+	// forest must be bit-identical at every value — the oracle diff and
+	// the chaos checksum cross-check verify that on every parallel
+	// scenario.
+	Workers int
+
 	// ChaosSeed, when non-zero, runs the scenario on a seeded
 	// comm.ChaosTransport (message drops, duplication, delay/reordering
 	// and per-rank stalls) instead of the perfect transport.  The
@@ -220,6 +227,12 @@ func Random(rng *rand.Rand) Scenario {
 	if sc.Notify == forest.NotifyRanges {
 		sc.MaxRanges = 1 + rng.Intn(8)
 	}
+	// Half of the scenarios run the local pipeline on a worker pool, so
+	// worker-count invariance is exercised across the whole lattice.
+	// (Sampled last to keep earlier fields' derivation from a seed stable.)
+	if rng.Intn(2) == 0 {
+		sc.Workers = 2 + rng.Intn(3)
+	}
 	return sc.Normalized()
 }
 
@@ -277,6 +290,12 @@ func (sc Scenario) Normalized() Scenario {
 	if sc.RefinePct > 100 {
 		sc.RefinePct = 100
 	}
+	if sc.Workers < 0 {
+		sc.Workers = 0
+	}
+	if sc.Workers > 64 {
+		sc.Workers = 64
+	}
 	return sc
 }
 
@@ -310,7 +329,7 @@ func (sc Scenario) Refiner() otest.RefineFunc {
 
 // Options returns the forest.BalanceOptions the scenario selects.
 func (sc Scenario) Options() forest.BalanceOptions {
-	return forest.BalanceOptions{Algo: sc.Algo, Notify: sc.Notify, MaxRanges: sc.MaxRanges}
+	return forest.BalanceOptions{Algo: sc.Algo, Notify: sc.Notify, MaxRanges: sc.MaxRanges, Workers: sc.Workers}
 }
 
 // String is a compact one-line description for logs.
@@ -339,9 +358,13 @@ func (sc Scenario) String() string {
 			chaos += "(canary)"
 		}
 	}
-	return fmt.Sprintf("seed=%d dim=%d k=%d brick=%dx%dx%d per=%s mask=%s P=%d lvl=%d..%d ref=%v part=%v algo=%v notify=%d%s",
+	wk := ""
+	if sc.Workers != 0 {
+		wk = fmt.Sprintf(" wk=%d", sc.Workers)
+	}
+	return fmt.Sprintf("seed=%d dim=%d k=%d brick=%dx%dx%d per=%s mask=%s P=%d lvl=%d..%d ref=%v part=%v algo=%v notify=%d%s%s",
 		sc.Seed, sc.Dim, sc.K, sc.NX, sc.NY, sc.NZ, per, mask,
-		sc.Ranks, sc.BaseLevel, sc.MaxLevel, sc.Refine, sc.Partition, sc.Algo, sc.Notify, chaos)
+		sc.Ranks, sc.BaseLevel, sc.MaxLevel, sc.Refine, sc.Partition, sc.Algo, sc.Notify, wk, chaos)
 }
 
 // GoLiteral renders the scenario as a Go composite literal, used by the
@@ -364,6 +387,9 @@ func (sc Scenario) GoLiteral() string {
 	add("Refine: harness.%s, RefineSeed: %#x, RefinePct: %d,", refKindIdent(sc.Refine), sc.RefineSeed, sc.RefinePct)
 	add("Partition: harness.%s,", partModeIdent(sc.Partition))
 	add("Algo: %d, Notify: %d, MaxRanges: %d,", int(sc.Algo), int(sc.Notify), sc.MaxRanges)
+	if sc.Workers != 0 {
+		add("Workers: %d,", sc.Workers)
+	}
 	if sc.ChaosSeed != 0 {
 		add("ChaosSeed: %#x, ChaosCanary: %v,", sc.ChaosSeed, sc.ChaosCanary)
 	}

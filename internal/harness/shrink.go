@@ -62,6 +62,16 @@ func shrinkCandidates(sc Scenario) []Scenario {
 		s.ChaosSeed = 0
 		add(s)
 	}
+	// Serial execution: if the failure survives without the worker pool,
+	// intra-rank parallelism is exonerated.  A scenario that reproduces
+	// only at Workers > 1 makes this candidate pass, so Workers stays
+	// pinned in the shrunken scenario (and in the repro skeleton, which
+	// renders every non-zero knob via GoLiteral).
+	if sc.Workers > 1 {
+		s := sc
+		s.Workers = 0
+		add(s)
+	}
 	// Fewer trees.
 	if sc.NX > 1 {
 		s := sc
@@ -147,11 +157,27 @@ func ReproSource(sc Scenario, failure error) string {
 	}
 	fmt.Fprintf(&b, "// %s replays a scenario the stress harness found failing:\n", name)
 	fmt.Fprintf(&b, "//   %v\n", failure)
-	fmt.Fprintf(&b, "// Replay from the command line with: go run ./cmd/stress -replay %d\n", sc.Seed)
+	fmt.Fprintf(&b, "// Replay from the command line with: go run ./cmd/stress -replay %d%s\n", sc.Seed, replayFlags(sc))
 	fmt.Fprintf(&b, "func %s(t *testing.T) {\n", name)
 	fmt.Fprintf(&b, "\tsc := %s\n", sc.GoLiteral())
 	fmt.Fprintf(&b, "\tif res := harness.Run(sc); res.Err != nil {\n")
 	fmt.Fprintf(&b, "\t\tt.Fatalf(\"scenario %%v failed: %%v\", sc, res.Err)\n")
 	fmt.Fprintf(&b, "\t}\n}\n")
 	return b.String()
+}
+
+// replayFlags renders the extra cmd/stress flags a bare -replay of the
+// seed would silently drop: a worker-pool size that differs from the
+// seed's own draw (e.g. pinned with -workers during the sweep), and the
+// chaos leg.  The replayed seed regenerates every other knob itself; the
+// embedded Scenario literal above carries all of them regardless.
+func replayFlags(sc Scenario) string {
+	var s string
+	if sc.Workers != FromSeed(sc.Seed).Workers {
+		s += fmt.Sprintf(" -workers %d", sc.Workers)
+	}
+	if sc.ChaosSeed != 0 {
+		s += " -chaos <sweep base>"
+	}
+	return s
 }

@@ -5,7 +5,8 @@
 //
 // The benchmarks live in regular (non-test) code so that cmd/bench can run
 // them with testing.Benchmark and fold the ns/op into the BENCH_*.json
-// record; kernels_test.go additionally registers them as ordinary Go
+// record, including the chunked local-balance pipeline kernel behind the
+// allocation-regression CI gate; kernels_test.go additionally registers them as ordinary Go
 // benchmarks for `go test -bench`.
 package kernels
 
@@ -14,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/balance"
+	"repro/internal/forest"
 	"repro/internal/linear"
 	"repro/internal/octant"
 )
@@ -34,6 +36,8 @@ func List() []Kernel {
 		{"Seeds", benchSeeds},
 		{"SubtreeBalanceNew", benchSubtreeNew},
 		{"SubtreeBalanceOld", benchSubtreeOld},
+		{"LocalBalanceSerial", benchLocalBalance(1)},
+		{"LocalBalancePar4", benchLocalBalance(4)},
 	}
 }
 
@@ -171,6 +175,54 @@ func benchSubtreeOld(b *testing.B) {
 		in := make([]octant.Octant, len(leaves))
 		copy(in, leaves)
 		balance.SubtreeOld(root, in, cannedK)
+	}
+}
+
+// Local-balance pipeline kernel: phase 1 of forest.Balance applied to many
+// independent leaf ranges, exactly the per-chunk work the rank-local worker
+// pool distributes.  A deeper canned fractal is cut into contiguous curve
+// ranges so one iteration mirrors a rank that owns localBalChunks tree
+// chunks.  The serial and 4-worker variants share inputs, so the pair
+// measures both pool overhead and — on multi-core hosts — speedup, while
+// allocs/op stays deterministic for the CI regression gate.
+const (
+	localBalChunks = 32
+	localBalLevel  = 6
+)
+
+// localBalanceInput builds the chunked leaf ranges the LocalBalance kernels
+// consume.  The ranges partition the sorted leaf array, so each is a valid
+// ascending curve segment of the tree.
+func localBalanceInput() [][]octant.Octant {
+	leaves := CannedLeaves(cannedDim, localBalLevel)
+	chunks := make([][]octant.Octant, 0, localBalChunks)
+	per := (len(leaves) + localBalChunks - 1) / localBalChunks
+	for lo := 0; lo < len(leaves); lo += per {
+		hi := lo + per
+		if hi > len(leaves) {
+			hi = len(leaves)
+		}
+		chunks = append(chunks, leaves[lo:hi])
+	}
+	return chunks
+}
+
+func benchLocalBalance(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		src := localBalanceInput()
+		// Reusable work buffers: the copy-in below never allocates, so
+		// allocs/op is the balance path itself, not benchmark plumbing.
+		work := make([][]octant.Octant, len(src))
+		for j := range src {
+			work[j] = make([]octant.Octant, 0, 2*len(src[j])+16)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range src {
+				work[j] = append(work[j][:0], src[j]...)
+			}
+			forest.BalanceChunks(work, cannedK, forest.AlgoNew, workers)
+		}
 	}
 }
 

@@ -1,0 +1,115 @@
+package linear
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/octant"
+)
+
+// randLinearArray draws a random linear octant array: a complete random
+// refinement of the root, from which ~20% of the leaves are sometimes
+// deleted so that incomplete (gappy) linear arrays are covered too —
+// OverlapRange runs on partition chunks, which are exactly that.
+func randLinearArray(rng *rand.Rand, dim, maxl int) []octant.Octant {
+	root := octant.Root(dim)
+	var out []octant.Octant
+	var rec func(o octant.Octant)
+	rec = func(o octant.Octant) {
+		if int(o.Level) < maxl && rng.Intn(100) < 35 {
+			for ci := 0; ci < octant.NumChildren(dim); ci++ {
+				rec(o.Child(ci))
+			}
+			return
+		}
+		out = append(out, o)
+	}
+	rec(root)
+	if rng.Intn(2) == 0 {
+		kept := out[:0]
+		for _, o := range out {
+			if rng.Intn(100) < 80 {
+				kept = append(kept, o)
+			}
+		}
+		out = kept
+	}
+	return out
+}
+
+// TestOverlapRangeBrute property-tests OverlapRange against a brute-force
+// scan over every boundary condition the callers depend on: the empty
+// slice, queries equal to the first/last octant, queries overlapping
+// nothing (hi == lo), element queries, ancestor queries, and arbitrary
+// aligned octants.  The overlapping index set must be contiguous and match
+// the returned [lo, hi) exactly.
+func TestOverlapRangeBrute(t *testing.T) {
+	iters := 3000
+	if testing.Short() {
+		iters = 300
+	}
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < iters; iter++ {
+		dim := 2 + rng.Intn(2)
+		octs := randLinearArray(rng, dim, 4)
+		if rng.Intn(10) == 0 {
+			octs = nil // empty-slice case
+		}
+		var q octant.Octant
+		switch rng.Intn(5) {
+		case 0: // an element of the array
+			if len(octs) > 0 {
+				q = octs[rng.Intn(len(octs))]
+			} else {
+				q = octant.Root(dim)
+			}
+		case 1: // an ancestor of an element
+			if len(octs) > 0 {
+				q = octs[rng.Intn(len(octs))]
+				for q.Level > 0 && rng.Intn(2) == 0 {
+					q = q.Parent()
+				}
+			} else {
+				q = octant.Root(dim)
+			}
+		case 2: // exactly the first or last octant
+			if len(octs) > 0 {
+				if rng.Intn(2) == 0 {
+					q = octs[0]
+				} else {
+					q = octs[len(octs)-1]
+				}
+			} else {
+				q = octant.Root(dim)
+			}
+		default: // arbitrary aligned octant, often overlapping nothing
+			l := rng.Intn(5)
+			var coords [3]int32
+			for i := 0; i < dim; i++ {
+				coords[i] = int32(rng.Intn(1<<uint(l))) * octant.Len(int8(l))
+			}
+			q = octant.New(dim, l, coords[0], coords[1], coords[2])
+		}
+
+		lo, hi := OverlapRange(octs, q)
+		var want []int
+		for i, o := range octs {
+			if o.IsAncestorOrEqual(q) || q.IsAncestor(o) {
+				want = append(want, i)
+			}
+		}
+		if len(want) == 0 {
+			if lo != hi {
+				t.Fatalf("iter %d: q=%v over %d octants: got [%d,%d), want empty (hi == lo)",
+					iter, q, len(octs), lo, hi)
+			}
+			continue
+		}
+		if hi-lo != len(want) {
+			t.Fatalf("iter %d: q=%v: overlap set is not the contiguous range [%d,%d): %v", iter, q, lo, hi, want)
+		}
+		if lo != want[0] || hi != want[len(want)-1]+1 {
+			t.Fatalf("iter %d: q=%v: got [%d,%d), want [%d,%d)", iter, q, lo, hi, want[0], want[len(want)-1]+1)
+		}
+	}
+}

@@ -22,6 +22,17 @@ import (
 	"time"
 )
 
+// Well-known names emitted by the forest's intra-rank parallel pipeline
+// (BalanceOptions.Workers).  SpanLocalPar brackets each region the balance
+// phases hand to the worker pool — it is opened and closed on the rank's
+// own goroutine, so the strict span-nesting rule holds even while workers
+// run; the workers themselves never touch the tracer.  GaugeLocalWorkers is
+// the per-rank high-water mark of the effective pool size.
+const (
+	SpanLocalPar      = "local/par"
+	GaugeLocalWorkers = "local/workers"
+)
+
 // eventKind distinguishes the record types in a rank's event buffer.
 type eventKind uint8
 

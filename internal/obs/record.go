@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strings"
 )
 
 // This file defines the machine-readable benchmark record written by
@@ -36,7 +37,11 @@ type BenchRecord struct {
 // BenchRun reports one balance execution: octant counts, the per-phase
 // cross-rank aggregates (seconds), and the communication volumes.
 type BenchRun struct {
-	Algo          string                `json:"algo"`
+	Algo string `json:"algo"`
+	// Workers is the rank-local worker pool size of the run (0 = serial);
+	// cmd/bench -workers N records a serial and a parallel run per
+	// algorithm so records carry their own serial-vs-parallel comparison.
+	Workers       int                   `json:"workers,omitempty"`
 	OctantsBefore int64                 `json:"octants_before"`
 	OctantsAfter  int64                 `json:"octants_after"`
 	Phases        map[string]Summary    `json:"phases"`
@@ -165,6 +170,41 @@ func (run BenchRun) validate() error {
 	}
 	if run.TotalMessages < 0 || run.TotalBytes < 0 {
 		return fmt.Errorf("negative comm totals")
+	}
+	return nil
+}
+
+// CompareKernelAllocs gates allocation regressions: every kernel of cur
+// whose name starts with prefix and that also exists in baseline must not
+// allocate more than maxRegressPct percent over the baseline record.
+// Allocation counts are deterministic for a fixed input — unlike ns/op,
+// which wobbles with machine load — so they make a sharp CI gate for the
+// local-balance hot path.  Kernels present on only one side are ignored
+// (renames must not fail unrelated changes); an empty prefix gates every
+// common kernel.
+func CompareKernelAllocs(baseline, cur *BenchRecord, prefix string, maxRegressPct float64) error {
+	base := make(map[string]KernelResult, len(baseline.Kernels))
+	for _, k := range baseline.Kernels {
+		base[k.Name] = k
+	}
+	compared := 0
+	for _, k := range cur.Kernels {
+		if !strings.HasPrefix(k.Name, prefix) {
+			continue
+		}
+		b, ok := base[k.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		limit := float64(b.AllocsPerOp) * (1 + maxRegressPct/100)
+		if float64(k.AllocsPerOp) > limit {
+			return fmt.Errorf("kernel %s: %d allocs/op exceeds baseline %d by more than %.0f%%",
+				k.Name, k.AllocsPerOp, b.AllocsPerOp, maxRegressPct)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no kernels matching prefix %q common to both records — the gate compared nothing", prefix)
 	}
 	return nil
 }

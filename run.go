@@ -51,9 +51,11 @@ const PhaseTotal = "total"
 
 // Result reports one experiment run.
 type Result struct {
-	Ranks         int
-	K             int
-	Algo          Algo
+	Ranks int
+	K     int
+	Algo  Algo
+	// Workers is the rank-local worker pool size the run used (0 = serial).
+	Workers       int
 	OctantsBefore int64 // global leaves after refinement, before balance
 	OctantsAfter  int64 // global leaves after balance
 	Phases        PhaseTimes
@@ -87,6 +89,7 @@ func (r Result) CommTotals() (msgs, bytes int64) {
 func (r Result) BenchRun() obs.BenchRun {
 	run := obs.BenchRun{
 		Algo:          r.Algo.String(),
+		Workers:       r.Workers,
 		OctantsBefore: r.OctantsBefore,
 		OctantsAfter:  r.OctantsAfter,
 		Phases:        r.PhaseAgg,
@@ -141,6 +144,7 @@ func (e Experiment) Run() Result {
 	res.Ranks = e.Ranks
 	res.K = k
 	res.Algo = e.Options.Algo
+	res.Workers = e.Options.Workers
 	phases = make([]PhaseTimes, e.Ranks)
 
 	w.Run(func(c *comm.Comm) {
