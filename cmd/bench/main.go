@@ -45,10 +45,13 @@ func main() {
 		out       = flag.String("out", "", "output record path (default BENCH_<workload>.json)")
 		traceOut  = flag.String("trace", "", "also export a Chrome trace-event file to this path")
 		kernelsF  = flag.Bool("kernels", true, "run the hot-kernel micro-benchmarks")
-		workersF  = flag.Int("workers", 0, "rank-local worker pool size; > 1 records a serial AND a parallel run per algorithm")
-		validateF = flag.String("validate", "", "validate an existing record and exit")
-		baselineF = flag.String("baseline", "", "with -validate: baseline record; fail if LocalBalance kernel allocs/op regressed")
-		maxRegr   = flag.Float64("max-alloc-regress", 10, "with -baseline: allowed allocs/op regression in percent")
+		workersF   = flag.Int("workers", 0, "rank-local worker pool size; > 1 records a serial AND a parallel run per algorithm")
+		codecF     = flag.String("codec", "v0", "wire codec: v0, v1, both (both records a run per codec)")
+		poolF      = flag.Bool("pool", true, "recycle payload buffers through the comm pool")
+		validateF  = flag.String("validate", "", "validate an existing record and exit")
+		baselineF  = flag.String("baseline", "", "with -validate: baseline record; fail if gated kernel allocs/op regressed")
+		gatePrefix = flag.String("gate-prefix", "LocalBalance", "with -baseline: kernel name prefix the alloc gate compares")
+		maxRegr    = flag.Float64("max-alloc-regress", 10, "with -baseline: allowed allocs/op regression in percent")
 	)
 	flag.Parse()
 
@@ -68,16 +71,28 @@ func main() {
 				log.Fatal(err)
 			}
 			// Allocation counts are deterministic for a fixed input, unlike
-			// ns/op, so they make a sharp regression gate for the
-			// local-balance hot path even on noisy CI machines.
-			if err := obs.CompareKernelAllocs(base, rec, "LocalBalance", *maxRegr); err != nil {
+			// ns/op, so they make a sharp regression gate for the gated
+			// kernels even on noisy CI machines.
+			if err := obs.CompareKernelAllocs(base, rec, *gatePrefix, *maxRegr); err != nil {
 				log.Fatalf("alloc regression vs %s: %v", *baselineF, err)
 			}
-			fmt.Printf("%s: LocalBalance kernel allocs/op within %.0f%% of baseline %s\n",
-				*validateF, *maxRegr, *baselineF)
+			fmt.Printf("%s: %s kernel allocs/op within %.0f%% of baseline %s\n",
+				*validateF, *gatePrefix, *maxRegr, *baselineF)
 		}
 		return
 	}
+
+	var codecs []octbalance.WireCodec
+	if *codecF == "both" {
+		codecs = []octbalance.WireCodec{octbalance.WireV0, octbalance.WireV1}
+	} else {
+		codec, err := octbalance.ParseWireCodec(*codecF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		codecs = []octbalance.WireCodec{codec}
+	}
+	octbalance.SetCommPooling(*poolF)
 
 	var scheme octbalance.NotifyScheme
 	switch *notifyF {
@@ -154,34 +169,52 @@ func main() {
 		workerCounts = append(workerCounts, *workersF)
 	}
 	tbl := stats.NewTable("one-pass 2:1 balance (cross-rank max, seconds)",
-		"algo", "wk", "octants before", "octants after", "total", "local bal", "notify",
-		"query/resp", "rebalance", "imbalance", "msgs", "bytes")
+		"algo", "wk", "codec", "octants before", "octants after", "total", "local bal", "notify",
+		"query/resp", "rebalance", "imbalance", "msgs", "bytes", "raw bytes", "ratio")
 	for _, algo := range algos {
 		for _, wk := range workerCounts {
-			e := base
-			e.Options = octbalance.BalanceOptions{Algo: algo, Notify: scheme, Workers: wk}
-			e.Tracer = octbalance.NewTracer(e.Ranks)
-			res := e.Run()
-			rec.Runs = append(rec.Runs, res.BenchRun())
-			msgs, bytes := res.CommTotals()
-			total := res.PhaseAgg[octbalance.PhaseTotal]
-			tbl.AddRow(algo, wk, res.OctantsBefore, res.OctantsAfter,
-				total.Max,
-				res.PhaseAgg["local-balance"].Max, res.PhaseAgg["notify"].Max,
-				res.PhaseAgg["query-response"].Max, res.PhaseAgg["rebalance"].Max,
-				total.Imbalance, msgs, bytes)
-			if *traceOut != "" {
-				path := *traceOut
-				if len(algos) > 1 {
-					path = insertSuffix(path, "_"+algo.String())
+			for _, codec := range codecs {
+				e := base
+				e.Options = octbalance.BalanceOptions{Algo: algo, Notify: scheme, Workers: wk, Codec: codec}
+				e.Tracer = octbalance.NewTracer(e.Ranks)
+				res := e.Run()
+				rec.Runs = append(rec.Runs, res.BenchRun())
+				msgs, bytes := res.CommTotals()
+				raw := res.RawTotal()
+				// Compression ratio over the codec-metered phases only, so
+				// unmetered collective traffic does not dilute it.
+				var metered int64
+				for phase, st := range res.Comm {
+					if !strings.HasPrefix(phase, "obs/") && st.RawBytes > 0 {
+						metered += st.Bytes
+					}
 				}
-				if len(workerCounts) > 1 {
-					path = insertSuffix(path, fmt.Sprintf("_wk%d", wk))
+				ratio := "-"
+				if metered > 0 {
+					ratio = fmt.Sprintf("%.2fx", float64(raw)/float64(metered))
 				}
-				if err := e.Tracer.WriteTraceFile(path); err != nil {
-					log.Fatal(err)
+				total := res.PhaseAgg[octbalance.PhaseTotal]
+				tbl.AddRow(algo, wk, codec, res.OctantsBefore, res.OctantsAfter,
+					total.Max,
+					res.PhaseAgg["local-balance"].Max, res.PhaseAgg["notify"].Max,
+					res.PhaseAgg["query-response"].Max, res.PhaseAgg["rebalance"].Max,
+					total.Imbalance, msgs, bytes, raw, ratio)
+				if *traceOut != "" {
+					path := *traceOut
+					if len(algos) > 1 {
+						path = insertSuffix(path, "_"+algo.String())
+					}
+					if len(workerCounts) > 1 {
+						path = insertSuffix(path, fmt.Sprintf("_wk%d", wk))
+					}
+					if len(codecs) > 1 {
+						path = insertSuffix(path, "_"+codec.String())
+					}
+					if err := e.Tracer.WriteTraceFile(path); err != nil {
+						log.Fatal(err)
+					}
+					fmt.Printf("trace (%s, %d workers, %s): %s\n", algo, wk, codec, path)
 				}
-				fmt.Printf("trace (%s, %d workers): %s\n", algo, wk, path)
 			}
 		}
 	}

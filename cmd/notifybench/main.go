@@ -2,7 +2,9 @@
 // schemes of Section V — Naive (Figure 12), Ranges, and the
 // divide-and-conquer Notify (Figure 13) — by message count and byte volume
 // over a sweep of world sizes, on the neighbor-heavy patterns produced by
-// space-filling-curve partitions.
+// space-filling-curve partitions.  Each scheme runs under every selected
+// wire codec, so the table doubles as the notify byte-volume A/B of the
+// compact WireV1 encoding.
 package main
 
 import (
@@ -20,8 +22,9 @@ import (
 	"repro/internal/stats"
 )
 
-// notifySchema versions the -json output of this driver.
-const notifySchema = "octbalance-notifybench/v1"
+// notifySchema versions the -json output of this driver.  v2 added the
+// per-codec dimension (one row per world size and codec) and raw bytes.
+const notifySchema = "octbalance-notifybench/v2"
 
 // notifyRecord is the machine-readable form of the sweep.
 type notifyRecord struct {
@@ -33,16 +36,20 @@ type notifyRecord struct {
 	Sizes     []notifyRow `json:"sizes"`
 }
 
-// notifyRow is one world size's measurements.
+// notifyRow is one (world size, codec) pair's measurements.
 type notifyRow struct {
-	Ranks          int   `json:"ranks"`
-	NaiveMessages  int64 `json:"naive_messages"`
-	NaiveBytes     int64 `json:"naive_bytes"`
-	RangesMessages int64 `json:"ranges_messages"`
-	RangesBytes    int64 `json:"ranges_bytes"`
-	NotifyMessages int64 `json:"notify_messages"`
-	NotifyBytes    int64 `json:"notify_bytes"`
-	FalsePositives int   `json:"false_positives"`
+	Ranks          int    `json:"ranks"`
+	Codec          string `json:"codec"`
+	NaiveMessages  int64  `json:"naive_messages"`
+	NaiveBytes     int64  `json:"naive_bytes"`
+	NaiveRawBytes  int64  `json:"naive_raw_bytes"`
+	RangesMessages int64  `json:"ranges_messages"`
+	RangesBytes    int64  `json:"ranges_bytes"`
+	RangesRawBytes int64  `json:"ranges_raw_bytes"`
+	NotifyMessages int64  `json:"notify_messages"`
+	NotifyBytes    int64  `json:"notify_bytes"`
+	NotifyRawBytes int64  `json:"notify_raw_bytes"`
+	FalsePositives int    `json:"false_positives"`
 }
 
 func pattern(rng *rand.Rand, p, window int, longRange float64) [][]int {
@@ -72,6 +79,7 @@ func main() {
 		longRange = flag.Float64("long", 0.3, "probability of one long-range receiver per rank")
 		maxRanges = flag.Int("maxranges", 8, "range budget for the Ranges scheme")
 		seed      = flag.Int64("seed", 1, "pattern seed")
+		codecF    = flag.String("codec", "both", "wire codec: v0, v1, both")
 		jsonOut   = flag.String("json", "", "also write the sweep as JSON to this path")
 	)
 	flag.Parse()
@@ -84,6 +92,16 @@ func main() {
 		}
 		sizes = append(sizes, p)
 	}
+	var codecs []comm.WireCodec
+	if *codecF == "both" {
+		codecs = []comm.WireCodec{comm.WireV0, comm.WireV1}
+	} else {
+		codec, err := comm.ParseWireCodec(*codecF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		codecs = []comm.WireCodec{codec}
+	}
 
 	fmt.Println("pattern reversal schemes (Section V): message count / byte volume")
 	fmt.Printf("pattern: SFC-local window %d plus long-range links (p=%.2f)\n\n", *window, *longRange)
@@ -93,47 +111,65 @@ func main() {
 		MaxRanges: *maxRanges, Seed: *seed,
 	}
 	tbl := stats.NewTable("",
-		"P", "naive msgs", "naive bytes", "ranges msgs", "ranges bytes", "notify msgs", "notify bytes",
+		"P", "codec", "naive msgs", "naive bytes", "ranges msgs", "ranges bytes", "notify msgs", "notify bytes",
 		"notify/naive bytes", "false pos")
 	for _, p := range sizes {
 		rng := rand.New(rand.NewSource(*seed))
 		receivers := pattern(rng, p, *window, *longRange)
-		run := func(scheme func(*comm.Comm, []int) []int) (comm.Stats, [][]int) {
-			w := comm.NewWorld(p)
-			out := make([][]int, p)
-			w.Run(func(c *comm.Comm) {
-				out[c.Rank()] = scheme(c, receivers[c.Rank()])
-			})
-			return w.TotalStats(), out
-		}
-		naiveStats, exact := run(notify.Naive)
-		rangesStats, super := run(func(c *comm.Comm, r []int) []int { return notify.Ranges(c, r, *maxRanges) })
-		notifyStats, got := run(notify.Notify)
-		for q := range exact {
-			if len(exact[q]) != len(got[q]) {
-				log.Fatalf("P=%d rank %d: naive and notify disagree", p, q)
+		var exactV0 [][]int
+		for _, codec := range codecs {
+			run := func(scheme func(*comm.Comm, []int) []int) (comm.Stats, [][]int) {
+				w := comm.NewWorld(p)
+				out := make([][]int, p)
+				w.Run(func(c *comm.Comm) {
+					out[c.Rank()] = scheme(c, receivers[c.Rank()])
+				})
+				return w.TotalStats(), out
 			}
+			naiveStats, exact := run(func(c *comm.Comm, r []int) []int { return notify.NaiveCodec(c, r, codec) })
+			rangesStats, super := run(func(c *comm.Comm, r []int) []int { return notify.RangesCodec(c, r, *maxRanges, codec) })
+			notifyStats, got := run(func(c *comm.Comm, r []int) []int { return notify.NotifyCodec(c, r, codec) })
+			for q := range exact {
+				if len(exact[q]) != len(got[q]) {
+					log.Fatalf("P=%d codec %s rank %d: naive and notify disagree", p, codec, q)
+				}
+			}
+			// The sender lists must be codec-invariant, not just
+			// internally consistent.
+			if exactV0 == nil {
+				exactV0 = exact
+			} else {
+				for q := range exact {
+					if fmt.Sprint(exact[q]) != fmt.Sprint(exactV0[q]) {
+						log.Fatalf("P=%d rank %d: sender lists differ across codecs", p, q)
+					}
+				}
+			}
+			falsePos := 0
+			for q := range super {
+				falsePos += len(super[q]) - len(exact[q])
+			}
+			tbl.AddRow(p, codec,
+				naiveStats.Messages, naiveStats.Bytes,
+				rangesStats.Messages, rangesStats.Bytes,
+				notifyStats.Messages, notifyStats.Bytes,
+				fmt.Sprintf("%.3f", float64(notifyStats.Bytes)/float64(naiveStats.Bytes)),
+				falsePos)
+			rec.Sizes = append(rec.Sizes, notifyRow{
+				Ranks:          p,
+				Codec:          codec.String(),
+				NaiveMessages:  naiveStats.Messages,
+				NaiveBytes:     naiveStats.Bytes,
+				NaiveRawBytes:  naiveStats.RawBytes,
+				RangesMessages: rangesStats.Messages,
+				RangesBytes:    rangesStats.Bytes,
+				RangesRawBytes: rangesStats.RawBytes,
+				NotifyMessages: notifyStats.Messages,
+				NotifyBytes:    notifyStats.Bytes,
+				NotifyRawBytes: notifyStats.RawBytes,
+				FalsePositives: falsePos,
+			})
 		}
-		falsePos := 0
-		for q := range super {
-			falsePos += len(super[q]) - len(exact[q])
-		}
-		tbl.AddRow(p,
-			naiveStats.Messages, naiveStats.Bytes,
-			rangesStats.Messages, rangesStats.Bytes,
-			notifyStats.Messages, notifyStats.Bytes,
-			fmt.Sprintf("%.3f", float64(notifyStats.Bytes)/float64(naiveStats.Bytes)),
-			falsePos)
-		rec.Sizes = append(rec.Sizes, notifyRow{
-			Ranks:          p,
-			NaiveMessages:  naiveStats.Messages,
-			NaiveBytes:     naiveStats.Bytes,
-			RangesMessages: rangesStats.Messages,
-			RangesBytes:    rangesStats.Bytes,
-			NotifyMessages: notifyStats.Messages,
-			NotifyBytes:    notifyStats.Bytes,
-			FalsePositives: falsePos,
-		})
 	}
 	fmt.Print(tbl)
 	fmt.Println("\nnotify returns exact sender lists with point-to-point messages only;")

@@ -59,21 +59,36 @@ func main() {
 		canary    = flag.Bool("chaos-canary", false, "run scenarios under chaos with reliable delivery DISABLED; the sweep must fail")
 		shrinkBud = flag.Int("shrink", 80, "run budget for shrinking a failing scenario")
 		workersF  = flag.Int("workers", -1, "pin the rank-local worker pool size for every scenario (-1 = scenario-chosen)")
+		codecF    = flag.String("codec", "", "pin the wire codec for every scenario: v0 or v1 (default scenario-chosen)")
 		verbose   = flag.Bool("v", false, "print every scenario as it runs")
 	)
 	flag.Parse()
 
 	// pin applies the -workers override; replay commands printed below
 	// carry the same flag so a pinned failure stays reproducible.
+	pinCodec := forest.WireV0
+	if *codecF != "" {
+		var err error
+		pinCodec, err = forest.ParseWireCodec(*codecF)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	pin := func(sc harness.Scenario) harness.Scenario {
 		if *workersF >= 0 {
 			sc.Workers = *workersF
+		}
+		if *codecF != "" {
+			sc.Codec = pinCodec
 		}
 		return sc.Normalized()
 	}
 	pinFlag := ""
 	if *workersF >= 0 {
 		pinFlag = fmt.Sprintf(" -workers %d", *workersF)
+	}
+	if *codecF != "" {
+		pinFlag += fmt.Sprintf(" -codec %v", pinCodec)
 	}
 
 	forest.PreclusionFaultLevels = *fault

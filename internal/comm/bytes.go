@@ -1,9 +1,14 @@
 package comm
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"errors"
+)
 
-// Byte-slice encoding helpers shared by message payloads.  All integers are
-// little-endian.
+// Byte-slice encoding helpers shared by message payloads.  Fixed-width
+// integers are little-endian; the varint forms below are the LEB128
+// encoding of encoding/binary (zigzag for signed values), used by the
+// compact WireV1 payload codec.
 
 // AppendInt64 appends v to b.
 func AppendInt64(b []byte, v int64) []byte {
@@ -44,4 +49,56 @@ func Int32sAt(b []byte, off int) ([]int32, int) {
 		vs[i], off = Int32At(b, off)
 	}
 	return vs, off
+}
+
+// Varint decode failures.  Wire payloads cross rank (and, through io.go,
+// process) boundaries, so truncation and overflow surface as errors rather
+// than panics — the same hardening discipline as forest.LoadGlobal.
+var (
+	ErrVarintTruncated = errors.New("comm: truncated varint")
+	ErrVarintOverflow  = errors.New("comm: varint overflows 64 bits")
+)
+
+// AppendUvarint appends v in unsigned LEB128 form.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// AppendVarint appends v in zigzag LEB128 form.
+func AppendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+// UvarintAt decodes the uvarint at byte offset off and returns it with the
+// offset just past it.  Truncated or overlong encodings are rejected.
+func UvarintAt(b []byte, off int) (uint64, int, error) {
+	if off < 0 || off > len(b) {
+		return 0, off, ErrVarintTruncated
+	}
+	v, n := binary.Uvarint(b[off:])
+	switch {
+	case n > 0:
+		return v, off + n, nil
+	case n == 0:
+		return 0, off, ErrVarintTruncated
+	default:
+		return 0, off, ErrVarintOverflow
+	}
+}
+
+// VarintAt decodes the zigzag varint at byte offset off and returns it with
+// the offset just past it.  Truncated or overlong encodings are rejected.
+func VarintAt(b []byte, off int) (int64, int, error) {
+	if off < 0 || off > len(b) {
+		return 0, off, ErrVarintTruncated
+	}
+	v, n := binary.Varint(b[off:])
+	switch {
+	case n > 0:
+		return v, off + n, nil
+	case n == 0:
+		return 0, off, ErrVarintTruncated
+	default:
+		return 0, off, ErrVarintOverflow
+	}
 }

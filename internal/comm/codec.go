@@ -1,0 +1,50 @@
+package comm
+
+import "fmt"
+
+// WireCodec selects the encoding version of the payloads that ride on this
+// comm layer.  The type lives here (rather than in forest, the main payload
+// producer) so that notify, obs and the drivers can speak about codecs
+// without import cycles; the octant-level encoding rules themselves are
+// defined by the producers.
+//
+//   - WireV0 is the legacy fixed-width format: 16 bytes per octant, int32
+//     count prefixes, little-endian.
+//   - WireV1 is the compact format: sorted octant lists as delta-Morton
+//     zigzag varints in units of each octant's own anchor grid, uvarint
+//     counts, and delta-coded tree ids.
+//
+// Both codecs describe identical logical content; Stats.RawBytes meters the
+// v0-equivalent size next to the encoded bytes so the compression ratio is
+// observable per phase.
+type WireCodec int
+
+const (
+	// WireV0 is the fixed-width 16-byte-per-octant encoding (the zero
+	// value, so existing call sites keep their format unchanged).
+	WireV0 WireCodec = iota
+	// WireV1 is the delta+varint compact encoding.
+	WireV1
+)
+
+func (c WireCodec) String() string {
+	switch c {
+	case WireV0:
+		return "v0"
+	case WireV1:
+		return "v1"
+	}
+	return fmt.Sprintf("wirecodec(%d)", int(c))
+}
+
+// ParseWireCodec parses a -codec flag value.  The empty string means the
+// default (v0), matching the zero value.
+func ParseWireCodec(s string) (WireCodec, error) {
+	switch s {
+	case "", "v0", "0":
+		return WireV0, nil
+	case "v1", "1":
+		return WireV1, nil
+	}
+	return WireV0, fmt.Errorf("comm: unknown wire codec %q (want v0 or v1)", s)
+}

@@ -138,6 +138,12 @@ func (ib *inbox) summary() string {
 type Stats struct {
 	Messages int64
 	Bytes    int64
+	// RawBytes is the codec-independent (WireV0-equivalent) size of the
+	// payloads sent in this phase, as reported by producers through
+	// Comm.AddRawBytes.  Bytes/RawBytes is then the phase's wire
+	// compression ratio; RawBytes stays zero for traffic whose producer
+	// does not meter raw sizes.
+	RawBytes int64
 	// MaxQueueDepth is the peak receiver-mailbox depth (pending message
 	// count) observed when a message of this phase was enqueued.
 	MaxQueueDepth int64
@@ -150,6 +156,7 @@ type Stats struct {
 func (s *Stats) Add(other Stats) {
 	s.Messages += other.Messages
 	s.Bytes += other.Bytes
+	s.RawBytes += other.RawBytes
 	if other.MaxQueueDepth > s.MaxQueueDepth {
 		s.MaxQueueDepth = other.MaxQueueDepth
 	}
@@ -587,6 +594,24 @@ func (c *Comm) send(dst, tag int, data []byte) {
 	c.world.record(c.phase, len(data))
 	c.traceSend(len(data))
 	c.world.post(c.rank, dst, tag, data, c.phase)
+}
+
+// AddRawBytes credits n codec-independent (WireV0-equivalent) payload
+// bytes to the caller's current phase.  Producers that encode under a
+// selectable wire codec call this next to Send with the size the same
+// payload would have under WireV0, so Stats carries the per-phase
+// compression ratio.  Collectives that forward a block multiple times
+// (Allgatherv's ring) must scale their raw size accordingly.
+func (c *Comm) AddRawBytes(n int) {
+	if n <= 0 {
+		return
+	}
+	w := c.world
+	w.statsMu.Lock()
+	s := w.stats[c.phase]
+	s.RawBytes += int64(n)
+	w.stats[c.phase] = s
+	w.statsMu.Unlock()
 }
 
 // traceSend mirrors the logical send meters into the tracer's per-rank

@@ -71,6 +71,19 @@ func (w *World) recvChan(src, dst int) *recvChan { return w.recvChans[src*w.size
 func (w *World) post(src, dst, tag int, data []byte, phase string) {
 	pkt := Packet{Src: src, Dst: dst, Kind: PacketData, Tag: tag, Data: data, phase: phase}
 	if !w.reliable {
+		// The packet stays retransmittable until acked, while the receiver
+		// may recycle the delivered buffer as soon as it has decoded it.
+		// Give the wire its own pooled copy, freed exactly once when the
+		// cumulative ack retires it (onPacket's PacketAck branch); the
+		// receiver takes a separate delivery copy at acceptance time.
+		// Empty payloads detach entirely: the producer's (possibly pooled)
+		// zero-length buffer must not ride the wire, or the ack would
+		// recycle a buffer the consumer also recycles — a double-free.
+		if len(data) > 0 {
+			pkt.Data = append(GetBuf(), data...)
+		} else {
+			pkt.Data = nil
+		}
 		ch := w.sendChan(src, dst)
 		ch.mu.Lock()
 		pkt.Seq = ch.nextSeq
@@ -98,8 +111,13 @@ func (w *World) onPacket(p Packet) {
 		// The ack from p.Src acknowledges the (p.Dst -> p.Src) channel.
 		ch := w.sendChan(p.Dst, p.Src)
 		ch.mu.Lock()
-		for seq := range ch.unacked {
+		for seq, pd := range ch.unacked {
 			if seq < p.Seq {
+				// The retired wire copy was post's own (never shared with
+				// the producer or the receiver), so this is its sole
+				// recycle point.  Duplicate deliveries of it may still be
+				// in flight, but dedup drops them without reading Data.
+				PutBuf(pd.pkt.Data)
 				delete(ch.unacked, seq)
 			}
 		}
@@ -111,6 +129,14 @@ func (w *World) onPacket(p Packet) {
 			atomic.AddInt64(&w.net.DupsDropped, 1)
 			w.Tracer().Add(p.Dst, "net/dups-dropped", 1)
 		} else {
+			// Copy the payload before the ack below can be emitted: once
+			// the ack reaches the sender it recycles its wire copy, so the
+			// buffer delivered upwards must not alias it.  The dedup check
+			// above precedes any Data read, so late duplicates of an
+			// already-recycled packet never touch its memory.
+			if len(p.Data) > 0 {
+				p.Data = append(GetBuf(), p.Data...)
+			}
 			rc.held[p.Seq] = p
 			for {
 				next, ok := rc.held[rc.expected]

@@ -101,6 +101,10 @@ type BalanceOptions struct {
 	// goroutines; a negative value uses one worker per available CPU.
 	// The balanced forest is bit-identical at every worker count.
 	Workers int
+	// Codec selects the wire encoding of the balance payloads (queries,
+	// responses, and the notify pattern).  The balanced forest is
+	// bit-identical under every codec; only the byte volume changes.
+	Codec WireCodec
 }
 
 // PhaseTimes records wall-clock durations of the one-pass balance phases as
@@ -302,38 +306,42 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 	sendTo := receivers
 	switch opt.Notify {
 	case NotifyNaive:
-		senders = notify.Naive(c, receivers)
+		senders = notify.NaiveCodec(c, receivers, opt.Codec)
 	case NotifyRanges:
 		mr := opt.MaxRanges
 		if mr <= 0 {
 			mr = 8
 		}
-		senders = notify.Ranges(c, receivers, mr)
+		senders = notify.RangesCodec(c, receivers, mr, opt.Codec)
 		// The sender lists contain false positives; match them with
 		// zero-length queries so every expected message exists.
 		sendTo = notify.RangeCover(receivers, mr, c.Size(), c.Rank())
 	default:
-		senders = notify.Notify(c, receivers)
+		senders = notify.NotifyCodec(c, receivers, opt.Codec)
 	}
 	times.Notify = ps.end()
 
 	// Phase 4: Query and Response exchange.
 	ps = beginPhase(c, "query-response")
+	dim := int8(f.Conn.dim)
 	for _, rank := range sendTo {
-		var payload []byte
 		qs := sortedQueries(peers[rank])
-		payload = comm.AppendInt32(payload, int32(len(qs)))
+		enc := wireEnc{b: comm.GetBuf(), codec: opt.Codec, dim: dim}
+		enc.count(len(qs))
 		for _, q := range qs {
-			payload = comm.AppendInt32(payload, q.Tree)
-			payload = appendOctant(payload, q.R)
+			enc.tree(q.Tree)
+			enc.oct(q.R)
 		}
-		c.Send(rank, tagQuery, payload)
+		c.AddRawBytes(enc.raw)
+		c.Send(rank, tagQuery, enc.b)
 	}
 	// Answer incoming queries (senders may include false positives with
 	// empty query lists under the Ranges scheme).
 	for _, rank := range senders {
 		data := c.Recv(rank, tagQuery)
-		c.Send(rank, tagResponse, f.respond(data, k, remoteAlgo, runParallel))
+		payload, raw := f.respond(data, k, remoteAlgo, opt.Codec, runParallel)
+		c.AddRawBytes(raw)
+		c.Send(rank, tagResponse, payload)
 	}
 	// Handle self queries (inter-tree interactions within this rank)
 	// through the same response path, without messages.
@@ -346,15 +354,20 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 	var responses []response
 	for _, rank := range sendTo {
 		data := c.Recv(rank, tagResponse)
-		for off := 0; off < len(data); {
-			var t int32
-			t, off = comm.Int32At(data, off)
-			var r octant.Octant
-			r, off = octantAt(data, off)
-			var octs []octant.Octant
-			octs, off = octantsAt(data, off)
+		d := wireDec{b: data, codec: opt.Codec, dim: dim}
+		for d.more() {
+			t := d.tree()
+			r := d.oct()
+			octs := d.octs()
+			if d.err != nil {
+				break
+			}
 			responses = append(responses, response{q: query{Tree: t, R: r}, octs: octs})
 		}
+		if d.err != nil {
+			panic("forest: corrupt response payload: " + d.err.Error())
+		}
+		comm.PutBuf(data) // octs decoded into fresh slices above
 	}
 	for q, octs := range selfResponses {
 		responses = append(responses, response{q: q, octs: octs})
@@ -494,27 +507,42 @@ func clipToRange(octs []octant.Octant, first, last octant.Octant) []octant.Octan
 }
 
 // respond processes one incoming query message and produces the response
-// payload: for each query octant, the local octants (old algorithm) or
-// seed octants (new algorithm) that encode how the query octant must split.
-func (f *Forest) respond(data []byte, k int, algo Algo, par func(int, func(int))) []byte {
-	n, off := comm.Int32At(data, 0)
-	qs := make([]query, n)
-	for i := range qs {
-		qs[i].Tree, off = comm.Int32At(data, off)
-		qs[i].R, off = octantAt(data, off)
+// payload plus its v0-equivalent raw size: for each query octant, the local
+// octants (old algorithm) or seed octants (new algorithm) that encode how
+// the query octant must split.  The query buffer is recycled here.
+func (f *Forest) respond(data []byte, k int, algo Algo, codec WireCodec, par func(int, func(int))) ([]byte, int) {
+	dim := int8(f.Conn.dim)
+	d := wireDec{b: data, codec: codec, dim: dim}
+	minQuery := d.minOct() + 1 // tree id is at least one byte (4 in v0)
+	if codec != WireV1 {
+		minQuery = d.minOct() + 4
 	}
+	n := d.count(minQuery)
+	qs := make([]query, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		t := d.tree()
+		r := d.oct()
+		qs = append(qs, query{Tree: t, R: r})
+	}
+	if d.err != nil {
+		panic("forest: corrupt query payload: " + d.err.Error())
+	}
+	comm.PutBuf(data) // queries decoded into fresh memory above
 	resp := f.respondQueries(qs, k, algo, par)
-	var payload []byte
+	enc := wireEnc{b: comm.GetBuf(), codec: codec, dim: dim}
 	for _, q := range qs {
 		octs := resp[q]
 		if len(octs) == 0 {
 			continue
 		}
-		payload = comm.AppendInt32(payload, q.Tree)
-		payload = appendOctant(payload, q.R)
-		payload = appendOctants(payload, octs)
+		enc.tree(q.Tree)
+		enc.oct(q.R)
+		enc.count(len(octs))
+		for _, o := range octs {
+			enc.oct(o)
+		}
 	}
-	return payload
+	return enc.b, enc.raw
 }
 
 // maxConsiderRegions bounds the candidate regions per query: the query

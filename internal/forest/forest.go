@@ -63,6 +63,12 @@ type Forest struct {
 	// NumGlobal is the global leaf count, maintained by the collective
 	// operations.
 	NumGlobal int64
+
+	// Wire selects the payload encoding of the forest-level exchanges that
+	// are not configured per call (ghost construction, ghost data, partition
+	// transfers); Balance takes its codec from BalanceOptions.  The zero
+	// value is the legacy WireV0 format.
+	Wire comm.WireCodec
 }
 
 // NewUniform builds a forest uniformly refined to the given level,

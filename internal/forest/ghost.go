@@ -84,8 +84,9 @@ func (f *Forest) BuildGhost(c *comm.Comm) *GhostLayer {
 		receivers = append(receivers, rank)
 	}
 	sort.Ints(receivers)
-	senders := notify.Notify(c, receivers)
+	senders := notify.NotifyCodec(c, receivers, f.Wire)
 
+	dim := int8(f.Conn.dim)
 	for _, rank := range receivers {
 		entries := make([]entry, 0, len(out[rank]))
 		for e := range out[rank] {
@@ -97,26 +98,33 @@ func (f *Forest) BuildGhost(c *comm.Comm) *GhostLayer {
 			}
 			return octant.Less(entries[i].Oct, entries[j].Oct)
 		})
-		var payload []byte
+		enc := wireEnc{b: comm.GetBuf(), codec: f.Wire, dim: dim}
 		for _, e := range entries {
-			payload = comm.AppendInt32(payload, e.Tree)
-			payload = appendOctant(payload, e.Oct)
+			enc.tree(e.Tree)
+			enc.oct(e.Oct)
 		}
-		c.Send(rank, tagGhost, payload)
+		c.AddRawBytes(enc.raw)
+		c.Send(rank, tagGhost, enc.b)
 	}
 
 	var ghosts []GhostOctant
 	for _, rank := range senders {
 		data := c.Recv(rank, tagGhost)
-		for off := 0; off < len(data); {
-			var t int32
-			t, off = comm.Int32At(data, off)
-			var o octant.Octant
-			o, off = octantAt(data, off)
+		d := wireDec{b: data, codec: f.Wire, dim: dim}
+		for d.more() {
+			t := d.tree()
+			o := d.oct()
+			if d.err != nil {
+				break
+			}
 			if f.adjacentToLocal(t, o) {
 				ghosts = append(ghosts, GhostOctant{Tree: t, Oct: o, Owner: rank})
 			}
 		}
+		if d.err != nil {
+			panic("forest: corrupt ghost payload: " + d.err.Error())
+		}
+		comm.PutBuf(data) // entries decoded by value above
 	}
 	sort.Slice(ghosts, func(i, j int) bool {
 		if ghosts[i].Tree != ghosts[j].Tree {
@@ -214,7 +222,8 @@ func (f *Forest) ExchangeData(c *comm.Comm, ghost *GhostLayer, payload func(tree
 		peers = append(peers, rank)
 	}
 	sort.Ints(peers)
-	senders := notify.Notify(c, peers)
+	senders := notify.NotifyCodec(c, peers, f.Wire)
+	dim := int8(f.Conn.dim)
 	for _, rank := range peers {
 		ms := mirrors[rank]
 		sort.Slice(ms, func(i, j int) bool {
@@ -223,15 +232,14 @@ func (f *Forest) ExchangeData(c *comm.Comm, ghost *GhostLayer, payload func(tree
 			}
 			return octant.Less(ms[i].Oct, ms[j].Oct)
 		})
-		var buf []byte
+		enc := wireEnc{b: comm.GetBuf(), codec: f.Wire, dim: dim}
 		for _, m := range ms {
-			buf = comm.AppendInt32(buf, m.Tree)
-			buf = appendOctant(buf, m.Oct)
-			data := payload(m.Tree, m.Oct)
-			buf = comm.AppendInt32(buf, int32(len(data)))
-			buf = append(buf, data...)
+			enc.tree(m.Tree)
+			enc.oct(m.Oct)
+			enc.bytes(payload(m.Tree, m.Oct))
 		}
-		c.Send(rank, tagGhostData, buf)
+		c.AddRawBytes(enc.raw)
+		c.Send(rank, tagGhostData, enc.b)
 	}
 	// Index the ghost layer for acceptance filtering.
 	inGhost := make(map[GhostOctant]bool, len(ghost.Octants))
@@ -241,20 +249,24 @@ func (f *Forest) ExchangeData(c *comm.Comm, ghost *GhostLayer, payload func(tree
 	out := make(map[GhostOctant][]byte)
 	for _, rank := range senders {
 		data := c.Recv(rank, tagGhostData)
-		for off := 0; off < len(data); {
-			var t int32
-			t, off = comm.Int32At(data, off)
-			var o octant.Octant
-			o, off = octantAt(data, off)
-			var n int32
-			n, off = comm.Int32At(data, off)
-			body := data[off : off+int(n)]
-			off += int(n)
+		d := wireDec{b: data, codec: f.Wire, dim: dim}
+		for d.more() {
+			t := d.tree()
+			o := d.oct()
+			body := d.bytes()
+			if d.err != nil {
+				break
+			}
 			g := GhostOctant{Tree: t, Oct: o, Owner: rank}
 			if inGhost[g] {
 				out[g] = body
 			}
 		}
+		if d.err != nil {
+			panic("forest: corrupt ghost-data payload: " + d.err.Error())
+		}
+		// The bodies kept in out alias data, so the receive buffer must NOT
+		// be recycled here; it is retained by the caller's result map.
 	}
 	c.SetPhase("default")
 	return out

@@ -17,15 +17,32 @@ import (
 // them.
 
 const (
-	ioMagic   = 0x0c7ba1a0 // "octbal" spirit
-	ioVersion = 1
+	ioMagic = 0x0c7ba1a0 // "octbal" spirit
+	// ioVersionFixed stores leaves as four raw int32s each; ioVersionCompact
+	// stores them in the WireV1 style — a level byte plus zigzag varint
+	// coordinate deltas in anchor-grid units, predictor reset per tree.
+	// The header sections are identical.
+	ioVersionFixed   = 1
+	ioVersionCompact = 2
 )
 
-// SaveGlobal writes the connectivity and the gathered global forest to w.
-// trees[t] must be the complete sorted leaf array of tree t.
+// SaveGlobal writes the connectivity and the gathered global forest to w in
+// the legacy fixed-width format.  trees[t] must be the complete sorted leaf
+// array of tree t.
 func SaveGlobal(w io.Writer, conn *Connectivity, trees [][]octant.Octant) error {
+	return SaveGlobalCodec(w, conn, trees, WireV0)
+}
+
+// SaveGlobalCodec is SaveGlobal with an explicit leaf encoding: WireV0
+// writes format version 1, WireV1 the compact version 2.  LoadGlobal reads
+// both.
+func SaveGlobalCodec(w io.Writer, conn *Connectivity, trees [][]octant.Octant, codec WireCodec) error {
 	if int32(len(trees)) != conn.NumTrees() {
 		return fmt.Errorf("forest: save: %d trees for connectivity with %d", len(trees), conn.NumTrees())
+	}
+	version := int32(ioVersionFixed)
+	if codec == WireV1 {
+		version = ioVersionCompact
 	}
 	bw := bufio.NewWriter(w)
 	put := func(v int32) {
@@ -34,7 +51,7 @@ func SaveGlobal(w io.Writer, conn *Connectivity, trees [][]octant.Octant) error 
 		bw.Write(b[:])
 	}
 	put(ioMagic)
-	put(ioVersion)
+	put(version)
 	put(int32(conn.dim))
 	for i := 0; i < 3; i++ {
 		put(int32(conn.n[i]))
@@ -55,13 +72,31 @@ func SaveGlobal(w io.Writer, conn *Connectivity, trees [][]octant.Octant) error 
 		}
 	}
 	// Leaves.
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) { bw.Write(scratch[:binary.PutUvarint(scratch[:], v)]) }
+	putVarint := func(v int64) { bw.Write(scratch[:binary.PutVarint(scratch[:], v)]) }
 	for _, leaves := range trees {
-		put(int32(len(leaves)))
+		if version == ioVersionFixed {
+			put(int32(len(leaves)))
+			for _, o := range leaves {
+				put(o.X)
+				put(o.Y)
+				put(o.Z)
+				put(int32(o.Level))
+			}
+			continue
+		}
+		putUvarint(uint64(len(leaves)))
+		var prev octant.Octant
 		for _, o := range leaves {
-			put(o.X)
-			put(o.Y)
-			put(o.Z)
-			put(int32(o.Level))
+			s := coordShift(o.Level)
+			bw.WriteByte(byte(o.Level))
+			putVarint(int64(o.X>>s) - int64(prev.X>>s))
+			putVarint(int64(o.Y>>s) - int64(prev.Y>>s))
+			if conn.dim == 3 {
+				putVarint(int64(o.Z>>s) - int64(prev.Z>>s))
+			}
+			prev = o
 		}
 	}
 	return bw.Flush()
@@ -91,8 +126,12 @@ func LoadGlobal(r io.Reader) (*Connectivity, [][]octant.Octant, error) {
 	if err := expect(ioMagic, "magic"); err != nil {
 		return nil, nil, err
 	}
-	if err := expect(ioVersion, "version"); err != nil {
+	version, err := get()
+	if err != nil {
 		return nil, nil, err
+	}
+	if version != ioVersionFixed && version != ioVersionCompact {
+		return nil, nil, fmt.Errorf("forest: load: bad version (%#x)", version)
 	}
 	dim32, err := get()
 	if err != nil {
@@ -156,34 +195,77 @@ func LoadGlobal(r io.Reader) (*Connectivity, [][]octant.Octant, error) {
 	root := octant.Root(dim)
 	trees := make([][]octant.Octant, conn.NumTrees())
 	for t := range trees {
-		count, err := get()
-		if err != nil {
-			return nil, nil, err
+		var count int64
+		if version == ioVersionCompact {
+			// binary.ReadUvarint rejects truncated and overlong encodings
+			// natively, the same hardening get() has for short reads.
+			u, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, nil, fmt.Errorf("forest: load: tree %d leaf count: %w", t, err)
+			}
+			if u > 1<<28 {
+				count = 1 << 29 // trip the range check below
+			} else {
+				count = int64(u)
+			}
+		} else {
+			c32, err := get()
+			if err != nil {
+				return nil, nil, err
+			}
+			count = int64(c32)
 		}
 		if count < 1 || count > 1<<28 {
 			return nil, nil, fmt.Errorf("forest: load: implausible leaf count %d", count)
 		}
 		// Grow incrementally: a corrupt count must not preallocate gigabytes
 		// before the short read is even noticed.
-		leaves := make([]octant.Octant, 0, min64(int64(count), 1<<16))
+		leaves := make([]octant.Octant, 0, min64(count, 1<<16))
+		var prev octant.Octant
 		for i := 0; i < int(count); i++ {
-			x, err := get()
-			if err != nil {
-				return nil, nil, err
+			var o octant.Octant
+			if version == ioVersionCompact {
+				lvl, err := br.ReadByte()
+				if err != nil {
+					return nil, nil, fmt.Errorf("forest: load: tree %d leaf %d: %w", t, i, err)
+				}
+				o.Level, o.Dim = int8(lvl), int8(dim)
+				s := coordShift(o.Level)
+				axes := [](*int32){&o.X, &o.Y}
+				pv := [](int32){prev.X, prev.Y}
+				if dim == 3 {
+					axes = append(axes, &o.Z)
+					pv = append(pv, prev.Z)
+				}
+				for a, ptr := range axes {
+					d, err := binary.ReadVarint(br)
+					if err != nil {
+						return nil, nil, fmt.Errorf("forest: load: tree %d leaf %d: %w", t, i, err)
+					}
+					if *ptr, err = coordFromDelta(pv[a], d, s); err != nil {
+						return nil, nil, fmt.Errorf("forest: load: tree %d leaf %d: %w", t, i, err)
+					}
+				}
+				prev = o
+			} else {
+				x, err := get()
+				if err != nil {
+					return nil, nil, err
+				}
+				y, err := get()
+				if err != nil {
+					return nil, nil, err
+				}
+				z, err := get()
+				if err != nil {
+					return nil, nil, err
+				}
+				l, err := get()
+				if err != nil {
+					return nil, nil, err
+				}
+				o = octant.Octant{X: x, Y: y, Z: z, Level: int8(l), Dim: int8(dim)}
 			}
-			y, err := get()
-			if err != nil {
-				return nil, nil, err
-			}
-			z, err := get()
-			if err != nil {
-				return nil, nil, err
-			}
-			l, err := get()
-			if err != nil {
-				return nil, nil, err
-			}
-			o := octant.Octant{X: x, Y: y, Z: z, Level: int8(l), Dim: int8(dim)}
 			if err := o.Check(); err != nil {
 				return nil, nil, fmt.Errorf("forest: load: tree %d leaf %d: %w", t, i, err)
 			}

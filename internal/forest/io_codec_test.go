@@ -1,0 +1,77 @@
+package forest
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// TestSaveLoadCompactRoundTrip saves forests in the compact version-2
+// on-disk format (SaveGlobalCodec with WireV1) and requires LoadGlobal to
+// restore them bit-identically — same trees, same checksum — while the file
+// itself comes out materially smaller than the fixed-width version.
+func TestSaveLoadCompactRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		conn *Connectivity
+	}{
+		{"single2d", NewBrick(2, 1, 1, 1, [3]bool{})},
+		{"brick3d", NewBrick(3, 3, 2, 1, [3]bool{})},
+		{"maskedPeriodic", NewMaskedBrick(2, 3, 3, 1, [3]bool{true, false, false}, func(x, y, z int) bool { return x != 1 || y != 1 })},
+	} {
+		forests := runForest(t, tc.conn, 3, 1, func(c *comm.Comm, f *Forest) {
+			f.Refine(c, 4, fractalRefine(4))
+			f.Balance(c, tc.conn.dim, BalanceOptions{})
+		})
+		trees := gather(tc.conn, forests)
+
+		var fixed, compact bytes.Buffer
+		if err := SaveGlobalCodec(&fixed, tc.conn, trees, WireV0); err != nil {
+			t.Fatalf("%s: save v0: %v", tc.name, err)
+		}
+		if err := SaveGlobalCodec(&compact, tc.conn, trees, WireV1); err != nil {
+			t.Fatalf("%s: save v1: %v", tc.name, err)
+		}
+		if compact.Len()*2 > fixed.Len() {
+			t.Errorf("%s: compact format %d bytes vs fixed %d — less than 2x smaller",
+				tc.name, compact.Len(), fixed.Len())
+		}
+
+		conn2, trees2, err := LoadGlobal(bytes.NewReader(compact.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: load compact: %v", tc.name, err)
+		}
+		if conn2.NumTrees() != tc.conn.NumTrees() || conn2.Dim() != tc.conn.Dim() {
+			t.Fatalf("%s: connectivity mismatch", tc.name)
+		}
+		if !forestsEqual(trees2, trees) {
+			t.Fatalf("%s: compact round trip mismatch", tc.name)
+		}
+		if ChecksumGlobal(trees2) != ChecksumGlobal(trees) {
+			t.Fatalf("%s: checksum changed across compact save/load", tc.name)
+		}
+	}
+}
+
+// TestLoadRejectsCompactTruncation truncates a compact save at every byte
+// offset: LoadGlobal must fail cleanly on each prefix, never panic and never
+// fabricate a forest, mirroring TestLoadRejectsCorruption for version 1.
+func TestLoadRejectsCompactTruncation(t *testing.T) {
+	conn := NewBrick(2, 2, 1, 1, [3]bool{})
+	forests := runForest(t, conn, 2, 1, func(c *comm.Comm, f *Forest) {
+		f.Refine(c, 3, fractalRefine(3))
+		f.Balance(c, 2, BalanceOptions{})
+	})
+	trees := gather(conn, forests)
+	var buf bytes.Buffer
+	if err := SaveGlobalCodec(&buf, conn, trees, WireV1); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for i := 0; i < len(good); i++ {
+		if _, _, err := LoadGlobal(bytes.NewReader(good[:i])); err == nil {
+			t.Fatalf("truncation at byte %d of %d accepted", i, len(good))
+		}
+	}
+}

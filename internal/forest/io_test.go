@@ -123,7 +123,7 @@ func TestLoadRejectsCraftedHeaders(t *testing.T) {
 		}
 		return b
 	}
-	const magic, version = ioMagic, ioVersion
+	const magic, version = ioMagic, ioVersionFixed
 	cases := []struct {
 		name string
 		data []byte

@@ -59,17 +59,28 @@ func (f *Forest) Partition(c *comm.Comm, weight func(tree int32, o octant.Octant
 	// Slice the local leaves into per-destination runs and send them.
 	// Every rank in the conservative destination interval receives a
 	// message (possibly empty) so that receive counts are computable.
-	payloads := make(map[int][]byte)
+	dim := int8(f.Conn.dim)
+	encs := make(map[int]*wireEnc)
+	encFor := func(d int) *wireEnc {
+		e := encs[d]
+		if e == nil {
+			e = &wireEnc{b: comm.GetBuf(), codec: f.Wire, dim: dim}
+			encs[d] = e
+		}
+		return e
+	}
 	prefix := start
 	for i, tc := range f.Local {
 		runStart := 0
 		runDest := -1
 		flush := func(end int) {
 			if runDest >= 0 && end > runStart {
-				b := payloads[runDest]
-				b = comm.AppendInt32(b, tc.Tree)
-				b = appendOctants(b, tc.Leaves[runStart:end])
-				payloads[runDest] = b
+				e := encFor(runDest)
+				e.tree(tc.Tree)
+				e.count(end - runStart)
+				for _, o := range tc.Leaves[runStart:end] {
+					e.oct(o)
+				}
 			}
 		}
 		for j := range tc.Leaves {
@@ -88,7 +99,12 @@ func (f *Forest) Partition(c *comm.Comm, weight func(tree int32, o octant.Octant
 			if d == c.Rank() {
 				continue
 			}
-			c.Send(d, tag, payloads[d])
+			var payload []byte
+			if e := encs[d]; e != nil {
+				payload = e.b
+				c.AddRawBytes(e.raw)
+			}
+			c.Send(d, tag, payload)
 		}
 	}
 
@@ -98,8 +114,9 @@ func (f *Forest) Partition(c *comm.Comm, weight func(tree int32, o octant.Octant
 		chunks []TreeChunk
 	}
 	var runs []chunkRun
-	if own := payloads[c.Rank()]; own != nil {
-		runs = append(runs, chunkRun{src: c.Rank(), chunks: decodeChunks(own)})
+	if own := encs[c.Rank()]; own != nil {
+		runs = append(runs, chunkRun{src: c.Rank(), chunks: decodeChunks(own.b, f.Wire, dim)})
+		comm.PutBuf(own.b) // never sent; leaves copied out by decodeChunks
 	}
 	startOf := int64(0)
 	for s := 0; s < p; s++ {
@@ -108,7 +125,8 @@ func (f *Forest) Partition(c *comm.Comm, weight func(tree int32, o octant.Octant
 			lo, hi := dest(startOf), dest(startOf+w-1)
 			if lo <= c.Rank() && c.Rank() <= hi {
 				data := c.Recv(s, tag)
-				runs = append(runs, chunkRun{src: s, chunks: decodeChunks(data)})
+				runs = append(runs, chunkRun{src: s, chunks: decodeChunks(data, f.Wire, dim)})
+				comm.PutBuf(data)
 			}
 		}
 		startOf += w
@@ -134,14 +152,19 @@ func (f *Forest) Partition(c *comm.Comm, weight func(tree int32, o octant.Octant
 	f.SyncGFP(c)
 }
 
-func decodeChunks(b []byte) []TreeChunk {
+func decodeChunks(b []byte, codec WireCodec, dim int8) []TreeChunk {
 	var chunks []TreeChunk
-	for off := 0; off < len(b); {
-		var t int32
-		t, off = comm.Int32At(b, off)
-		var octs []octant.Octant
-		octs, off = octantsAt(b, off)
+	d := wireDec{b: b, codec: codec, dim: dim}
+	for d.more() {
+		t := d.tree()
+		octs := d.octs()
+		if d.err != nil {
+			break
+		}
 		chunks = append(chunks, TreeChunk{Tree: t, Leaves: octs})
+	}
+	if d.err != nil {
+		panic("forest: corrupt partition payload: " + d.err.Error())
 	}
 	return chunks
 }

@@ -105,6 +105,7 @@ func Run(sc Scenario) (res Result) {
 	auditErrs := make([]error, sc.Ranks)
 	w.Run(func(c *comm.Comm) {
 		f := forest.NewUniform(conn, c, sc.BaseLevel)
+		f.Wire = sc.Codec
 		f.Refine(c, sc.MaxLevel, refine)
 		switch sc.Partition {
 		case PartEqual:

@@ -127,6 +127,12 @@ type Scenario struct {
 	// scenario.
 	Workers int
 
+	// Codec is the wire codec used for every balance payload
+	// (forest.BalanceOptions.Codec).  The balanced forest must be
+	// bit-identical under every codec — the oracle diff and the checksum
+	// cross-check verify that on every scenario that samples WireV1.
+	Codec forest.WireCodec
+
 	// ChaosSeed, when non-zero, runs the scenario on a seeded
 	// comm.ChaosTransport (message drops, duplication, delay/reordering
 	// and per-rank stalls) instead of the perfect transport.  The
@@ -233,6 +239,12 @@ func Random(rng *rand.Rand) Scenario {
 	if rng.Intn(2) == 0 {
 		sc.Workers = 2 + rng.Intn(3)
 	}
+	// Half of the scenarios use the compact wire codec, so codec invariance
+	// is exercised across the whole lattice.  (Also sampled after every
+	// earlier field, for the same seed-stability reason as Workers.)
+	if rng.Intn(2) == 0 {
+		sc.Codec = forest.WireV1
+	}
 	return sc.Normalized()
 }
 
@@ -296,6 +308,9 @@ func (sc Scenario) Normalized() Scenario {
 	if sc.Workers > 64 {
 		sc.Workers = 64
 	}
+	if sc.Codec != forest.WireV1 {
+		sc.Codec = forest.WireV0
+	}
 	return sc
 }
 
@@ -329,7 +344,7 @@ func (sc Scenario) Refiner() otest.RefineFunc {
 
 // Options returns the forest.BalanceOptions the scenario selects.
 func (sc Scenario) Options() forest.BalanceOptions {
-	return forest.BalanceOptions{Algo: sc.Algo, Notify: sc.Notify, MaxRanges: sc.MaxRanges, Workers: sc.Workers}
+	return forest.BalanceOptions{Algo: sc.Algo, Notify: sc.Notify, MaxRanges: sc.MaxRanges, Workers: sc.Workers, Codec: sc.Codec}
 }
 
 // String is a compact one-line description for logs.
@@ -362,9 +377,13 @@ func (sc Scenario) String() string {
 	if sc.Workers != 0 {
 		wk = fmt.Sprintf(" wk=%d", sc.Workers)
 	}
-	return fmt.Sprintf("seed=%d dim=%d k=%d brick=%dx%dx%d per=%s mask=%s P=%d lvl=%d..%d ref=%v part=%v algo=%v notify=%d%s%s",
+	codec := ""
+	if sc.Codec != forest.WireV0 {
+		codec = fmt.Sprintf(" codec=%v", sc.Codec)
+	}
+	return fmt.Sprintf("seed=%d dim=%d k=%d brick=%dx%dx%d per=%s mask=%s P=%d lvl=%d..%d ref=%v part=%v algo=%v notify=%d%s%s%s",
 		sc.Seed, sc.Dim, sc.K, sc.NX, sc.NY, sc.NZ, per, mask,
-		sc.Ranks, sc.BaseLevel, sc.MaxLevel, sc.Refine, sc.Partition, sc.Algo, sc.Notify, wk, chaos)
+		sc.Ranks, sc.BaseLevel, sc.MaxLevel, sc.Refine, sc.Partition, sc.Algo, sc.Notify, wk, codec, chaos)
 }
 
 // GoLiteral renders the scenario as a Go composite literal, used by the
@@ -389,6 +408,9 @@ func (sc Scenario) GoLiteral() string {
 	add("Algo: %d, Notify: %d, MaxRanges: %d,", int(sc.Algo), int(sc.Notify), sc.MaxRanges)
 	if sc.Workers != 0 {
 		add("Workers: %d,", sc.Workers)
+	}
+	if sc.Codec != 0 {
+		add("Codec: %d,", int(sc.Codec))
 	}
 	if sc.ChaosSeed != 0 {
 		add("ChaosSeed: %#x, ChaosCanary: %v,", sc.ChaosSeed, sc.ChaosCanary)

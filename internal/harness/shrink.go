@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/forest"
 )
 
 // Shrink minimizes a failing scenario: it repeatedly tries simpler variants
@@ -70,6 +72,13 @@ func shrinkCandidates(sc Scenario) []Scenario {
 	if sc.Workers > 1 {
 		s := sc
 		s.Workers = 0
+		add(s)
+	}
+	// Legacy wire format: if the failure survives on WireV0, the compact
+	// codec is exonerated.
+	if sc.Codec != forest.WireV0 {
+		s := sc
+		s.Codec = forest.WireV0
 		add(s)
 	}
 	// Fewer trees.
@@ -175,6 +184,9 @@ func replayFlags(sc Scenario) string {
 	var s string
 	if sc.Workers != FromSeed(sc.Seed).Workers {
 		s += fmt.Sprintf(" -workers %d", sc.Workers)
+	}
+	if sc.Codec != FromSeed(sc.Seed).Codec {
+		s += fmt.Sprintf(" -codec %v", sc.Codec)
 	}
 	if sc.ChaosSeed != 0 {
 		s += " -chaos <sweep base>"

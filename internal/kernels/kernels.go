@@ -38,6 +38,9 @@ func List() []Kernel {
 		{"SubtreeBalanceOld", benchSubtreeOld},
 		{"LocalBalanceSerial", benchLocalBalance(1)},
 		{"LocalBalancePar4", benchLocalBalance(4)},
+		{"WireEncodeV0", benchWireEncode(forest.WireV0)},
+		{"WireEncodeV1", benchWireEncode(forest.WireV1)},
+		{"WireDecodeV1", benchWireDecode(forest.WireV1)},
 	}
 }
 
@@ -223,6 +226,41 @@ func benchLocalBalance(workers int) func(b *testing.B) {
 			}
 			forest.BalanceChunks(work, cannedK, forest.AlgoNew, workers)
 		}
+	}
+}
+
+// Wire-codec kernels: encode/decode the canned chunk as one octant list,
+// the unit of work the balance query/response and partition payloads are
+// made of.  The encode buffer is reused across iterations so allocs/op
+// isolates what the codec itself allocates.
+func benchWireEncode(codec forest.WireCodec) func(b *testing.B) {
+	return func(b *testing.B) {
+		leaves := canned()
+		var buf []byte
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = forest.EncodeOctantList(buf[:0], leaves, codec)
+		}
+		b.ReportMetric(float64(len(buf))/float64(len(leaves)), "bytes/oct")
+		perOp(b, len(leaves))
+	}
+}
+
+func benchWireDecode(codec forest.WireCodec) func(b *testing.B) {
+	return func(b *testing.B) {
+		leaves := canned()
+		enc := forest.EncodeOctantList(nil, leaves, codec)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			octs, _, err := forest.DecodeOctantList(enc, codec)
+			if err != nil {
+				b.Fatalf("kernels: wire decode: %v", err)
+			}
+			if len(octs) != len(leaves) {
+				b.Fatalf("kernels: wire decode returned %d of %d octants", len(octs), len(leaves))
+			}
+		}
+		perOp(b, len(leaves))
 	}
 }
 

@@ -20,26 +20,100 @@
 package notify
 
 import (
+	"errors"
+	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/comm"
 )
 
+// Rank lists travel either as length-prefixed raw int32s (WireV0) or as a
+// uvarint count plus zigzag varint deltas of the sorted ranks (WireV1).
+// rawRankList is the WireV0 size, used to meter codec-independent raw bytes.
+
+func rawRankList(n int) int { return 4 + 4*n }
+
+func appendRankList(b []byte, vs []int32, codec comm.WireCodec) []byte {
+	if codec != comm.WireV1 {
+		return comm.AppendInt32s(b, vs)
+	}
+	b = comm.AppendUvarint(b, uint64(len(vs)))
+	prev := int32(0)
+	for _, v := range vs {
+		b = comm.AppendVarint(b, int64(v)-int64(prev))
+		prev = v
+	}
+	return b
+}
+
+func rankListAt(b []byte, off int, codec comm.WireCodec) ([]int32, int, error) {
+	if codec != comm.WireV1 {
+		if len(b)-off < 4 {
+			return nil, off, errors.New("notify: truncated rank list")
+		}
+		n, off2 := comm.Int32At(b, off)
+		if n < 0 || int(n) > (len(b)-off2)/4 {
+			return nil, off, fmt.Errorf("notify: rank count %d exceeds payload", n)
+		}
+		vs := make([]int32, n)
+		for i := range vs {
+			vs[i], off2 = comm.Int32At(b, off2)
+		}
+		return vs, off2, nil
+	}
+	n, off, err := comm.UvarintAt(b, off)
+	if err != nil {
+		return nil, off, err
+	}
+	if n > uint64(len(b)-off) { // each delta is at least one byte
+		return nil, off, fmt.Errorf("notify: rank count %d exceeds payload", n)
+	}
+	vs := make([]int32, 0, n)
+	prev := int64(0)
+	for i := uint64(0); i < n; i++ {
+		var d int64
+		if d, off, err = comm.VarintAt(b, off); err != nil {
+			return nil, off, err
+		}
+		prev += d
+		if prev > math.MaxInt32 || prev < math.MinInt32 {
+			return nil, off, errors.New("notify: rank out of int32 range")
+		}
+		vs = append(vs, int32(prev))
+	}
+	return vs, off, nil
+}
+
 // Naive reverses the pattern with Allgather + Allgatherv (Figure 12).  It
 // returns the sorted list of ranks that have c.Rank() in their receivers.
 func Naive(c *comm.Comm, receivers []int) []int {
+	return NaiveCodec(c, receivers, comm.WireV0)
+}
+
+// NaiveCodec is Naive with an explicit wire codec for the gathered blocks.
+func NaiveCodec(c *comm.Comm, receivers []int, codec comm.WireCodec) []int {
 	defer c.Tracer().Begin(c.Rank(), "notify/naive", "notify").End()
 	own := make([]int32, len(receivers))
 	for i, r := range receivers {
 		own[i] = int32(r)
 	}
-	blocks := c.Allgatherv(comm.AppendInt32s(nil, own))
+	// The own block is deliberately unpooled: Allgatherv retains every block
+	// in its result (and forwards them around the ring), so recycling any of
+	// them would corrupt the collective.  Raw bytes: the ring transmits each
+	// origin block P-1 times, so the v0-equivalent volume attributed to this
+	// rank's block is (P-1) times its v0 size.
+	c.AddRawBytes((c.Size() - 1) * rawRankList(len(own)))
+	blocks := c.Allgatherv(appendRankList(nil, own, codec))
 	var senders []int
 	for q, b := range blocks {
 		if q == c.Rank() {
 			continue
 		}
-		list, _ := comm.Int32sAt(b, 0)
+		list, _, err := rankListAt(b, 0, codec)
+		if err != nil {
+			panic("notify: corrupt naive block: " + err.Error())
+		}
 		for _, r := range list {
 			if int(r) == c.Rank() {
 				senders = append(senders, q)
@@ -57,6 +131,13 @@ func Naive(c *comm.Comm, receivers []int) []int {
 // senders: when the receiver set does not fit in maxRanges intervals,
 // intervening ranks are included and will be sent zero-length messages.
 func Ranges(c *comm.Comm, receivers []int, maxRanges int) []int {
+	return RangesCodec(c, receivers, maxRanges, comm.WireV0)
+}
+
+// RangesCodec is Ranges with an explicit wire codec: WireV1 stores the same
+// fixed 2*maxRanges values (including the -1 padding) as zigzag varints
+// read back sequentially instead of positionally.
+func RangesCodec(c *comm.Comm, receivers []int, maxRanges int, codec comm.WireCodec) []int {
 	if maxRanges < 1 {
 		panic("notify: maxRanges must be at least 1")
 	}
@@ -70,10 +151,16 @@ func Ranges(c *comm.Comm, receivers []int, maxRanges int) []int {
 	for len(block) < 2*maxRanges {
 		block = append(block, -1, -1)
 	}
+	// Unpooled for the same reason as NaiveCodec: Allgatherv retains blocks.
 	buf := make([]byte, 0, 8*maxRanges)
 	for _, v := range block {
-		buf = comm.AppendInt32(buf, v)
+		if codec == comm.WireV1 {
+			buf = comm.AppendVarint(buf, int64(v))
+		} else {
+			buf = comm.AppendInt32(buf, v)
+		}
 	}
+	c.AddRawBytes((c.Size() - 1) * 8 * maxRanges)
 	blocks := c.Allgatherv(buf)
 	var senders []int
 	me := int32(c.Rank())
@@ -81,20 +168,51 @@ func Ranges(c *comm.Comm, receivers []int, maxRanges int) []int {
 		if q == c.Rank() {
 			continue
 		}
-		for i := 0; i < maxRanges; i++ {
-			lo, _ := comm.Int32At(b, 8*i)
-			hi, _ := comm.Int32At(b, 8*i+4)
-			if lo < 0 {
-				break
-			}
-			if lo <= me && me <= hi {
-				senders = append(senders, q)
-				break
-			}
+		covered, err := rangesCover(b, maxRanges, me, codec)
+		if err != nil {
+			panic("notify: corrupt ranges block: " + err.Error())
+		}
+		if covered {
+			senders = append(senders, q)
 		}
 	}
 	sort.Ints(senders)
 	return senders
+}
+
+// rangesCover reports whether the encoded range block covers rank me.
+func rangesCover(b []byte, maxRanges int, me int32, codec comm.WireCodec) (bool, error) {
+	off := 0
+	for i := 0; i < maxRanges; i++ {
+		var lo, hi int32
+		if codec == comm.WireV1 {
+			v, off2, err := comm.VarintAt(b, off)
+			if err != nil {
+				return false, err
+			}
+			w, off3, err := comm.VarintAt(b, off2)
+			if err != nil {
+				return false, err
+			}
+			if v > math.MaxInt32 || v < math.MinInt32 || w > math.MaxInt32 || w < math.MinInt32 {
+				return false, errors.New("notify: range bound out of int32 range")
+			}
+			lo, hi, off = int32(v), int32(w), off3
+		} else {
+			if len(b)-off < 8 {
+				return false, errors.New("notify: truncated range block")
+			}
+			lo, off = comm.Int32At(b, off)
+			hi, off = comm.Int32At(b, off)
+		}
+		if lo < 0 {
+			return false, nil
+		}
+		if lo <= me && me <= hi {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // RangeCover returns the full rank set covered by the at-most-maxRanges
@@ -160,6 +278,14 @@ func encodeRanges(receivers []int, maxRanges int) [][2]int {
 // O(P log P) messages in total, with no rank handling more than O(1) times
 // the data of any other (the non-power-of-two redirection rule).
 func Notify(c *comm.Comm, receivers []int) []int {
+	return NotifyCodec(c, receivers, comm.WireV0)
+}
+
+// NotifyCodec is Notify with an explicit wire codec for the per-round
+// point-to-point payloads: WireV1 delta-codes the sorted receiver ids and
+// compacts every sender list to varints, and the payload buffers ride the
+// comm pool in both codecs.
+func NotifyCodec(c *comm.Comm, receivers []int, codec comm.WireCodec) []int {
 	defer c.Tracer().Begin(c.Rank(), "notify/dc", "notify").End()
 	p, size := c.Rank(), c.Size()
 	// knowledge maps receiver -> original senders known to this rank.
@@ -179,17 +305,26 @@ func Notify(c *comm.Comm, receivers []int) []int {
 			}
 		}
 		sort.Ints(sendEntries)
-		payload := []byte(nil)
+		payload := comm.GetBuf()
+		raw := 0
+		prevR := int64(0)
 		for _, r := range sendEntries {
-			payload = comm.AppendInt32(payload, int32(r))
+			if codec == comm.WireV1 {
+				payload = comm.AppendVarint(payload, int64(r)-prevR)
+				prevR = int64(r)
+			} else {
+				payload = comm.AppendInt32(payload, int32(r))
+			}
 			s32 := make([]int32, len(knowledge[r]))
 			for i, s := range knowledge[r] {
 				s32[i] = int32(s)
 			}
-			payload = comm.AppendInt32s(payload, s32)
+			payload = appendRankList(payload, s32, codec)
+			raw += 4 + rawRankList(len(s32))
 			delete(knowledge, r)
 		}
 		if dst, ok := sendTarget(p, int(l), size); ok {
+			c.AddRawBytes(raw)
 			c.Send(dst, notifyTag(int(l)), payload)
 		} else if len(payload) > 0 {
 			// No target exists only when the complementary residue
@@ -198,15 +333,34 @@ func Notify(c *comm.Comm, receivers []int) []int {
 		}
 		for _, src := range recvSources(p, int(l), size) {
 			data := c.Recv(src, notifyTag(int(l)))
+			prevR := int64(0)
 			for off := 0; off < len(data); {
-				var r32 int32
-				r32, off = comm.Int32At(data, off)
+				var r int
+				if codec == comm.WireV1 {
+					d, off2, err := comm.VarintAt(data, off)
+					if err != nil {
+						panic("notify: corrupt dc payload: " + err.Error())
+					}
+					prevR += d
+					if prevR > math.MaxInt32 || prevR < math.MinInt32 {
+						panic("notify: corrupt dc payload: receiver out of range")
+					}
+					r, off = int(prevR), off2
+				} else {
+					var r32 int32
+					r32, off = comm.Int32At(data, off)
+					r = int(r32)
+				}
 				var senders []int32
-				senders, off = comm.Int32sAt(data, off)
+				var err error
+				if senders, off, err = rankListAt(data, off, codec); err != nil {
+					panic("notify: corrupt dc payload: " + err.Error())
+				}
 				for _, s := range senders {
-					knowledge[int(r32)] = append(knowledge[int(r32)], int(s))
+					knowledge[r] = append(knowledge[r], int(s))
 				}
 			}
+			comm.PutBuf(data) // sender ids copied into knowledge above
 		}
 	}
 	// All remaining entries are addressed to p itself.

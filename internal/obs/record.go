@@ -41,7 +41,10 @@ type BenchRun struct {
 	// Workers is the rank-local worker pool size of the run (0 = serial);
 	// cmd/bench -workers N records a serial and a parallel run per
 	// algorithm so records carry their own serial-vs-parallel comparison.
-	Workers       int                   `json:"workers,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// Codec is the wire codec of the run ("v0"/"v1"); empty in records
+	// predating the codec dimension (which ran the v0 format).
+	Codec         string                `json:"codec,omitempty"`
 	OctantsBefore int64                 `json:"octants_before"`
 	OctantsAfter  int64                 `json:"octants_after"`
 	Phases        map[string]Summary    `json:"phases"`
@@ -49,13 +52,20 @@ type BenchRun struct {
 	Net           NetVolume             `json:"net"`
 	TotalMessages int64                 `json:"total_messages"`
 	TotalBytes    int64                 `json:"total_bytes"`
+	// TotalRawBytes is the codec-independent (WireV0-equivalent) volume of
+	// the codec-metered phases; TotalBytes/TotalRawBytes per phase is the
+	// compression ratio.  Zero in records without raw metering.
+	TotalRawBytes int64 `json:"total_raw_bytes,omitempty"`
 }
 
 // CommVolume is the logical traffic of one phase label (the paper's
 // message/byte accounting; retransmissions excluded by construction).
 type CommVolume struct {
-	Messages          int64 `json:"messages"`
-	Bytes             int64 `json:"bytes"`
+	Messages int64 `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+	// RawBytes is the WireV0-equivalent size of the phase's codec-metered
+	// payloads (zero where the phase is unmetered).
+	RawBytes          int64 `json:"raw_bytes,omitempty"`
 	MaxQueueDepth     int64 `json:"max_queue_depth,omitempty"`
 	PeakInFlightBytes int64 `json:"peak_in_flight_bytes,omitempty"`
 }

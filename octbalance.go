@@ -152,6 +152,31 @@ var (
 	NotifyRanges = notify.Ranges
 	// Notify is the divide-and-conquer reversal of Figure 13.
 	Notify = notify.Notify
+	// NotifyNaiveCodec, NotifyRangesCodec and NotifyCodec take an explicit
+	// wire codec for their payloads.
+	NotifyNaiveCodec  = notify.NaiveCodec
+	NotifyRangesCodec = notify.RangesCodec
+	NotifyCodec       = notify.NotifyCodec
+)
+
+// WireCodec selects the payload encoding of the comm stack (see
+// forest.WireCodec / comm.WireCodec).
+type WireCodec = forest.WireCodec
+
+// Wire codec versions.
+const (
+	// WireV0 is the fixed-width 16-byte-per-octant legacy format (default).
+	WireV0 = forest.WireV0
+	// WireV1 is the compact delta-Morton varint format.
+	WireV1 = forest.WireV1
+)
+
+var (
+	// ParseWireCodec parses a -codec flag value ("v0"/"v1").
+	ParseWireCodec = comm.ParseWireCodec
+	// SetCommPooling toggles the comm layer's payload buffer pool and
+	// returns the previous setting (A/B lever for allocation measurements).
+	SetCommPooling = comm.SetPooling
 )
 
 // Forest of octrees.
@@ -273,6 +298,9 @@ var (
 	BuildNodesDistributed = mesh.BuildNodesDistributed
 	// SaveForest serializes a gathered global forest (p4est_save analogue).
 	SaveForest = forest.SaveGlobal
-	// LoadForest restores a forest written by SaveForest.
+	// SaveForestCodec serializes with an explicit leaf encoding (WireV1
+	// writes the compact version-2 format).
+	SaveForestCodec = forest.SaveGlobalCodec
+	// LoadForest restores a forest written by SaveForest or SaveForestCodec.
 	LoadForest = forest.LoadGlobal
 )

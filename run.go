@@ -55,7 +55,9 @@ type Result struct {
 	K     int
 	Algo  Algo
 	// Workers is the rank-local worker pool size the run used (0 = serial).
-	Workers       int
+	Workers int
+	// Codec is the wire codec the run's payloads were encoded with.
+	Codec         WireCodec
 	OctantsBefore int64 // global leaves after refinement, before balance
 	OctantsAfter  int64 // global leaves after balance
 	Phases        PhaseTimes
@@ -85,11 +87,27 @@ func (r Result) CommTotals() (msgs, bytes int64) {
 	return msgs, bytes
 }
 
+// RawTotal sums the codec-independent (WireV0-equivalent) byte meters over
+// all algorithm phases, excluding the internal "obs/" measurement phases.
+// Only codec-aware payload producers meter raw bytes, so this is the volume
+// the codec dimension of cmd/bench compares across.
+func (r Result) RawTotal() int64 {
+	var raw int64
+	for phase, st := range r.Comm {
+		if strings.HasPrefix(phase, "obs/") {
+			continue
+		}
+		raw += st.RawBytes
+	}
+	return raw
+}
+
 // BenchRun converts the result into its machine-readable benchmark form.
 func (r Result) BenchRun() obs.BenchRun {
 	run := obs.BenchRun{
 		Algo:          r.Algo.String(),
 		Workers:       r.Workers,
+		Codec:         r.Codec.String(),
 		OctantsBefore: r.OctantsBefore,
 		OctantsAfter:  r.OctantsAfter,
 		Phases:        r.PhaseAgg,
@@ -107,11 +125,13 @@ func (r Result) BenchRun() obs.BenchRun {
 		run.Comm[phase] = obs.CommVolume{
 			Messages:          st.Messages,
 			Bytes:             st.Bytes,
+			RawBytes:          st.RawBytes,
 			MaxQueueDepth:     st.MaxQueueDepth,
 			PeakInFlightBytes: st.PeakInFlightBytes,
 		}
 	}
 	run.TotalMessages, run.TotalBytes = r.CommTotals()
+	run.TotalRawBytes = r.RawTotal()
 	return run
 }
 
@@ -145,10 +165,12 @@ func (e Experiment) Run() Result {
 	res.K = k
 	res.Algo = e.Options.Algo
 	res.Workers = e.Options.Workers
+	res.Codec = e.Options.Codec
 	phases = make([]PhaseTimes, e.Ranks)
 
 	w.Run(func(c *comm.Comm) {
 		f := forest.NewUniform(e.Conn, c, e.BaseLevel)
+		f.Wire = e.Options.Codec
 		if e.Refine != nil {
 			f.Refine(c, e.MaxLevel, e.Refine)
 		}
