@@ -11,6 +11,7 @@
 //	bench -workers 4 -workload fractal      # serial AND 4-worker runs
 //	bench -validate BENCH_fractal.json
 //	bench -validate BENCH_local.json -baseline results/BENCH_local.json
+//	bench -validate BENCH_ghost.json -baseline results/BENCH_ghost.json -gate-prefix Ghost
 package main
 
 import (

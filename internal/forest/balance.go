@@ -10,6 +10,7 @@ import (
 	"repro/internal/notify"
 	"repro/internal/obs"
 	"repro/internal/octant"
+	"repro/internal/traverse"
 )
 
 // Algo selects the one-pass balance variant.
@@ -250,9 +251,13 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 	})
 	times.LocalBalance = ps.end()
 
-	// Phase 2: Query construction.  For each local leaf whose insulation
-	// layer leaves the local partition, build query messages for the
-	// owners of the overlapped regions.
+	// Phase 2: Query construction.  A recursive traversal per tree chunk
+	// (internal/traverse) first narrows the curve down to the leaves whose
+	// insulation layer can leave the local partition or cross a tree
+	// boundary — subtrees with an entirely same-tree, rank-local insulation
+	// neighborhood are pruned without touching their leaves.  Only the
+	// surviving boundary leaves then run the classical per-leaf region
+	// enumeration, which builds the identical query sets.
 	ps = beginPhase(c, "query")
 	peers := make(map[int]map[query]struct{}) // peer rank -> query set
 	selfQueries := make(map[query]struct{})
@@ -262,8 +267,11 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 	}
 	origins := make(map[query]origin) // every issued query -> provenance
 	dirs := octant.Directions(f.Conn.dim, f.Conn.dim)
-	for _, tc := range f.Local {
-		for _, r := range tc.Leaves {
+	boundary, queryStats := f.queryBoundaryLeaves(c.Rank(), workers, runParallel)
+	for ci := range f.Local {
+		tc := &f.Local[ci]
+		for _, li := range boundary[ci] {
+			r := tc.Leaves[li]
 			for _, d := range dirs {
 				ins := r.Neighbor(d)
 				ti, ins2, shift, ok := f.Conn.Canonicalize(tc.Tree, ins)
@@ -293,6 +301,10 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 			}
 		}
 	}
+	tr := c.Tracer()
+	tr.Add(c.Rank(), "balance/query-nodes", int64(queryStats.Nodes))
+	tr.Add(c.Rank(), "balance/query-leaves", int64(queryStats.Leaves))
+	tr.Add(c.Rank(), "balance/query-pruned", int64(queryStats.Pruned))
 	queryBuildTime := ps.end()
 
 	// Phase 3: Notify — reverse the asymmetric pattern.
@@ -337,15 +349,16 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 	}
 	// Answer incoming queries (senders may include false positives with
 	// empty query lists under the Ranges scheme).
+	var respondStats traverse.Stats
 	for _, rank := range senders {
 		data := c.Recv(rank, tagQuery)
-		payload, raw := f.respond(data, k, remoteAlgo, opt.Codec, runParallel)
+		payload, raw := f.respond(data, k, remoteAlgo, opt.Codec, workers, runParallel, &respondStats)
 		c.AddRawBytes(raw)
 		c.Send(rank, tagResponse, payload)
 	}
 	// Handle self queries (inter-tree interactions within this rank)
 	// through the same response path, without messages.
-	selfResponses := f.respondQueries(sortedQueries(selfQueries), k, remoteAlgo, runParallel)
+	selfResponses := f.respondQueries(sortedQueries(selfQueries), k, remoteAlgo, workers, runParallel, &respondStats)
 	// Collect responses.
 	type response struct {
 		q    query
@@ -372,6 +385,9 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 	for q, octs := range selfResponses {
 		responses = append(responses, response{q: q, octs: octs})
 	}
+	tr.Add(c.Rank(), "balance/respond-nodes", int64(respondStats.Nodes))
+	tr.Add(c.Rank(), "balance/respond-leaves", int64(respondStats.Leaves))
+	tr.Add(c.Rank(), "balance/respond-pruned", int64(respondStats.Pruned))
 	times.QueryResponse = ps.end() + queryBuildTime
 
 	// Phase 5: Local rebalance.  Transform the response octants back into
@@ -510,7 +526,7 @@ func clipToRange(octs []octant.Octant, first, last octant.Octant) []octant.Octan
 // payload plus its v0-equivalent raw size: for each query octant, the local
 // octants (old algorithm) or seed octants (new algorithm) that encode how
 // the query octant must split.  The query buffer is recycled here.
-func (f *Forest) respond(data []byte, k int, algo Algo, codec WireCodec, par func(int, func(int))) ([]byte, int) {
+func (f *Forest) respond(data []byte, k int, algo Algo, codec WireCodec, workers int, par func(int, func(int)), st *traverse.Stats) ([]byte, int) {
 	dim := int8(f.Conn.dim)
 	d := wireDec{b: data, codec: codec, dim: dim}
 	minQuery := d.minOct() + 1 // tree id is at least one byte (4 in v0)
@@ -528,7 +544,7 @@ func (f *Forest) respond(data []byte, k int, algo Algo, codec WireCodec, par fun
 		panic("forest: corrupt query payload: " + d.err.Error())
 	}
 	comm.PutBuf(data) // queries decoded into fresh memory above
-	resp := f.respondQueries(qs, k, algo, par)
+	resp := f.respondQueries(qs, k, algo, workers, par, st)
 	enc := wireEnc{b: comm.GetBuf(), codec: codec, dim: dim}
 	for _, q := range qs {
 		octs := resp[q]
@@ -545,77 +561,107 @@ func (f *Forest) respond(data []byte, k int, algo Algo, codec WireCodec, par fun
 	return enc.b, enc.raw
 }
 
-// maxConsiderRegions bounds the candidate regions per query: the query
-// octant itself plus its full-codimension neighborhood (3^d - 1 directions,
-// at most 26 in 3D).
-const maxConsiderRegions = 27
+// respHit is one candidate (query, leaf) pair the simultaneous traversal
+// matched: leaf index li of the chunk of query qi's tree intersects the
+// insulation box of that query's octant and is fine enough to possibly
+// split it.
+type respHit struct {
+	qi, li int32
+}
 
 // respondQueries computes response octants for a list of queries against
-// the local partition.  Queries are independent, so they fan out over the
-// worker pool via par; each result lands in the slot of its query index,
-// keeping the output deterministic.
-func (f *Forest) respondQueries(qs []query, k int, algo Algo, par func(int, func(int))) map[query][]octant.Octant {
+// the local partition.  Candidate leaves come from one simultaneous
+// traversal per tree chunk (traverse.SearchBoundary): the chunk's implicit
+// octree is walked against the insulation boxes of the chunk's queries, so
+// subtrees far from every query region are pruned wholesale — the old code
+// instead ran up to 27 window searches per query.  An aligned cube
+// intersects an aligned insulation cell with positive volume only if one
+// contains the other, so the matched set equals the classical per-region
+// overlap union exactly.  Traversal tasks and then the per-query seed
+// computations fan out over the worker pool via par; hits are re-sorted by
+// (query, curve position) and each result lands in the slot of its query
+// index, keeping the output bit-identical at every worker count.  st (may
+// be nil) accumulates traversal work counters.
+func (f *Forest) respondQueries(qs []query, k int, algo Algo, workers int, par func(int, func(int)), st *traverse.Stats) map[query][]octant.Octant {
+	if st == nil {
+		st = new(traverse.Stats)
+	}
 	results := make([][]octant.Octant, len(qs))
 	root := octant.Root(f.Conn.dim)
-	dirs := octant.Directions(f.Conn.dim, f.Conn.dim)
+	maxTasks := 1
+	if workers > 1 {
+		maxTasks = 4 * workers
+	}
+	var hits []respHit
+	for ci := range f.Local {
+		tc := &f.Local[ci]
+		var qidx []int32
+		var boxes []traverse.Box
+		for i := range qs {
+			if qs[i].Tree == tc.Tree {
+				qidx = append(qidx, int32(i))
+				boxes = append(boxes, traverse.InsulationBox(qs[i].R))
+			}
+		}
+		if len(qidx) == 0 {
+			continue
+		}
+		tasks := traverse.SplitTasks(root, tc.Leaves, maxTasks)
+		taskHits := make([][]respHit, len(tasks))
+		taskStats := make([]traverse.Stats, len(tasks))
+		par(len(tasks), func(i int) {
+			t := tasks[i]
+			var out []respHit
+			traverse.SearchBoundary(t.Root, tc.Leaves[t.Lo:t.Hi], boxes, func(li, bi int) {
+				abs := int32(t.Lo + li)
+				if precluded(tc.Leaves[abs], qs[qidx[bi]].R) {
+					return
+				}
+				out = append(out, respHit{qi: qidx[bi], li: abs})
+			}, &taskStats[i])
+			taskHits[i] = out
+		})
+		for i := range tasks {
+			hits = append(hits, taskHits[i]...)
+			st.Merge(taskStats[i])
+		}
+	}
+	// Regroup the curve-ordered hits into one contiguous ascending run per
+	// query, then compute each query's response from its run.
+	slices.SortFunc(hits, func(a, b respHit) int {
+		if a.qi != b.qi {
+			return int(a.qi) - int(b.qi)
+		}
+		return int(a.li) - int(b.li)
+	})
+	runLo := make([]int, len(qs))
+	runHi := make([]int, len(qs))
+	for i := 0; i < len(hits); {
+		j := i
+		qi := hits[i].qi
+		for j < len(hits) && hits[j].qi == qi {
+			j++
+		}
+		runLo[qi], runHi[qi] = i, j
+		i = j
+	}
 	par(len(qs), func(qi int) {
-		q := qs[qi]
-		tc := f.chunkFor(q.Tree)
-		if tc == nil {
+		lo, hi := runLo[qi], runHi[qi]
+		if lo >= hi {
 			return
 		}
-		// Candidate local octants: leaves overlapping the insulation
-		// layer of the query octant (restricted to this tree's root).
-		// The per-region overlap ranges can intersect; merging the index
-		// ranges up front visits every candidate leaf exactly once and
-		// replaces the per-query dedup hash the hot loop used to allocate.
-		var rbuf [maxConsiderRegions][2]int
-		ranges := rbuf[:0]
-		addRegion := func(region octant.Octant) {
-			lo, hi := linear.OverlapRange(tc.Leaves, region)
-			if lo < hi {
-				ranges = append(ranges, [2]int{lo, hi})
-			}
-		}
-		if root.IsAncestorOrEqual(q.R) {
-			addRegion(q.R) // only possible if R overlaps local leaves: skipped by ownership, but safe
-		}
-		for _, d := range dirs {
-			ins := q.R.Neighbor(d)
-			if !root.IsAncestorOrEqual(ins) {
-				continue // other trees handle their own portion
-			}
-			addRegion(ins)
-		}
-		// Insertion sort: at most 27 tiny entries, no closure, no alloc.
-		for i := 1; i < len(ranges); i++ {
-			for j := i; j > 0 && ranges[j][0] < ranges[j-1][0]; j-- {
-				ranges[j], ranges[j-1] = ranges[j-1], ranges[j]
-			}
-		}
+		q := qs[qi]
+		leaves := f.chunkFor(q.Tree).Leaves
 		var resp []octant.Octant
-		done := 0 // leaves before this index have been considered
-		for _, rg := range ranges {
-			lo, hi := rg[0], rg[1]
-			if lo < done {
-				lo = done
-			}
-			if hi <= done {
-				continue
-			}
-			for _, o := range tc.Leaves[lo:hi] {
-				if precluded(o, q.R) {
-					continue
+		for _, h := range hits[lo:hi] {
+			o := leaves[h.li]
+			if algo == AlgoNew {
+				if seeds, splits := balance.Seeds(o, q.R, k); splits {
+					resp = append(resp, seeds...)
 				}
-				if algo == AlgoNew {
-					if seeds, splits := balance.Seeds(o, q.R, k); splits {
-						resp = append(resp, seeds...)
-					}
-				} else {
-					resp = append(resp, o)
-				}
+			} else {
+				resp = append(resp, o)
 			}
-			done = hi
 		}
 		if len(resp) > 0 {
 			linear.Sort(resp)
@@ -629,6 +675,82 @@ func (f *Forest) respondQueries(qs []query, k int, algo Algo, par func(int, func
 		}
 	}
 	return out
+}
+
+// queryPrunable reports whether no leaf below virtual node w of tree t can
+// generate a balance query: w's own region is owned entirely by rank me and
+// every insulation cell of w is outside the domain, or maps back to the
+// same tree with all of its region owned by me.  The same-tree condition
+// matters because rank-local interactions that cross a tree boundary still
+// become self queries.  Soundness follows the same lattice-alignment
+// argument as (*Forest).ghostPrunable.
+func (f *Forest) queryPrunable(dirs []octant.Dir, t int32, w octant.Octant, me int) bool {
+	if first, last := f.OwnersOfRegion(t, w); first != me || last != me {
+		return false
+	}
+	for _, d := range dirs {
+		cell := w.Neighbor(d)
+		ti, cell2, _, ok := f.Conn.Canonicalize(t, cell)
+		if !ok {
+			continue // domain boundary: no interaction
+		}
+		if ti != t {
+			return false
+		}
+		if first, last := f.OwnersOfRegion(ti, cell2); first != me || last != me {
+			return false
+		}
+	}
+	return true
+}
+
+// queryBoundaryLeaves returns, per local chunk, the ascending indices of
+// the leaves that can generate balance queries — those not under a subtree
+// the recursive traversal proved to have an entirely same-tree, rank-local
+// insulation neighborhood.  Leaves outside the result contribute nothing to
+// the query sets, so enumerating only the survivors reproduces phase 2
+// exactly.  Top-level subtree tasks fan out over the worker pool; task
+// windows are emitted in curve order, so the index lists are deterministic
+// for a fixed task count (the query sets are identical at any count).
+func (f *Forest) queryBoundaryLeaves(me, workers int, par func(int, func(int))) ([][]int32, traverse.Stats) {
+	dirs := octant.Directions(f.Conn.dim, f.Conn.dim)
+	root := octant.Root(f.Conn.dim)
+	maxTasks := 1
+	if workers > 1 {
+		maxTasks = 4 * workers
+	}
+	type boundaryTask struct {
+		chunk int
+		t     traverse.Task
+	}
+	var tasks []boundaryTask
+	for ci := range f.Local {
+		for _, t := range traverse.SplitTasks(root, f.Local[ci].Leaves, maxTasks) {
+			tasks = append(tasks, boundaryTask{chunk: ci, t: t})
+		}
+	}
+	taskIdx := make([][]int32, len(tasks))
+	taskStats := make([]traverse.Stats, len(tasks))
+	par(len(tasks), func(i int) {
+		tk := tasks[i]
+		tc := &f.Local[tk.chunk]
+		var idx []int32
+		traverse.Search(tk.t.Root, tc.Leaves[tk.t.Lo:tk.t.Hi], func(w octant.Octant, lo, _ int, isLeaf bool) bool {
+			if isLeaf {
+				idx = append(idx, int32(tk.t.Lo+lo))
+				return true
+			}
+			return !f.queryPrunable(dirs, tc.Tree, w, me)
+		}, &taskStats[i])
+		taskIdx[i] = idx
+	})
+	out := make([][]int32, len(f.Local))
+	var st traverse.Stats
+	for i := range tasks {
+		out[tasks[i].chunk] = append(out[tasks[i].chunk], taskIdx[i]...)
+		st.Merge(taskStats[i])
+	}
+	return out, st
 }
 
 func dedupOctants(octs []octant.Octant) []octant.Octant {

@@ -69,6 +69,14 @@ type Forest struct {
 	// transfers); Balance takes its codec from BalanceOptions.  The zero
 	// value is the legacy WireV0 format.
 	Wire comm.WireCodec
+
+	// Workers bounds the rank-local worker pool of the forest-level local
+	// fan-outs that are not configured per call (the ghost-scan traversal);
+	// Balance takes its pool size from BalanceOptions.Workers.  Semantics
+	// match that field: 0 and 1 run serially, n > 1 uses n goroutines, a
+	// negative value uses one worker per available CPU.  Results are
+	// bit-identical at every worker count.
+	Workers int
 }
 
 // NewUniform builds a forest uniformly refined to the given level,

@@ -1,12 +1,13 @@
 package forest
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/comm"
 	"repro/internal/linear"
 	"repro/internal/notify"
 	"repro/internal/octant"
+	"repro/internal/traverse"
 )
 
 // GhostOctant is a remote leaf adjacent to the local partition, expressed
@@ -40,71 +41,161 @@ func (g *GhostLayer) ByOwner() map[int][]GhostOctant {
 	return m
 }
 
-const tagGhost = 102
+// GhostSend is one entry of the ghost send schedule: local leaf Oct of tree
+// Tree must reach rank Rank because Rank owns a region adjacent to it.
+type GhostSend struct {
+	Rank int
+	Tree int32
+	Oct  octant.Octant
+}
 
-// BuildGhost constructs the ghost layer collectively: every rank sends each
-// of its boundary leaves to the owners of the regions adjacent to it, and
-// keeps the received leaves that are adjacent to one of its own.  The
-// asymmetric pattern is reversed with the Notify algorithm of Section V.
-func (f *Forest) BuildGhost(c *comm.Comm) *GhostLayer {
-	defer c.Tracer().Begin(c.Rank(), "ghost", "forest").End()
-	dirs := octant.Directions(f.Conn.dim, f.Conn.dim)
-	type entry struct {
-		Tree int32
-		Oct  octant.Octant
+func compareGhostSends(a, b GhostSend) int {
+	switch {
+	case a.Rank != b.Rank:
+		return a.Rank - b.Rank
+	case a.Tree != b.Tree:
+		return int(a.Tree) - int(b.Tree)
+	default:
+		return octant.Compare(a.Oct, b.Oct)
 	}
-	out := make(map[int]map[entry]struct{})
+}
+
+// ghostPrunable reports whether no leaf below virtual node w of tree t can
+// contribute a ghost send: w's own region and every insulation cell of w
+// are either outside the domain or owned entirely by rank me.  Soundness
+// rests on the alignment of the lattice: a leaf's same-size neighbor lies
+// entirely within exactly one cell of w's 3^d insulation grid (cube sides
+// are powers of two dividing w's side, so no neighbor straddles a cell
+// boundary), each cell canonicalizes to the same target tree as any of its
+// subcubes, and the owner range of a subregion is contained in the owner
+// range of its enclosing region.
+func (f *Forest) ghostPrunable(dirs []octant.Dir, t int32, w octant.Octant, me int) bool {
+	if first, last := f.OwnersOfRegion(t, w); first != me || last != me {
+		return false
+	}
+	for _, d := range dirs {
+		cell := w.Neighbor(d)
+		ti, cell2, _, ok := f.Conn.Canonicalize(t, cell)
+		if !ok {
+			continue // outside the domain: no receiver there
+		}
+		if first, last := f.OwnersOfRegion(ti, cell2); first != me || last != me {
+			return false
+		}
+	}
+	return true
+}
+
+// GhostScan computes the full ghost send schedule of rank me by recursive
+// simultaneous traversal (internal/traverse): each local tree chunk is
+// descended top-down and subtrees whose entire insulation neighborhood is
+// rank-local are pruned without touching their leaves, so the work is
+// proportional to the partition boundary rather than the partition volume.
+// The surviving leaves enumerate their canonicalized neighbor regions
+// exactly as the classical per-leaf scan does; a final sort+compact
+// replaces the per-rank hash dedup, making the schedule — sorted by (rank,
+// tree, curve position) — bit-identical to the scan at any worker count.
+// Top-level subtree tasks fan out over the rank-local worker pool when
+// f.Workers asks for one.  Exported for the kernel micro-benchmarks and
+// the differential tests.
+func (f *Forest) GhostScan(me int) ([]GhostSend, traverse.Stats) {
+	dirs := octant.Directions(f.Conn.dim, f.Conn.dim)
+	root := octant.Root(f.Conn.dim)
+	workers := f.localWorkers()
+	maxTasks := 1
+	if workers > 1 {
+		maxTasks = 4 * workers
+	}
+	type ghostTask struct {
+		tree   int32
+		leaves []octant.Octant
+		t      traverse.Task
+	}
+	var tasks []ghostTask
 	for _, tc := range f.Local {
-		for _, o := range tc.Leaves {
+		for _, t := range traverse.SplitTasks(root, tc.Leaves, maxTasks) {
+			tasks = append(tasks, ghostTask{tree: tc.Tree, leaves: tc.Leaves, t: t})
+		}
+	}
+	sends := make([][]GhostSend, len(tasks))
+	stats := make([]traverse.Stats, len(tasks))
+	parallelFor(workers, len(tasks), func(i int) {
+		tk := tasks[i]
+		var out []GhostSend
+		traverse.Search(tk.t.Root, tk.leaves[tk.t.Lo:tk.t.Hi], func(w octant.Octant, _, _ int, isLeaf bool) bool {
+			if !isLeaf {
+				return !f.ghostPrunable(dirs, tk.tree, w, me)
+			}
 			for _, d := range dirs {
-				n := o.Neighbor(d)
-				ti, n2, _, ok := f.Conn.Canonicalize(tc.Tree, n)
+				n := w.Neighbor(d)
+				ti, n2, _, ok := f.Conn.Canonicalize(tk.tree, n)
 				if !ok {
 					continue
 				}
 				first, last := f.OwnersOfRegion(ti, n2)
 				for rank := first; rank <= last; rank++ {
-					if rank == c.Rank() {
+					if rank == me {
 						continue
 					}
-					set := out[rank]
-					if set == nil {
-						set = make(map[entry]struct{})
-						out[rank] = set
-					}
-					set[entry{Tree: tc.Tree, Oct: o}] = struct{}{}
+					out = append(out, GhostSend{Rank: rank, Tree: tk.tree, Oct: w})
 				}
 			}
-		}
+			return true
+		}, &stats[i])
+		sends[i] = out
+	})
+	var all []GhostSend
+	var st traverse.Stats
+	for i := range tasks {
+		all = append(all, sends[i]...)
+		st.Merge(stats[i])
 	}
+	slices.SortFunc(all, compareGhostSends)
+	all = slices.Compact(all)
+	return all, st
+}
+
+const tagGhost = 102
+
+// BuildGhost constructs the ghost layer collectively: every rank sends each
+// of its boundary leaves to the owners of the regions adjacent to it, and
+// keeps the received leaves that are adjacent to one of its own.  The send
+// schedule comes from the recursive traversal (GhostScan); the asymmetric
+// pattern is reversed with the Notify algorithm of Section V.
+func (f *Forest) BuildGhost(c *comm.Comm) *GhostLayer {
+	defer c.Tracer().Begin(c.Rank(), "ghost", "forest").End()
+	sends, st := f.GhostScan(c.Rank())
+	tr := c.Tracer()
+	tr.Add(c.Rank(), "ghost/nodes", int64(st.Nodes))
+	tr.Add(c.Rank(), "ghost/leaves", int64(st.Leaves))
+	tr.Add(c.Rank(), "ghost/pruned", int64(st.Pruned))
 
 	c.SetPhase("ghost")
-	receivers := make([]int, 0, len(out))
-	for rank := range out {
-		receivers = append(receivers, rank)
+	var receivers []int
+	for i := 0; i < len(sends); {
+		receivers = append(receivers, sends[i].Rank)
+		j := i
+		for j < len(sends) && sends[j].Rank == sends[i].Rank {
+			j++
+		}
+		i = j
 	}
-	sort.Ints(receivers)
 	senders := notify.NotifyCodec(c, receivers, f.Wire)
 
 	dim := int8(f.Conn.dim)
-	for _, rank := range receivers {
-		entries := make([]entry, 0, len(out[rank]))
-		for e := range out[rank] {
-			entries = append(entries, e)
+	for i := 0; i < len(sends); {
+		j := i
+		for j < len(sends) && sends[j].Rank == sends[i].Rank {
+			j++
 		}
-		sort.Slice(entries, func(i, j int) bool {
-			if entries[i].Tree != entries[j].Tree {
-				return entries[i].Tree < entries[j].Tree
-			}
-			return octant.Less(entries[i].Oct, entries[j].Oct)
-		})
 		enc := wireEnc{b: comm.GetBuf(), codec: f.Wire, dim: dim}
-		for _, e := range entries {
-			enc.tree(e.Tree)
-			enc.oct(e.Oct)
+		for _, s := range sends[i:j] {
+			enc.tree(s.Tree)
+			enc.oct(s.Oct)
 		}
 		c.AddRawBytes(enc.raw)
-		c.Send(rank, tagGhost, enc.b)
+		c.Send(sends[i].Rank, tagGhost, enc.b)
+		i = j
 	}
 
 	var ghosts []GhostOctant
@@ -126,14 +217,16 @@ func (f *Forest) BuildGhost(c *comm.Comm) *GhostLayer {
 		}
 		comm.PutBuf(data) // entries decoded by value above
 	}
-	sort.Slice(ghosts, func(i, j int) bool {
-		if ghosts[i].Tree != ghosts[j].Tree {
-			return ghosts[i].Tree < ghosts[j].Tree
-		}
-		return octant.Less(ghosts[i].Oct, ghosts[j].Oct)
-	})
+	slices.SortFunc(ghosts, compareGhostOctants)
 	c.SetPhase("default")
 	return &GhostLayer{Octants: ghosts}
+}
+
+func compareGhostOctants(a, b GhostOctant) int {
+	if a.Tree != b.Tree {
+		return int(a.Tree) - int(b.Tree)
+	}
+	return octant.Compare(a.Oct, b.Oct)
 }
 
 // adjacentToLocal reports whether the leaf o of tree t (possibly remote)
@@ -167,38 +260,13 @@ func (f *Forest) adjacentToLocal(t int32, o octant.Octant) bool {
 
 // Mirrors returns the local leaves that appear in other ranks' ghost
 // layers (the senders of a ghost data exchange), grouped by the peer rank
-// that needs them.  It is computed with the same owner search as BuildGhost
-// and therefore matches the peers' ghost sets exactly.
+// that needs them.  It is the send schedule of GhostScan regrouped, and
+// therefore matches the peers' ghost sets exactly.
 func (f *Forest) Mirrors(c *comm.Comm) map[int][]GhostOctant {
-	dirs := octant.Directions(f.Conn.dim, f.Conn.dim)
+	sends, _ := f.GhostScan(c.Rank())
 	out := make(map[int][]GhostOctant)
-	seen := make(map[int]map[GhostOctant]bool)
-	for _, tc := range f.Local {
-		for _, o := range tc.Leaves {
-			for _, d := range dirs {
-				n := o.Neighbor(d)
-				ti, n2, _, ok := f.Conn.Canonicalize(tc.Tree, n)
-				if !ok {
-					continue
-				}
-				first, last := f.OwnersOfRegion(ti, n2)
-				for rank := first; rank <= last; rank++ {
-					if rank == c.Rank() {
-						continue
-					}
-					g := GhostOctant{Tree: tc.Tree, Oct: o, Owner: c.Rank()}
-					m := seen[rank]
-					if m == nil {
-						m = make(map[GhostOctant]bool)
-						seen[rank] = m
-					}
-					if !m[g] {
-						m[g] = true
-						out[rank] = append(out[rank], g)
-					}
-				}
-			}
-		}
+	for _, s := range sends {
+		out[s.Rank] = append(out[s.Rank], GhostOctant{Tree: s.Tree, Oct: s.Oct, Owner: c.Rank()})
 	}
 	return out
 }
@@ -221,17 +289,12 @@ func (f *Forest) ExchangeData(c *comm.Comm, ghost *GhostLayer, payload func(tree
 	for rank := range mirrors {
 		peers = append(peers, rank)
 	}
-	sort.Ints(peers)
+	slices.Sort(peers)
 	senders := notify.NotifyCodec(c, peers, f.Wire)
 	dim := int8(f.Conn.dim)
 	for _, rank := range peers {
 		ms := mirrors[rank]
-		sort.Slice(ms, func(i, j int) bool {
-			if ms[i].Tree != ms[j].Tree {
-				return ms[i].Tree < ms[j].Tree
-			}
-			return octant.Less(ms[i].Oct, ms[j].Oct)
-		})
+		slices.SortFunc(ms, compareGhostOctants)
 		enc := wireEnc{b: comm.GetBuf(), codec: f.Wire, dim: dim}
 		for _, m := range ms {
 			enc.tree(m.Tree)

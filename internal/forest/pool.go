@@ -72,7 +72,15 @@ func parallelFor(workers, n int, task func(i int)) {
 // zero value) and 1 mean serial execution, n > 1 means a pool of n workers,
 // and a negative value asks for one worker per available CPU.
 func (opt BalanceOptions) workerCount() int {
-	w := opt.Workers
+	return resolveWorkers(opt.Workers)
+}
+
+// localWorkers resolves Forest.Workers with the same semantics.
+func (f *Forest) localWorkers() int {
+	return resolveWorkers(f.Workers)
+}
+
+func resolveWorkers(w int) int {
 	if w < 0 {
 		w = numCPUWorkers()
 	}

@@ -1,0 +1,162 @@
+package forest
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/octant"
+)
+
+// bruteGhostSends reproduces the classical per-leaf × per-direction ghost
+// send enumeration (the pre-traversal BuildGhost loop) as an oracle for the
+// recursive GhostScan.
+func bruteGhostSends(f *Forest, me int) []GhostSend {
+	dirs := octant.Directions(f.Conn.dim, f.Conn.dim)
+	set := make(map[GhostSend]bool)
+	for _, tc := range f.Local {
+		for _, o := range tc.Leaves {
+			for _, d := range dirs {
+				n := o.Neighbor(d)
+				ti, n2, _, ok := f.Conn.Canonicalize(tc.Tree, n)
+				if !ok {
+					continue
+				}
+				first, last := f.OwnersOfRegion(ti, n2)
+				for rank := first; rank <= last; rank++ {
+					if rank == me {
+						continue
+					}
+					set[GhostSend{Rank: rank, Tree: tc.Tree, Oct: o}] = true
+				}
+			}
+		}
+	}
+	out := make([]GhostSend, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	slices.SortFunc(out, compareGhostSends)
+	return out
+}
+
+func serialPar(n int, task func(int)) {
+	for i := 0; i < n; i++ {
+		task(i)
+	}
+}
+
+// TestGhostScanMatchesBruteScan checks the recursive ghost traversal emits
+// exactly the classical per-leaf send schedule across topologies (including
+// periodic and masked bricks), world sizes and worker counts, and that at
+// P=1 the traversal prunes every leaf (nothing can be remote).
+func TestGhostScanMatchesBruteScan(t *testing.T) {
+	topos := []struct {
+		name string
+		conn *Connectivity
+	}{
+		{"single2d", NewBrick(2, 1, 1, 1, [3]bool{})},
+		{"brick2d", NewBrick(2, 3, 2, 1, [3]bool{})},
+		{"periodic2d", NewBrick(2, 4, 3, 1, [3]bool{true, false, false})},
+		{"masked2d", NewMaskedBrick(2, 3, 3, 1, [3]bool{}, func(x, y, z int) bool { return x != 1 || y != 1 })},
+		{"periodic3d", NewBrick(3, 2, 3, 2, [3]bool{false, true, false})},
+	}
+	for _, topo := range topos {
+		depth := 3
+		if topo.conn.dim == 3 {
+			depth = 2
+		}
+		for _, p := range []int{1, 3, 5} {
+			runForest(t, topo.conn, p, 1, func(c *comm.Comm, f *Forest) {
+				f.Refine(c, depth, fractalRefine(depth))
+				f.Partition(c, nil)
+				me := c.Rank()
+				want := bruteGhostSends(f, me)
+				for _, workers := range []int{0, 3} {
+					f.Workers = workers
+					got, st := f.GhostScan(me)
+					if len(got) != len(want) {
+						t.Errorf("%s P=%d rank %d workers %d: %d sends, brute force %d",
+							topo.name, p, me, workers, len(got), len(want))
+						return
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Errorf("%s P=%d rank %d workers %d: send %d is %+v, want %+v",
+								topo.name, p, me, workers, i, got[i], want[i])
+							return
+						}
+					}
+					if p == 1 && workers == 0 && st.Leaves != 0 {
+						t.Errorf("%s P=1: traversal visited %d leaves; everything is rank-local and should prune",
+							topo.name, st.Leaves)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestQueryBoundaryLeavesComplete checks every leaf that generates a
+// balance query (by the classical enumeration) appears in the traversal's
+// boundary index lists, and the lists are ascending and in range.
+func TestQueryBoundaryLeavesComplete(t *testing.T) {
+	topos := []struct {
+		name string
+		conn *Connectivity
+	}{
+		{"brick2d", NewBrick(2, 3, 2, 1, [3]bool{})},
+		{"periodic2d", NewBrick(2, 4, 3, 1, [3]bool{true, false, false})},
+		{"masked2d", NewMaskedBrick(2, 3, 3, 1, [3]bool{}, func(x, y, z int) bool { return x != 1 || y != 1 })},
+	}
+	for _, topo := range topos {
+		dirs := octant.Directions(topo.conn.dim, topo.conn.dim)
+		for _, p := range []int{1, 4} {
+			runForest(t, topo.conn, p, 1, func(c *comm.Comm, f *Forest) {
+				f.Refine(c, 3, fractalRefine(3))
+				f.Partition(c, nil)
+				me := c.Rank()
+				boundary, _ := f.queryBoundaryLeaves(me, 1, serialPar)
+				for ci := range f.Local {
+					tc := &f.Local[ci]
+					listed := make(map[int32]bool, len(boundary[ci]))
+					prev := int32(-1)
+					for _, li := range boundary[ci] {
+						if li <= prev || int(li) >= len(tc.Leaves) {
+							t.Errorf("%s P=%d rank %d tree %d: bad boundary index %d after %d",
+								topo.name, p, me, tc.Tree, li, prev)
+							return
+						}
+						prev = li
+						listed[li] = true
+					}
+					for li, r := range tc.Leaves {
+						generates := false
+						for _, d := range dirs {
+							ins := r.Neighbor(d)
+							ti, ins2, _, ok := f.Conn.Canonicalize(tc.Tree, ins)
+							if !ok {
+								continue
+							}
+							first, last := f.OwnersOfRegion(ti, ins2)
+							for rank := first; rank <= last; rank++ {
+								if rank == me {
+									if ti != tc.Tree {
+										generates = true
+									}
+									continue
+								}
+								generates = true
+							}
+						}
+						if generates && !listed[int32(li)] {
+							t.Errorf("%s P=%d rank %d tree %d: leaf %v generates a query but was pruned",
+								topo.name, p, me, tc.Tree, r)
+							return
+						}
+					}
+				}
+			})
+		}
+	}
+}

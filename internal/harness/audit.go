@@ -60,7 +60,12 @@ func auditOwnership(c *comm.Comm, f *forest.Forest) error {
 
 // auditGhostWork bounds the O(NumGlobal x NumLocal) brute-force ghost
 // completeness check; beyond it only the (cheap) soundness direction runs.
-const auditGhostWork = 1 << 22
+// The ceiling is generous for the small worlds the scenario lattice draws —
+// the treeAdj oracle memoizes its per-tree-pair shifts, so even the 4M-pair
+// budget stays well inside the harness time budget, and a larger budget
+// means the completeness direction (the one that would catch an over-eager
+// traversal prune) covers nearly every generated scenario.
+const auditGhostWork = 1 << 24
 
 // Audit is the collective invariant checker: it verifies, on every rank,
 //

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/forest"
+)
+
+// ghostScenario derives a lattice scenario for the ghost differential,
+// clamped so the O(NumGlobal × dirs) oracle stays fast even at P=13.
+func ghostScenario(seed int64) Scenario {
+	sc := FromSeed(seed)
+	if sc.BaseLevel > 1 {
+		sc.BaseLevel = 1
+	}
+	depth := 3
+	if sc.Dim == 3 {
+		depth = 2
+	}
+	if sc.MaxLevel > sc.BaseLevel+depth {
+		sc.MaxLevel = sc.BaseLevel + depth
+	}
+	return sc.Normalized()
+}
+
+// runGhostDiff executes the scenario's build/refine/partition pipeline under
+// the simulated world (perfect or chaos transport, per the scenario), builds
+// the ghost layer with the recursive-traversal BuildGhost, and diffs every
+// rank's result octant-for-octant against the frozen classical oracle.  It
+// returns the gathered layers (rank-major) so callers can also compare runs
+// against each other.
+func runGhostDiff(t *testing.T, sc Scenario) [][]forest.GhostOctant {
+	t.Helper()
+	conn := sc.Connectivity()
+	refine := sc.Refiner()
+	w := newScenarioWorld(sc)
+	defer w.Close()
+	errs := make([]error, sc.Ranks)
+	layers := make([][]forest.GhostOctant, sc.Ranks)
+	w.Run(func(c *comm.Comm) {
+		f := forest.NewUniform(conn, c, sc.BaseLevel)
+		f.Wire = sc.Codec
+		f.Workers = sc.Workers
+		f.Refine(c, sc.MaxLevel, refine)
+		applyPartition(c, f, sc.Partition)
+		ghost := f.BuildGhost(c)
+		global := gatherGlobal(c, f)
+		want := RefGhost(f, global, c.Rank())
+		errs[c.Rank()] = DiffGhostLayers(ghost.Octants, want)
+		layers[c.Rank()] = ghost.Octants
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("scenario %v rank %d: %v", sc, r, err)
+		}
+	}
+	return layers
+}
+
+// TestGhostDiffLattice diffs the traversal-based BuildGhost against the
+// classical reference oracle across the scenario lattice at P ∈ {1, 4, 13}.
+func TestGhostDiffLattice(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		sc := ghostScenario(seed)
+		for _, p := range []int{1, 4, 13} {
+			sc := sc
+			sc.Ranks = p
+			sc = sc.Normalized()
+			t.Run(fmt.Sprintf("seed%d_P%d", seed, p), func(t *testing.T) {
+				t.Parallel()
+				runGhostDiff(t, sc)
+			})
+		}
+	}
+}
+
+// TestGhostDiffChaos repeats the differential on a seeded chaos transport
+// (drops, duplication, reordering, stalls behind the reliable-delivery
+// layer): the ghost layer must still come out identical to the oracle, and
+// identical to the perfect-transport run of the same scenario.
+func TestGhostDiffChaos(t *testing.T) {
+	for _, seed := range []int64{2, 5} {
+		sc := ghostScenario(seed)
+		for _, p := range []int{4, 13} {
+			sc := sc
+			sc.Ranks = p
+			sc = sc.Normalized()
+			t.Run(fmt.Sprintf("seed%d_P%d", seed, p), func(t *testing.T) {
+				t.Parallel()
+				perfect := runGhostDiff(t, sc)
+				chaotic := runGhostDiff(t, sc.WithChaos(uint64(seed)*0x9e3779b9+uint64(p)))
+				for r := range perfect {
+					if err := DiffGhostLayers(chaotic[r], perfect[r]); err != nil {
+						t.Fatalf("scenario %v rank %d: chaos vs perfect transport: %v", sc, r, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGhostCodecAgreement pins codec invariance: the same scenario run under
+// WireV0 and WireV1 must produce identical ghost layers on every rank, and
+// both must agree with the (codec-oblivious) reference oracle.
+func TestGhostCodecAgreement(t *testing.T) {
+	for _, seed := range []int64{3, 4} {
+		sc := ghostScenario(seed)
+		sc.Ranks = 4
+		sc = sc.Normalized()
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc0, sc1 := sc, sc
+			sc0.Codec = forest.WireV0
+			sc1.Codec = forest.WireV1
+			v0 := runGhostDiff(t, sc0)
+			v1 := runGhostDiff(t, sc1)
+			for r := range v0 {
+				if err := DiffGhostLayers(v1[r], v0[r]); err != nil {
+					t.Fatalf("scenario %v rank %d: WireV1 vs WireV0: %v", sc, r, err)
+				}
+			}
+		})
+	}
+}

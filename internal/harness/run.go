@@ -106,22 +106,9 @@ func Run(sc Scenario) (res Result) {
 	w.Run(func(c *comm.Comm) {
 		f := forest.NewUniform(conn, c, sc.BaseLevel)
 		f.Wire = sc.Codec
+		f.Workers = sc.Workers
 		f.Refine(c, sc.MaxLevel, refine)
-		switch sc.Partition {
-		case PartEqual:
-			f.Partition(c, nil)
-		case PartLevelWeighted:
-			f.Partition(c, func(tree int32, o octant.Octant) int64 {
-				return int64(1 + int(o.Level)*int(o.Level))
-			})
-		case PartFirstHeavy:
-			f.Partition(c, func(tree int32, o octant.Octant) int64 {
-				if tree == 0 {
-					return 64
-				}
-				return 1
-			})
-		}
+		applyPartition(c, f, sc.Partition)
 		before[c.Rank()] = snapshotChunks(f)
 		f.Balance(c, sc.K, opts)
 		auditErrs[c.Rank()] = Audit(c, f)
@@ -162,6 +149,27 @@ func Run(sc Scenario) (res Result) {
 		}
 	}
 	return res
+}
+
+// applyPartition repartitions the freshly refined forest according to the
+// scenario's partition mode (collective; PartNone keeps the skew the
+// refinement produced).
+func applyPartition(c *comm.Comm, f *forest.Forest, mode PartMode) {
+	switch mode {
+	case PartEqual:
+		f.Partition(c, nil)
+	case PartLevelWeighted:
+		f.Partition(c, func(tree int32, o octant.Octant) int64 {
+			return int64(1 + int(o.Level)*int(o.Level))
+		})
+	case PartFirstHeavy:
+		f.Partition(c, func(tree int32, o octant.Octant) int64 {
+			if tree == 0 {
+				return 64
+			}
+			return 1
+		})
+	}
 }
 
 // pairwiseCheckMaxLeaves gates the O(n²) independent balance check: most

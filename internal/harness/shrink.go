@@ -18,11 +18,21 @@ import (
 // scenario for which Run reported a failure; on a passing scenario it
 // returns the input unchanged.
 func Shrink(sc Scenario, budget int) (Scenario, Result, int) {
+	best, res, attempts := ShrinkWith(sc, budget, func(s Scenario) error { return Run(s).Err })
+	return best, res, attempts
+}
+
+// ShrinkWith is Shrink with a caller-supplied failure predicate: a candidate
+// is kept when failing returns non-nil.  This lets tests that check a
+// property Run does not know about (e.g. the traversal no-false-prune
+// invariant) still reduce their failures to minimal replayable scenarios.
+// The returned Result is Run's result for the shrunken scenario, which may
+// itself pass when the predicate checks something stricter than Run.
+func ShrinkWith(sc Scenario, budget int, failing func(Scenario) error) (Scenario, Result, int) {
 	best := sc
-	bestRes := Run(sc)
 	attempts := 1
-	if bestRes.Err == nil {
-		return best, bestRes, attempts
+	if failing(sc) == nil {
+		return best, Run(best), attempts
 	}
 	for attempts < budget {
 		improved := false
@@ -34,10 +44,9 @@ func Shrink(sc Scenario, budget int) (Scenario, Result, int) {
 			if attempts >= budget {
 				break
 			}
-			res := Run(cand)
 			attempts++
-			if res.Err != nil {
-				best, bestRes = cand, res
+			if failing(cand) != nil {
+				best = cand
 				improved = true
 				break // restart from the new, smaller scenario
 			}
@@ -46,7 +55,7 @@ func Shrink(sc Scenario, budget int) (Scenario, Result, int) {
 			break
 		}
 	}
-	return best, bestRes, attempts
+	return best, Run(best), attempts
 }
 
 // shrinkCandidates proposes strictly simpler variants, ordered so that the

@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/forest"
+	"repro/internal/octant"
+	"repro/internal/otest"
+	"repro/internal/traverse"
+)
+
+// This file is the metamorphic leg of the traversal suite: for seeded
+// random query regions over lattice-drawn meshes, any subtree the
+// simultaneous traversal prunes must contain no leaf the brute-force oracle
+// matches, and the matched (leaf, box) pairs must equal the oracle's set
+// exactly.  A violation is shrunk to a minimal replayable scenario with the
+// harness shrinker before the test reports it.
+
+// noFalsePruneErr checks the property on one scenario and returns the first
+// violation (nil when the scenario satisfies it).  The mesh is the
+// scenario's refined forest, built on a single simulated rank — partition
+// and transport play no role in the purely local traversal property, and
+// shrinkCandidates already drives Ranks toward 1.
+func noFalsePruneErr(sc Scenario) (ferr error) {
+	defer func() {
+		if p := recover(); p != nil {
+			ferr = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	sc.Ranks = 1
+	sc.ChaosSeed = 0
+	sc.ChaosCanary = false
+	sc = sc.Normalized()
+	conn := sc.Connectivity()
+	refine := sc.Refiner()
+	w := comm.NewWorld(1)
+	w.SetTimeout(worldTimeout)
+	defer w.Close()
+	w.Run(func(c *comm.Comm) {
+		f := forest.NewUniform(conn, c, sc.BaseLevel)
+		f.Refine(c, sc.MaxLevel, refine)
+		ferr = checkNoFalsePrune(sc, f)
+	})
+	return ferr
+}
+
+// checkNoFalsePrune draws seeded random query regions per tree and runs the
+// simultaneous traversal against the brute-force intersection oracle.
+func checkNoFalsePrune(sc Scenario, f *forest.Forest) error {
+	rng := otest.NewRand(sc.Seed ^ 0x7ca9e5ed)
+	root := octant.Root(sc.Dim)
+	const numQueries = 6
+	type pair struct{ li, qi int }
+	for _, tc := range f.Local {
+		regions := make([]octant.Octant, numQueries)
+		boxes := make([]traverse.Box, numQueries)
+		for i := range boxes {
+			// Level >= 1 keeps the insulation box from always covering the
+			// whole root, so prunes actually fire; deep levels exercise
+			// boxes far smaller than most subtrees.
+			regions[i] = otest.RandomOctant(rng, sc.Dim, 1, sc.MaxLevel+1)
+			boxes[i] = traverse.InsulationBox(regions[i])
+		}
+		want := make(map[pair]bool)
+		matched := make(map[int]bool) // leaf indices with at least one oracle match
+		for li, leaf := range tc.Leaves {
+			for qi, b := range boxes {
+				if b.IntersectsOctant(leaf) {
+					want[pair{li, qi}] = true
+					matched[li] = true
+				}
+			}
+		}
+		got := make(map[pair]bool)
+		var pruneErr error
+		hooks := &traverse.Hooks{OnPrune: func(w octant.Octant, lo, hi int) {
+			if pruneErr != nil {
+				return
+			}
+			for li := lo; li < hi; li++ {
+				if matched[li] {
+					pruneErr = fmt.Errorf("tree %d: pruned subtree %v (window [%d,%d)) contains oracle-matched leaf %v",
+						tc.Tree, w, lo, hi, tc.Leaves[li])
+					return
+				}
+			}
+		}}
+		var st traverse.Stats
+		traverse.SearchBoundaryHooks(root, tc.Leaves, boxes, func(li, qi int) {
+			got[pair{li, qi}] = true
+		}, &st, hooks)
+		if pruneErr != nil {
+			return pruneErr
+		}
+		for p := range want {
+			if !got[p] {
+				return fmt.Errorf("tree %d: oracle pair leaf=%v box=%v (of region %v) missed by the traversal",
+					tc.Tree, tc.Leaves[p.li], boxes[p.qi], regions[p.qi])
+			}
+		}
+		for p := range got {
+			if !want[p] {
+				return fmt.Errorf("tree %d: traversal reported spurious pair leaf=%v box=%v",
+					tc.Tree, tc.Leaves[p.li], boxes[p.qi])
+			}
+		}
+	}
+	return nil
+}
+
+// TestTraversalNoFalsePrune sweeps seeded scenarios through the metamorphic
+// property.  Failures are shrunk with the scenario shrinker (driven by the
+// property itself, not by Run) and reported as a replayable scenario
+// literal, so a regression lands as a one-seed repro.
+func TestTraversalNoFalsePrune(t *testing.T) {
+	const shrinkBudget = 60
+	for seed := int64(101); seed <= 116; seed++ {
+		sc := ghostScenario(seed)
+		if err := noFalsePruneErr(sc); err != nil {
+			small, _, attempts := ShrinkWith(sc, shrinkBudget, noFalsePruneErr)
+			t.Fatalf("no-false-prune violated: %v\nscenario: %v\nshrunk (after %d runs) to: %v\nreplay literal:\n\t%s",
+				err, sc, attempts, small, small.GoLiteral())
+		}
+	}
+}

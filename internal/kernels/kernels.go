@@ -18,6 +18,7 @@ import (
 	"repro/internal/forest"
 	"repro/internal/linear"
 	"repro/internal/octant"
+	"repro/internal/traverse"
 )
 
 // Kernel is one named micro-benchmark.
@@ -41,6 +42,8 @@ func List() []Kernel {
 		{"WireEncodeV0", benchWireEncode(forest.WireV0)},
 		{"WireEncodeV1", benchWireEncode(forest.WireV1)},
 		{"WireDecodeV1", benchWireDecode(forest.WireV1)},
+		{"TraverseSearch", benchTraverseSearch},
+		{"GhostBuild", benchGhostBuild},
 	}
 }
 
@@ -264,6 +267,64 @@ func benchWireDecode(codec forest.WireCodec) func(b *testing.B) {
 	}
 }
 
+// benchTraverseSearch measures the recursive traversal engine itself: a
+// full Search over the canned chunk with a never-pruning callback, so ns/op
+// is the per-leaf cost of the implicit-octree descent (window splitting via
+// lower-bound searches plus the callback dispatch) with zero useful work in
+// the visitor.
+func benchTraverseSearch(b *testing.B) {
+	leaves := canned()
+	root := octant.Root(cannedDim)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		var st traverse.Stats
+		traverse.Search(root, leaves, func(w octant.Octant, lo, hi int, isLeaf bool) bool {
+			return true
+		}, &st)
+		sink += st.Leaves
+	}
+	_ = sink
+	perOp(b, len(leaves))
+}
+
+// ghostScanInput builds the synthetic two-rank forest the GhostBuild kernel
+// scans: one tree holding the canned fractal, split halfway along the curve
+// between rank 0 (the local rank, whose chunk the forest carries) and a
+// remote rank 1.  The partition table is hand-built, so the kernel runs
+// without any communicator.
+func ghostScanInput() (*forest.Forest, int) {
+	conn := forest.NewBrick(cannedDim, 1, 1, 1, [3]bool{})
+	leaves := canned()
+	half := len(leaves) / 2
+	f := &forest.Forest{
+		Conn:  conn,
+		Local: []forest.TreeChunk{{Tree: 0, Leaves: leaves[:half]}},
+		GFP: []forest.Pos{
+			forest.PosOf(0, leaves[0]),
+			forest.PosOf(0, leaves[half]),
+			{Tree: conn.NumTrees()},
+		},
+		NumGlobal: int64(len(leaves)),
+	}
+	return f, half
+}
+
+// benchGhostBuild measures the rank-local half of ghost construction — the
+// recursive boundary traversal producing the sorted, deduplicated send
+// schedule (forest.GhostScan) — per local leaf.
+func benchGhostBuild(b *testing.B) {
+	f, n := ghostScanInput()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sends, _ := f.GhostScan(0)
+		sink += len(sends)
+	}
+	_ = sink
+	perOp(b, n)
+}
+
 // perOp rescales the reported time so ns/op means nanoseconds per kernel
 // invocation, not per sweep over the whole canned input set.  ReportMetric
 // on the "ns/op" unit overrides both the -bench output and
@@ -328,6 +389,10 @@ func Verify() error {
 	}
 	if len(seedPairs()) == 0 {
 		return fmt.Errorf("no influencing (o, r) pairs for the Seeds kernel")
+	}
+	f, _ := ghostScanInput()
+	if sends, _ := f.GhostScan(0); len(sends) == 0 {
+		return fmt.Errorf("synthetic two-rank forest produces no ghost sends")
 	}
 	return nil
 }
