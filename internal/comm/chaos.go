@@ -80,12 +80,21 @@ type ChaosTransport struct {
 	stallMu sync.Mutex
 	stalls  map[int][2]time.Time // rank -> stall window [from, until)
 
+	// timers tracks the AfterFunc of every delayed delivery still in
+	// flight, and pendingWG counts them, so Stop can cancel what has not
+	// fired and wait out what has — without this, a torn-down world would
+	// leak one goroutine per pending delayed packet (and the delivery
+	// could touch freed channel state).
+	timerMu sync.Mutex
+	timers  map[*uint8]*time.Timer
+	pending sync.WaitGroup
+
 	sent, dropped, duplicated, delayed, stalled atomic.Int64
 }
 
 // NewChaosTransport builds a fault-injecting transport from cfg.
 func NewChaosTransport(cfg ChaosConfig) *ChaosTransport {
-	return &ChaosTransport{cfg: cfg, stalls: make(map[int][2]time.Time)}
+	return &ChaosTransport{cfg: cfg, stalls: make(map[int][2]time.Time), timers: make(map[*uint8]*time.Timer)}
 }
 
 func (t *ChaosTransport) Start(deliver func(Packet)) {
@@ -95,7 +104,23 @@ func (t *ChaosTransport) Start(deliver func(Packet)) {
 
 func (t *ChaosTransport) Reliable() bool { return t.cfg.DisableReliability }
 
-func (t *ChaosTransport) Stop() { t.stopped.Store(true) }
+// Stop tears the injector down: the stopped flag gates direct deliveries,
+// every delayed delivery that has not fired yet is cancelled, and Stop
+// blocks until the ones already firing have drained.  After Stop returns
+// no goroutine of this transport touches the delivery callback again.
+// Idempotent.
+func (t *ChaosTransport) Stop() {
+	t.timerMu.Lock()
+	t.stopped.Store(true)
+	for key, tm := range t.timers {
+		delete(t.timers, key)
+		if tm.Stop() {
+			t.pending.Done() // callback will never run; retire its slot
+		}
+	}
+	t.timerMu.Unlock()
+	t.pending.Wait()
+}
 
 // Counts returns a snapshot of the injector's activity.
 func (t *ChaosTransport) Counts() ChaosCounts {
@@ -204,9 +229,30 @@ func (t *ChaosTransport) Send(p Packet) {
 			t.deliverGated(p)
 			continue
 		}
-		pkt := p
-		time.AfterFunc(d, func() { t.deliverGated(pkt) })
+		t.sendDelayed(p, d)
 	}
+}
+
+// sendDelayed schedules a delayed delivery that Stop can cancel or drain.
+// Registration happens under timerMu with the stopped flag re-checked, so
+// no timer can be added after Stop has begun cancelling (which would race
+// its WaitGroup accounting).
+func (t *ChaosTransport) sendDelayed(p Packet, d time.Duration) {
+	key := new(uint8)
+	t.timerMu.Lock()
+	if t.stopped.Load() {
+		t.timerMu.Unlock()
+		return
+	}
+	t.pending.Add(1)
+	t.timers[key] = time.AfterFunc(d, func() {
+		t.timerMu.Lock()
+		delete(t.timers, key)
+		t.timerMu.Unlock()
+		t.deliverGated(p)
+		t.pending.Done()
+	})
+	t.timerMu.Unlock()
 }
 
 func (t *ChaosTransport) deliverGated(p Packet) {

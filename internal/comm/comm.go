@@ -23,7 +23,6 @@ package comm
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -61,19 +60,22 @@ func newInbox(w *World, rank int) *inbox {
 }
 
 // put appends a message, blocking while the mailbox is full.  It reports
-// whether the message was delivered (false only on a poisoned world).
+// whether the message was delivered (false on a poisoned world, or while
+// a failure is pending — the mailbox is about to be flushed by the
+// recovery reset, so deliveries during the abort window are dropped
+// rather than left to wedge on a full mailbox).
 func (ib *inbox) put(m message) bool {
 	w := ib.world
 	ib.mu.Lock()
 	for w.mailboxCap > 0 && len(ib.msgs) >= w.mailboxCap {
-		if w.poisoned.Load() {
+		if w.poisoned.Load() || w.life.failure.Load() != nil {
 			ib.mu.Unlock()
 			return false
 		}
 		atomic.AddInt64(&w.net.BackpressureStalls, 1)
 		ib.cond.Wait()
 	}
-	if w.poisoned.Load() {
+	if w.poisoned.Load() || w.life.failure.Load() != nil {
 		ib.mu.Unlock()
 		return false
 	}
@@ -87,16 +89,27 @@ func (ib *inbox) put(m message) bool {
 }
 
 // take removes and returns the first message matching (src, tag), blocking
-// until one arrives.  src < 0 matches any source.  It panics if the world
-// is poisoned, which is how rank goroutines leaked by a watchdog timeout
-// are terminated instead of blocking forever.
-func (ib *inbox) take(src, tag int) message {
+// until one arrives.  src < 0 matches any source.  It panics with a typed
+// *CommError if the world is poisoned (which is how rank goroutines leaked
+// by a watchdog timeout are terminated instead of blocking forever), if a
+// rank death or deadline failure is broadcast while waiting, or — when dl
+// is non-zero — once the deadline passes without a matching message.
+func (ib *inbox) take(src, tag int, dl time.Time, op string) message {
 	w := ib.world
+	if !dl.IsZero() {
+		// cond.Wait has no timeout; an external waker makes the loop
+		// re-check the clock when the deadline lapses.
+		waker := time.AfterFunc(time.Until(dl), ib.cond.Broadcast)
+		defer waker.Stop()
+	}
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
 	for {
 		if w.poisoned.Load() {
-			panic(poisonedMsg)
+			panic(poisonErr)
+		}
+		if fe := w.life.failure.Load(); fe != nil {
+			panic(fe)
 		}
 		for i, m := range ib.msgs {
 			if m.tag == tag && (src < 0 || m.src == src) {
@@ -106,31 +119,19 @@ func (ib *inbox) take(src, tag int) message {
 				return m
 			}
 		}
+		if !dl.IsZero() && time.Now().After(dl) {
+			ce := &CommError{Kind: FailureDeadline, Rank: ib.rank, Op: op}
+			// Publish the failure so every other rank aborts too and the
+			// world converges on the recovery rendezvous; panic with the
+			// published failure (an earlier one wins the race).  The wake
+			// broadcast takes every inbox lock, so release ours around it.
+			ib.mu.Unlock()
+			w.raiseFailure(ce)
+			ib.mu.Lock()
+			panic(w.life.failure.Load())
+		}
 		ib.cond.Wait()
 	}
-}
-
-// summary describes the pending contents for the watchdog dump.
-func (ib *inbox) summary() string {
-	ib.mu.Lock()
-	defer ib.mu.Unlock()
-	if len(ib.msgs) == 0 {
-		return "empty"
-	}
-	tags := make(map[int]int)
-	for _, m := range ib.msgs {
-		tags[m.tag]++
-	}
-	keys := make([]int, 0, len(tags))
-	for t := range tags {
-		keys = append(keys, t)
-	}
-	sort.Ints(keys)
-	parts := make([]string, 0, len(keys))
-	for _, t := range keys {
-		parts = append(parts, fmt.Sprintf("tag %d ×%d", t, tags[t]))
-	}
-	return fmt.Sprintf("%d pending [%s]", len(ib.msgs), strings.Join(parts, ", "))
 }
 
 // Stats counts logical messages and payload bytes, plus the mailbox
@@ -210,7 +211,9 @@ func (st *rankState) snapshot() (phase, op string, since time.Time) {
 	return st.phase, st.op, st.since
 }
 
-const poisonedMsg = "comm: world is poisoned (a watchdog timeout or Close tore it down); create a new World"
+// poisonErr is the shared typed panic value for operations on a poisoned
+// world (errors.Is(…, ErrPoisoned) holds).
+var poisonErr = &CommError{Kind: FailurePoisoned, Rank: -1}
 
 // World is a group of P communicating ranks.
 type World struct {
@@ -235,6 +238,15 @@ type World struct {
 	poisoned  atomic.Bool
 	closeCh   chan struct{}
 	closeOnce sync.Once
+
+	// life holds the crash-fault state: dead ranks, the broadcast failure
+	// flag, the packet incarnation, armed crash points and the recovery
+	// rendezvous (lifecycle.go).
+	life lifecycle
+
+	// lastFailure is the structured report captured by the most recent
+	// watchdog or panic-grace escalation (report.go).
+	lastFailure atomic.Pointer[FailureReport]
 
 	statsMu  sync.Mutex
 	stats    map[string]Stats // per phase label
@@ -278,6 +290,11 @@ func NewWorldTransport(p int, tr Transport) *World {
 		}
 	}
 	tr.Start(w.onPacket)
+	// A transport that models rank death (CrashTransport) reports seeded
+	// kills upward so the logical layer raises the typed failure.
+	if ct, ok := tr.(interface{ SetKillHook(func(int)) }); ok {
+		ct.SetKillHook(w.KillRank)
+	}
 	if !w.reliable {
 		go w.retransmitter()
 	}
@@ -341,23 +358,24 @@ func (w *World) Close() {
 // poison marks the world dead and wakes every blocked goroutine so that
 // rank goroutines leaked by a watchdog timeout terminate (by panicking on
 // their next — or current — comm operation) instead of silently mutating
-// shared state forever.
+// shared state forever.  Safe and idempotent under concurrent callers:
+// the flag is atomic, teardown runs once, and the wake broadcast is
+// harmless to repeat.  Waiters are woken before the transport stops,
+// because a transport that drains its in-flight deliveries on Stop
+// (ChaosTransport) may be blocked in a mailbox put that only the
+// poisoned-flag re-check can release.
 func (w *World) poison() {
 	w.poisoned.Store(true)
+	w.wakeAll()
 	w.closeOnce.Do(func() {
 		close(w.closeCh)
 		w.transport.Stop()
 	})
-	for _, ib := range w.inboxes {
-		ib.mu.Lock() // ensure waiters are between checks, not mid-scan
-		ib.mu.Unlock()
-		ib.cond.Broadcast()
-	}
 }
 
 func (w *World) checkLive() {
 	if w.poisoned.Load() {
-		panic(poisonedMsg)
+		panic(poisonErr)
 	}
 }
 
@@ -421,13 +439,13 @@ func (w *World) Run(fn func(c *Comm)) {
 				graceC = t.C
 			}
 		case <-graceC:
-			dump := w.stuckDump()
+			dump := w.escalate("panic-grace")
 			w.poison()
 			collected = append(collected, drainPanics(panics)...)
 			panic(fmt.Sprintf("%s\ncomm: remaining ranks did not finish within %v of the first panic; per-rank state:\n%s",
 				aggregatePanics(collected), panicGrace, dump))
 		case <-watchdogC:
-			dump := w.stuckDump()
+			dump := w.escalate("watchdog")
 			w.poison()
 			collected = append(collected, drainPanics(panics)...)
 			msg := fmt.Sprintf("comm: watchdog: world of %d ranks did not finish within %v "+
@@ -461,28 +479,15 @@ func aggregatePanics(collected []string) string {
 		len(collected), strings.Join(collected, "\n  "))
 }
 
-// stuckDump renders the per-rank diagnostic the watchdog reports: phase,
-// the comm operation the rank is blocked in and for how long, and the
-// pending mailbox contents; plus, on an unreliable transport, the channels
-// with unacknowledged packets.
-func (w *World) stuckDump() string {
-	var b strings.Builder
-	for r := 0; r < w.size; r++ {
-		phase, op, since := w.states[r].snapshot()
-		fmt.Fprintf(&b, "  rank %d: phase %q: ", r, phase)
-		if op == "" {
-			b.WriteString("running (not blocked in comm)")
-		} else {
-			fmt.Fprintf(&b, "blocked %v in %s", time.Since(since).Round(time.Millisecond), op)
-		}
-		fmt.Fprintf(&b, "; inbox %s\n", w.inboxes[r].summary())
-	}
-	if !w.reliable {
-		if lines := w.unackedSummary(); len(lines) > 0 {
-			fmt.Fprintf(&b, "  unacked channels: %s\n", strings.Join(lines, ", "))
-		}
-	}
-	return strings.TrimRight(b.String(), "\n")
+// escalate captures the structured FailureReport the watchdog (or the
+// panic-grace path) escalates with — which ranks are blocked where, what
+// every mailbox holds, which reliable channels have unacked packets —
+// stores it for LastFailure, and returns the human-readable rendering for
+// the panic message.
+func (w *World) escalate(kind string) string {
+	r := w.buildReport(kind, w.timeout)
+	w.lastFailure.Store(r)
+	return r.String()
 }
 
 // PhaseStats returns the accumulated statistics for one phase label.
@@ -556,6 +561,13 @@ type Comm struct {
 	st    *rankState
 	phase string
 	seq   int // collective sequence number for tag generation
+
+	// phaseOps counts comm operations since the last SetPhase, which is
+	// what armed crash points (World.ArmCrash) trigger on.
+	phaseOps int
+	// deadline, when positive, bounds every subsequent blocking receive;
+	// expiry panics with a FailureDeadline CommError (SetDeadline).
+	deadline time.Duration
 }
 
 // Rank returns this endpoint's rank in [0, Size).
@@ -564,10 +576,51 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the number of ranks in the world.
 func (c *Comm) Size() int { return c.world.size }
 
-// SetPhase labels subsequent traffic for statistics attribution.
+// SetPhase labels subsequent traffic for statistics attribution.  Phase
+// entry is also a crash-injection site: an armed crash point targeting
+// this phase with AfterOps == 0 fires here, which is how zero-traffic
+// phases (and single-rank worlds) still exercise mid-phase death.
 func (c *Comm) SetPhase(phase string) {
 	c.phase = phase
+	c.phaseOps = 0
 	c.st.setPhase(phase)
+	c.maybeCrash()
+}
+
+// SetDeadline bounds every subsequent blocking receive (point-to-point
+// and inside collectives) by d: an operation that waits longer panics
+// with a FailureDeadline *CommError, which also raises the world failure
+// flag so all ranks converge on the recovery rendezvous.  The deadline is
+// armed per operation, not cumulative.  d <= 0 disables (the default).
+// Deadlines are the failure detector for silent rank death: a crashed
+// peer never sends, so the receive times out even when nothing explicitly
+// reported the crash.
+func (c *Comm) SetDeadline(d time.Duration) { c.deadline = d }
+
+// Failure returns the pending broadcast failure (a killed rank or an
+// expired deadline somewhere in the world), or nil.  Epoch runners check
+// it after their barrier: a kill that lands after this rank's last
+// operation of the epoch would otherwise go unnoticed until the next
+// blocking op.
+func (c *Comm) Failure() *CommError { return c.world.Failure() }
+
+// ResetCollectiveSeq realigns the collective tag counter.  All ranks call
+// it at every epoch-attempt boundary (forest.RunEpochs): ranks abort an
+// epoch at different points, so after a rollback their counters disagree
+// and collectives would deadlock on mismatched tags.  Safe at any
+// all-ranks synchronization point: every message of a finished epoch has
+// been consumed, and stale in-flight packets of an aborted one are barred
+// by the incarnation check.
+func (c *Comm) ResetCollectiveSeq() { c.seq = 0 }
+
+// noteOp is the per-operation crash/failure gate on the comm fast path:
+// one atomic load each when no crash is armed and no failure is pending.
+func (c *Comm) noteOp() {
+	c.maybeCrash()
+	if fe := c.world.life.failure.Load(); fe != nil {
+		panic(fe)
+	}
+	c.phaseOps++
 }
 
 // Tracer returns the world's attached tracer, or nil.  The nil tracer is
@@ -591,6 +644,7 @@ func (c *Comm) send(dst, tag int, data []byte) {
 		panic(fmt.Sprintf("comm: send to invalid rank %d", dst))
 	}
 	c.world.checkLive()
+	c.noteOp()
 	c.world.record(c.phase, len(data))
 	c.traceSend(len(data))
 	c.world.post(c.rank, dst, tag, data, c.phase)
@@ -626,9 +680,14 @@ func (c *Comm) traceSend(bytes int) {
 // recvBlocking performs a blocking mailbox take with the rank's published
 // state set to op, so the watchdog can name what this rank is waiting for.
 func (c *Comm) recvBlocking(src, tag int, op string) message {
+	c.noteOp()
+	var dl time.Time
+	if c.deadline > 0 {
+		dl = time.Now().Add(c.deadline)
+	}
 	c.st.block(op)
 	defer c.st.unblock()
-	return c.world.inboxes[c.rank].take(src, tag)
+	return c.world.inboxes[c.rank].take(src, tag, dl, op)
 }
 
 // Recv blocks until a message with the given tag arrives from rank src and
@@ -685,6 +744,7 @@ func (c *Comm) Barrier() {
 
 func (c *Comm) sendCollective(dst, tag int, data []byte) {
 	c.world.checkLive()
+	c.noteOp()
 	c.world.record(c.phase, len(data))
 	c.traceSend(len(data))
 	c.world.post(c.rank, dst, tag, data, c.phase)

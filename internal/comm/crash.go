@@ -1,0 +1,149 @@
+package comm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// CrashConfig parameterizes seeded rank-kill injection at the transport
+// level, extending the chaos fate model from packet faults to process
+// faults.  The zero value kills nothing.
+type CrashConfig struct {
+	// Seed drives the kill decisions.  Whether and when a rank dies is a
+	// pure function of (Seed, rank): the victim's fate fires after a
+	// seeded number of first-attempt data packets from that rank, which is
+	// deterministic because logical sends happen in program order on the
+	// sender's goroutine (retransmissions carry Attempt > 0 and never
+	// count).
+	Seed uint64
+
+	// KillPct is the per-rank probability (percent, 0..100) that the rank
+	// crashes at some point.
+	KillPct int
+
+	// MinPackets/MaxPackets bound the seeded packet count after which a
+	// doomed rank dies (inclusive; defaults 1..16 when zero).
+	MinPackets, MaxPackets int
+
+	// MaxKills bounds how many ranks die in total (default 1).  Kills
+	// beyond the bound are suppressed, so a world always keeps at least
+	// one survivable configuration.
+	MaxKills int
+}
+
+// CrashTransport wraps an inner transport with a rank-death model:
+// KillRank drops every subsequent packet from or to the dead rank at the
+// wire (crashed processes neither send nor receive), RespawnRank restores
+// delivery, and a seeded fate kills doomed ranks mid-traffic after a
+// deterministic number of their own data packets.  Kills are reported to
+// the World through the hook NewWorldTransport installs, which marks the
+// rank dead at the logical layer and raises the typed failure every
+// surviving rank aborts with.
+type CrashTransport struct {
+	inner Transport
+	cfg   CrashConfig
+
+	killHook atomic.Pointer[func(rank int)]
+
+	mu    sync.Mutex
+	dead  map[int]bool
+	sent  map[int]int // first-attempt data packets per source rank
+	kills int
+
+	dropped atomic.Int64
+}
+
+// NewCrashTransport wraps inner with the crash model.  inner may be any
+// transport — NewPerfectTransport for pure kill injection, a
+// ChaosTransport to combine packet faults with rank death.
+func NewCrashTransport(inner Transport, cfg CrashConfig) *CrashTransport {
+	if cfg.MinPackets <= 0 {
+		cfg.MinPackets = 1
+	}
+	if cfg.MaxPackets < cfg.MinPackets {
+		cfg.MaxPackets = cfg.MinPackets + 15
+	}
+	if cfg.MaxKills <= 0 {
+		cfg.MaxKills = 1
+	}
+	return &CrashTransport{inner: inner, cfg: cfg, dead: make(map[int]bool), sent: make(map[int]int)}
+}
+
+func (t *CrashTransport) Start(deliver func(Packet)) { t.inner.Start(deliver) }
+
+func (t *CrashTransport) Reliable() bool { return t.inner.Reliable() }
+
+func (t *CrashTransport) Stop() { t.inner.Stop() }
+
+// SetKillHook installs the callback invoked (outside the transport lock)
+// when a seeded fate kills a rank.  NewWorldTransport wires it to
+// World.KillRank; the hook may be nil.
+func (t *CrashTransport) SetKillHook(fn func(rank int)) {
+	if fn == nil {
+		t.killHook.Store(nil)
+		return
+	}
+	t.killHook.Store(&fn)
+}
+
+// KillRank marks rank dead at the wire: packets from or to it are
+// dropped until RespawnRank.
+func (t *CrashTransport) KillRank(rank int) {
+	t.mu.Lock()
+	t.dead[rank] = true
+	t.mu.Unlock()
+}
+
+// RespawnRank restores delivery for rank.
+func (t *CrashTransport) RespawnRank(rank int) {
+	t.mu.Lock()
+	delete(t.dead, rank)
+	t.mu.Unlock()
+}
+
+// Dropped reports how many packets were discarded because an endpoint was
+// dead.
+func (t *CrashTransport) Dropped() int64 { return t.dropped.Load() }
+
+// doom returns the first-attempt data-packet count at which rank dies, or
+// 0 if the seed spares it.
+func (t *CrashTransport) doom(rank int) int {
+	if t.cfg.KillPct <= 0 {
+		return 0
+	}
+	h := splitmix64(t.cfg.Seed ^ 0x4b49_4c4c ^ uint64(uint32(rank)))
+	if int(h%100) >= t.cfg.KillPct {
+		return 0
+	}
+	span := t.cfg.MaxPackets - t.cfg.MinPackets + 1
+	return t.cfg.MinPackets + int((h>>8)%uint64(span))
+}
+
+func (t *CrashTransport) Send(p Packet) {
+	var fire bool
+	t.mu.Lock()
+	if p.Kind == PacketData && p.Attempt == 0 && !t.dead[p.Src] && t.kills < t.cfg.MaxKills {
+		t.sent[p.Src]++
+		if d := t.doom(p.Src); d > 0 && t.sent[p.Src] >= d {
+			t.dead[p.Src] = true
+			t.kills++
+			fire = true
+		}
+	}
+	drop := t.dead[p.Src] || t.dead[p.Dst]
+	t.mu.Unlock()
+	if fire {
+		if hp := t.killHook.Load(); hp != nil {
+			(*hp)(p.Src)
+		}
+		// The crash lands mid-send: the packet that crossed the threshold
+		// is itself lost with the process.
+		t.dropped.Add(1)
+		return
+	}
+	if drop {
+		t.dropped.Add(1)
+		return
+	}
+	t.inner.Send(p)
+}

@@ -1,0 +1,105 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed failure surface of the communication layer.  Before crash-fault
+// tolerance existed the only teardown path was poisoning: every blocked
+// rank panicked with one opaque string.  Recovery needs to distinguish
+// *why* an operation aborted — a dead peer and an expired deadline are
+// recoverable (the epoch runner rolls the world back to a checkpoint), a
+// poisoned world is not — so comm operations now panic with a *CommError
+// that wraps one of the sentinel errors below.  errors.Is works through
+// the wrapper, and AsCommError recovers the typed value from a panic.
+
+// Sentinel errors identifying the failure classes.  Compare with
+// errors.Is; the concrete value carried by panics is a *CommError.
+var (
+	// ErrPoisoned: the world was torn down by Close or a watchdog timeout.
+	// Not recoverable; create a new World.
+	ErrPoisoned = errors.New("comm: world is poisoned (a watchdog timeout or Close tore it down); create a new World")
+	// ErrRankDead: a rank was killed (KillRank or a CrashTransport fate).
+	// Recoverable through the Rejoin rendezvous.
+	ErrRankDead = errors.New("comm: rank is dead")
+	// ErrDeadline: a blocking operation exceeded the deadline armed with
+	// SetDeadline.  Recoverable the same way; deadlines act as a failure
+	// detector when no explicit kill notification exists.
+	ErrDeadline = errors.New("comm: deadline exceeded")
+)
+
+// FailureKind classifies a CommError.
+type FailureKind int
+
+const (
+	// FailurePoisoned is a terminal teardown (Close or watchdog).
+	FailurePoisoned FailureKind = iota
+	// FailureRankDead is a killed rank: Rank names the victim.
+	FailureRankDead
+	// FailureDeadline is an expired per-operation deadline: Rank names the
+	// rank whose operation timed out.
+	FailureDeadline
+)
+
+func (k FailureKind) String() string {
+	switch k {
+	case FailurePoisoned:
+		return "poisoned"
+	case FailureRankDead:
+		return "rank-dead"
+	case FailureDeadline:
+		return "deadline"
+	}
+	return fmt.Sprintf("failure(%d)", int(k))
+}
+
+// CommError is the typed value comm operations panic with when the world
+// fails underneath them.  Recover it with AsCommError; classify it with
+// Kind or errors.Is against the sentinels.
+type CommError struct {
+	Kind FailureKind
+	// Rank is the failed rank: the dead rank for FailureRankDead, the rank
+	// whose operation timed out for FailureDeadline, -1 when not rank
+	// specific.
+	Rank int
+	// Op describes the operation that surfaced the failure ("" when the
+	// failure was raised outside a blocking op).
+	Op string
+}
+
+func (e *CommError) Error() string {
+	switch e.Kind {
+	case FailureRankDead:
+		if e.Op != "" {
+			return fmt.Sprintf("comm: rank %d is dead (detected in %s)", e.Rank, e.Op)
+		}
+		return fmt.Sprintf("comm: rank %d is dead", e.Rank)
+	case FailureDeadline:
+		if e.Op != "" {
+			return fmt.Sprintf("comm: rank %d: deadline exceeded in %s", e.Rank, e.Op)
+		}
+		return fmt.Sprintf("comm: rank %d: deadline exceeded", e.Rank)
+	}
+	return ErrPoisoned.Error()
+}
+
+// Unwrap maps the error onto its sentinel so errors.Is(err, ErrRankDead)
+// and friends work.
+func (e *CommError) Unwrap() error {
+	switch e.Kind {
+	case FailureRankDead:
+		return ErrRankDead
+	case FailureDeadline:
+		return ErrDeadline
+	}
+	return ErrPoisoned
+}
+
+// AsCommError extracts the typed comm failure from a recovered panic
+// value, or reports false for panics that are not comm failures (real
+// bugs, which callers must re-raise).
+func AsCommError(p any) (*CommError, bool) {
+	ce, ok := p.(*CommError)
+	return ce, ok
+}

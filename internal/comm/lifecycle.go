@@ -1,0 +1,353 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Rank lifecycle: crash-fault injection and coordinated recovery.
+//
+// A "kill" simulates the crash of one rank's process.  The rank is marked
+// dead on the World (and on the transport, if it participates — see
+// CrashTransport): packets from it are dropped at the wire, its own comm
+// operations panic with a FailureRankDead CommError, and every other rank
+// aborts its current operation with the same error the next time it
+// blocks or sends.  The rank goroutine itself does not terminate — the
+// epoch runner (forest.RunEpochs) recovers the panic, waits out the
+// configured respawn delay, and rejoins.
+//
+// Recovery is a coordinated rollback.  Collectives cannot complete with a
+// dead peer, and a survivor may have finished the epoch barrier before
+// the victim's death became visible, so per-rank "catch-up" recovery is
+// unsound under epoch skew.  Instead, every rank — the respawned victim
+// and all survivors — converges on the Rejoin rendezvous, a world-level
+// synchronization point outside the message layer.  The last rank to
+// arrive resets the entire message layer (mailboxes flushed, reliable
+// seq/ack state zeroed, the packet incarnation bumped so deliveries
+// belonging to the aborted epoch are discarded at arrival, dead marks and
+// the failure flag cleared) and the rendezvous agrees on the minimum
+// checkpointed epoch over all ranks, which is where deterministic replay
+// restarts.  Determinism of the epoch bodies then guarantees the replay
+// reproduces the fault-free run bit for bit.
+
+// LifecycleStats counts rank-lifecycle events on a World.
+type LifecycleStats struct {
+	// Kills is the number of KillRank calls that found the rank alive.
+	Kills int64
+	// Respawns is the number of dead ranks revived (explicitly or by a
+	// recovery reset).
+	Respawns int64
+	// Recoveries is the number of Rejoin rendezvous that performed a
+	// message-layer reset.
+	Recoveries int64
+}
+
+// lifecycle is the World's crash/recovery state.
+type lifecycle struct {
+	mu   sync.Mutex
+	dead map[int]bool // ranks killed and not yet respawned
+
+	// failure is the broadcast failure every comm operation checks: the
+	// first kill or deadline expiry publishes its CommError here, all
+	// ranks abort with it, and the recovery reset clears it.
+	failure atomic.Pointer[CommError]
+
+	// incarnation stamps outgoing packets; the reset bumps it, so
+	// deliveries that were in flight when an epoch aborted (chaos-delayed
+	// copies, racing retransmissions) are recognized as stale and dropped
+	// in onPacket regardless of what channel state they would land in.
+	incarnation atomic.Uint64
+
+	// crash is the armed crash point, nil when crash injection is off —
+	// one atomic load on the comm fast path.
+	crash atomic.Pointer[crashPoint]
+
+	// rendezvous is the reusable recovery barrier.
+	rvMu      sync.Mutex
+	rvCond    *sync.Cond
+	rvWaiting int
+	rvGen     uint64
+	rvMin     int  // min checkpoint epoch of the arrivals so far
+	rvFailed  bool // any arrival reported a failure this round
+	rvTarget  int  // published decision of the completed round
+	rvRecover bool
+
+	kills     atomic.Int64
+	respawns  atomic.Int64
+	recovered atomic.Int64
+}
+
+// crashPoint is one armed simulated crash: rank Rank is killed the first
+// time it is inside phase Phase with AfterOps comm operations already
+// completed in that phase.  Points are one-shot: once fired they never
+// fire again, so the recovery replay of the same phase survives.
+type crashPoint struct {
+	Rank     int
+	Phase    string // "" matches any phase
+	AfterOps int    // 0 fires at phase entry
+	fired    atomic.Bool
+}
+
+// ArmCrash schedules a simulated crash of rank during phase, after
+// afterOps comm operations have completed inside that phase (0 kills at
+// phase entry; an empty phase matches any).  One point is armed at a
+// time; arming replaces any previous point.  The point is one-shot, so
+// the recovery replay of the interrupted epoch does not re-kill.
+func (w *World) ArmCrash(rank int, phase string, afterOps int) {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("comm: ArmCrash: invalid rank %d", rank))
+	}
+	w.life.crash.Store(&crashPoint{Rank: rank, Phase: phase, AfterOps: afterOps})
+}
+
+// maybeCrash fires the armed crash point if it matches this rank's
+// current position.  Called at phase entry and before every comm op.
+func (c *Comm) maybeCrash() {
+	cp := c.world.life.crash.Load()
+	if cp == nil || cp.Rank != c.rank {
+		return
+	}
+	if cp.Phase != "" && cp.Phase != c.phase {
+		return
+	}
+	if c.phaseOps < cp.AfterOps {
+		return
+	}
+	if !cp.fired.CompareAndSwap(false, true) {
+		return
+	}
+	c.world.KillRank(c.rank)
+	panic(&CommError{Kind: FailureRankDead, Rank: c.rank, Op: fmt.Sprintf("crash point (phase %q, after %d ops)", c.phase, c.phaseOps)})
+}
+
+// KillRank simulates the crash of rank r: the rank is marked dead, the
+// shared failure flag is raised so every rank's next comm operation
+// aborts with a FailureRankDead error, all blocked operations are woken,
+// and — if the transport models rank death (CrashTransport) — its packets
+// are dropped at the wire.  Idempotent while the rank stays dead.
+func (w *World) KillRank(r int) {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("comm: KillRank: invalid rank %d", r))
+	}
+	l := &w.life
+	l.mu.Lock()
+	if l.dead == nil {
+		l.dead = make(map[int]bool)
+	}
+	already := l.dead[r]
+	l.dead[r] = true
+	l.mu.Unlock()
+	if already {
+		return
+	}
+	l.kills.Add(1)
+	w.Tracer().Add(r, obs.CounterKills, 1)
+	l.failure.CompareAndSwap(nil, &CommError{Kind: FailureRankDead, Rank: r})
+	if kt, ok := w.transport.(interface{ KillRank(int) }); ok {
+		kt.KillRank(r)
+	}
+	w.wakeAll()
+}
+
+// RespawnRank revives a dead rank so its traffic flows again.  The
+// recovery rendezvous calls this for every dead rank as part of its
+// reset; it is exported for transport-level tests that manage the
+// lifecycle by hand.  Respawning does NOT clear the failure flag or
+// channel state — only Rejoin restores a consistent world.
+func (w *World) RespawnRank(r int) {
+	l := &w.life
+	l.mu.Lock()
+	was := l.dead[r]
+	delete(l.dead, r)
+	l.mu.Unlock()
+	if !was {
+		return
+	}
+	l.respawns.Add(1)
+	w.Tracer().Add(r, obs.CounterRespawns, 1)
+	if rt, ok := w.transport.(interface{ RespawnRank(int) }); ok {
+		rt.RespawnRank(r)
+	}
+}
+
+// RankDead reports whether rank r is currently dead.
+func (w *World) RankDead(r int) bool {
+	l := &w.life
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dead[r]
+}
+
+// Failure returns the pending broadcast failure, or nil on a healthy
+// world.  It is cleared by the Rejoin recovery reset.
+func (w *World) Failure() *CommError { return w.life.failure.Load() }
+
+// raiseFailure publishes a failure (first one wins) and wakes every
+// blocked operation so all ranks abort and converge on the rendezvous.
+func (w *World) raiseFailure(ce *CommError) {
+	if w.life.failure.CompareAndSwap(nil, ce) {
+		w.wakeAll()
+	}
+}
+
+// LifecycleStats returns a snapshot of kill/respawn/recovery counters.
+func (w *World) LifecycleStats() LifecycleStats {
+	return LifecycleStats{
+		Kills:      w.life.kills.Load(),
+		Respawns:   w.life.respawns.Load(),
+		Recoveries: w.life.recovered.Load(),
+	}
+}
+
+// Incarnation returns the current packet incarnation (bumped by every
+// recovery reset).
+func (w *World) Incarnation() uint64 { return w.life.incarnation.Load() }
+
+// wakeAll broadcasts every inbox condition plus the rendezvous, so ranks
+// blocked anywhere in the comm layer re-check the failure flag.
+func (w *World) wakeAll() {
+	for _, ib := range w.inboxes {
+		ib.mu.Lock() // ensure waiters are between checks, not mid-scan
+		ib.mu.Unlock()
+		ib.cond.Broadcast()
+	}
+	l := &w.life
+	l.rvMu.Lock()
+	if l.rvCond != nil {
+		l.rvCond.Broadcast()
+	}
+	l.rvMu.Unlock()
+}
+
+// Rejoin is the recovery rendezvous.  Every rank of the world must call
+// it after an epoch completed (failed == false) or aborted with a
+// recoverable CommError (failed == true); ckptEpoch is the caller's
+// newest restorable checkpoint epoch.  Rejoin blocks until all ranks have
+// arrived.  If any arrival reported a failure — or the world failure flag
+// is raised, covering a kill that landed after its victim's last
+// operation — the last arrival resets the message layer and every caller
+// gets (minimum checkpoint epoch over all ranks, true): restore that
+// checkpoint and replay.  Otherwise every caller gets (0, false): the
+// epoch sequence is complete on all ranks and it is safe to exit.
+//
+// The exit case matters: a rank that simply returned after its last epoch
+// could never be pulled into a recovery its peers still need, so ranks
+// only leave the epoch loop through a unanimous all-done rendezvous.
+func (c *Comm) Rejoin(ckptEpoch int, failed bool) (target int, recovered bool) {
+	return c.world.rejoin(ckptEpoch, failed)
+}
+
+func (w *World) rejoin(ckptEpoch int, failed bool) (int, bool) {
+	l := &w.life
+	l.rvMu.Lock()
+	if l.rvCond == nil {
+		l.rvCond = sync.NewCond(&l.rvMu)
+	}
+	if l.rvWaiting == 0 {
+		l.rvMin = math.MaxInt
+		l.rvFailed = false
+	}
+	if ckptEpoch < l.rvMin {
+		l.rvMin = ckptEpoch
+	}
+	if failed {
+		l.rvFailed = true
+	}
+	l.rvWaiting++
+	if l.rvWaiting == w.size {
+		// Last arrival: decide and release the round.  The failure flag is
+		// consulted in addition to the arrivals' own reports — a kill that
+		// landed after its victim's final operation leaves every rank
+		// reporting success with the flag still raised.
+		needReset := l.rvFailed || l.failure.Load() != nil
+		if needReset {
+			w.resetMessageLayer()
+			l.recovered.Add(1)
+		}
+		l.rvTarget, l.rvRecover = l.rvMin, needReset
+		l.rvWaiting = 0
+		l.rvGen++
+		l.rvCond.Broadcast()
+		t, r := l.rvTarget, l.rvRecover
+		l.rvMu.Unlock()
+		return t, r
+	}
+	gen := l.rvGen
+	for l.rvGen == gen {
+		if w.poisoned.Load() {
+			l.rvMu.Unlock()
+			panic(poisonErr)
+		}
+		l.rvCond.Wait()
+	}
+	t, r := l.rvTarget, l.rvRecover
+	l.rvMu.Unlock()
+	return t, r
+}
+
+// resetMessageLayer restores the comm layer to its initial state while
+// every rank goroutine is parked inside the rendezvous: bump the packet
+// incarnation (so in-flight deliveries of the aborted epoch are dropped
+// on arrival), flush every mailbox, zero the reliable-layer channel state
+// recycling its pooled wire copies, clear dead marks, and drop the
+// failure flag.  Transport goroutines may still be delivering concurrently;
+// the incarnation bump happens first and onPacket re-checks it under the
+// channel locks, so stale packets cannot repollute the fresh state.
+func (w *World) resetMessageLayer() {
+	l := &w.life
+	l.incarnation.Add(1)
+
+	for _, ib := range w.inboxes {
+		ib.mu.Lock()
+		ib.msgs = nil
+		ib.mu.Unlock()
+		ib.cond.Broadcast() // senders blocked on a full mailbox re-check
+	}
+	// The flushed messages never reach noteDequeue, so the in-flight
+	// accounting restarts from zero with them.
+	w.statsMu.Lock()
+	for k := range w.inflight {
+		w.inflight[k] = 0
+	}
+	w.statsMu.Unlock()
+
+	if !w.reliable {
+		for _, ch := range w.sendChans {
+			ch.mu.Lock()
+			for _, pd := range ch.unacked {
+				PutBuf(pd.pkt.Data)
+			}
+			ch.unacked = make(map[uint64]*pending)
+			ch.nextSeq = 0
+			ch.mu.Unlock()
+		}
+		for _, rc := range w.recvChans {
+			rc.mu.Lock()
+			for _, p := range rc.held {
+				PutBuf(p.Data)
+			}
+			rc.held = make(map[uint64]Packet)
+			for _, p := range rc.queue {
+				PutBuf(p.Data)
+			}
+			rc.queue = nil
+			rc.expected = 0
+			rc.mu.Unlock()
+		}
+	}
+
+	l.mu.Lock()
+	dead := make([]int, 0, len(l.dead))
+	for r := range l.dead {
+		dead = append(dead, r)
+	}
+	l.mu.Unlock()
+	for _, r := range dead {
+		w.RespawnRank(r)
+	}
+	l.failure.Store(nil)
+}

@@ -1,0 +1,397 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recoverComm runs fn and returns the CommError it panicked with (nil if
+// it returned normally).  Non-comm panics propagate.
+func recoverComm(fn func()) (ce *CommError) {
+	defer func() {
+		if r := recover(); r != nil {
+			var ok bool
+			if ce, ok = AsCommError(r); !ok {
+				panic(r)
+			}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// TestKillRankAbortsWithTypedError kills a rank mid-exchange and requires
+// every rank — the victim on its own next operation, the others on theirs,
+// blocked or not — to abort with the same typed FailureRankDead error.
+func TestKillRankAbortsWithTypedError(t *testing.T) {
+	const p, victim = 3, 1
+	w := NewWorld(p)
+	defer w.Close()
+	w.SetTimeout(time.Minute)
+	errs := make([]*CommError, p)
+	w.Run(func(c *Comm) {
+		errs[c.Rank()] = recoverComm(func() {
+			if c.Rank() == 0 {
+				w.KillRank(victim)
+				c.Recv(victim, 1) // never satisfiable
+			} else {
+				c.Recv((c.Rank()+1)%p, 7) // both peers block until the kill
+			}
+		})
+	})
+	for r, ce := range errs {
+		if ce == nil {
+			t.Fatalf("rank %d completed despite the kill", r)
+		}
+		if ce.Kind != FailureRankDead || ce.Rank != victim {
+			t.Fatalf("rank %d: error %v, want FailureRankDead rank %d", r, ce, victim)
+		}
+		if !errors.Is(ce, ErrRankDead) {
+			t.Fatalf("rank %d: %v does not unwrap to ErrRankDead", r, ce)
+		}
+	}
+	if ls := w.LifecycleStats(); ls.Kills != 1 {
+		t.Fatalf("lifecycle %+v, want 1 kill", ls)
+	}
+	if w.RankDead(victim) != true || w.RankDead(0) {
+		t.Fatal("dead-rank bookkeeping wrong")
+	}
+}
+
+// TestDeadlineRecvTypedError arms a per-op deadline on a Recv that can
+// never be satisfied and requires the typed FailureDeadline error instead
+// of a hang-until-watchdog.
+func TestDeadlineRecvTypedError(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	w.SetTimeout(time.Minute)
+	var errs [2]*CommError
+	w.Run(func(c *Comm) {
+		errs[c.Rank()] = recoverComm(func() {
+			if c.Rank() == 0 {
+				c.SetPhase("waiting")
+				c.SetDeadline(30 * time.Millisecond)
+				c.Recv(1, 9) // never sent
+			} else {
+				c.Recv(0, 9) // aborted by the broadcast failure
+			}
+		})
+	})
+	ce := errs[0]
+	if ce == nil || ce.Kind != FailureDeadline || !errors.Is(ce, ErrDeadline) {
+		t.Fatalf("rank 0 error = %v, want typed FailureDeadline", ce)
+	}
+	if !strings.Contains(ce.Error(), "Recv(src=1, tag=9)") {
+		t.Fatalf("deadline error does not name the stuck op: %v", ce)
+	}
+	if errs[1] == nil {
+		t.Fatal("rank 1 was not aborted by the broadcast failure")
+	}
+}
+
+// TestRejoinResetsMessageLayer kills a rank mid-flood on an unreliable
+// (chaos) transport, recovers through the Rejoin rendezvous, and floods
+// again: the reset must restore seq/ack/dedup state so post-recovery
+// delivery is exactly-once in-order even with stale retransmissions of
+// the aborted epoch still in flight.
+func TestRejoinResetsMessageLayer(t *testing.T) {
+	const p, n = 3, 60
+	w, _ := chaosWorld(t, p, 1234)
+	incBefore := w.Incarnation()
+	w.Run(func(c *Comm) {
+		killArmed := c.Rank() == 2
+		flood := func() *CommError {
+			return recoverComm(func() {
+				for dst := 0; dst < p; dst++ {
+					if dst == c.Rank() {
+						continue
+					}
+					for i := 0; i < n; i++ {
+						if killArmed && dst == 0 && i == n/2 {
+							killArmed = false // first pass only: kill self mid-flood
+							w.KillRank(2)
+							panic(&CommError{Kind: FailureRankDead, Rank: 2})
+						}
+						c.Send(dst, 4, []byte{byte(c.Rank()), byte(i)})
+					}
+				}
+				for src := 0; src < p; src++ {
+					if src == c.Rank() {
+						continue
+					}
+					for i := 0; i < n; i++ {
+						got := c.Recv(src, 4)
+						if got[0] != byte(src) || got[1] != byte(i) {
+							t.Errorf("rank %d: got src=%d i=%d, want src=%d i=%d",
+								c.Rank(), got[0], got[1], src, i)
+						}
+					}
+				}
+			})
+		}
+		ferr := flood()
+		if c.Rank() == 2 && ferr == nil {
+			t.Error("rank 2 survived its own kill")
+		}
+		if _, recovered := c.Rejoin(0, ferr != nil); !recovered {
+			t.Errorf("rank %d: rendezvous did not recover", c.Rank())
+		}
+		c.ResetCollectiveSeq()
+		if ferr := flood(); ferr != nil {
+			t.Errorf("rank %d: post-recovery flood failed: %v", c.Rank(), ferr)
+		}
+		c.Barrier()
+	})
+	if w.Incarnation() == incBefore {
+		t.Fatal("recovery did not bump the packet incarnation")
+	}
+	ls := w.LifecycleStats()
+	if ls.Kills != 1 || ls.Respawns != 1 || ls.Recoveries != 1 {
+		t.Fatalf("lifecycle %+v", ls)
+	}
+	if w.Failure() != nil {
+		t.Fatalf("failure flag survived recovery: %v", w.Failure())
+	}
+}
+
+// TestCrashTransportDeterministicKill drives the fate logic directly: the
+// doomed rank, the packet count that triggers the kill, and the post-kill
+// drops must be pure functions of the seed.
+func TestCrashTransportDeterministicKill(t *testing.T) {
+	cfg := CrashConfig{Seed: 11, KillPct: 100, MinPackets: 3, MaxPackets: 3}
+	run := func() (killed []int, delivered int64) {
+		tr := NewCrashTransport(NewPerfectTransport(), cfg)
+		var mu sync.Mutex
+		tr.SetKillHook(func(r int) {
+			mu.Lock()
+			killed = append(killed, r)
+			mu.Unlock()
+		})
+		var n int64
+		tr.Start(func(p Packet) { n++ })
+		for i := 0; i < 10; i++ {
+			tr.Send(Packet{Src: 0, Dst: 1, Kind: PacketData, Seq: uint64(i)})
+		}
+		tr.Stop()
+		return killed, n
+	}
+	killed, delivered := run()
+	if len(killed) != 1 || killed[0] != 0 {
+		t.Fatalf("killed = %v, want exactly rank 0", killed)
+	}
+	// MinPackets == MaxPackets == 3: packets 1 and 2 deliver, the third is
+	// lost with the process, everything after is dropped.
+	if delivered != 2 {
+		t.Fatalf("delivered %d packets, want 2", delivered)
+	}
+	killed2, delivered2 := run()
+	if fmt.Sprint(killed) != fmt.Sprint(killed2) || delivered != delivered2 {
+		t.Fatal("same seed produced a different kill pattern")
+	}
+
+	// KillPct 0 spares everyone.
+	tr := NewCrashTransport(NewPerfectTransport(), CrashConfig{Seed: 11})
+	var n int64
+	tr.Start(func(p Packet) { n++ })
+	for i := 0; i < 10; i++ {
+		tr.Send(Packet{Src: 0, Dst: 1, Kind: PacketData, Seq: uint64(i)})
+	}
+	if n != 10 || tr.Dropped() != 0 {
+		t.Fatalf("KillPct 0 still interfered: delivered %d, dropped %d", n, tr.Dropped())
+	}
+}
+
+// TestCrashTransportRespawnRestoresFlow checks the transport-level dead
+// mark: packets of a killed rank are dropped in both directions until
+// RespawnRank clears it.
+func TestCrashTransportRespawnRestoresFlow(t *testing.T) {
+	tr := NewCrashTransport(NewPerfectTransport(), CrashConfig{Seed: 1})
+	var n int64
+	tr.Start(func(p Packet) { n++ })
+	tr.KillRank(1)
+	tr.Send(Packet{Src: 1, Dst: 0, Kind: PacketData})
+	tr.Send(Packet{Src: 0, Dst: 1, Kind: PacketData})
+	tr.Send(Packet{Src: 0, Dst: 2, Kind: PacketData})
+	if n != 1 || tr.Dropped() != 2 {
+		t.Fatalf("delivered %d / dropped %d, want 1 / 2", n, tr.Dropped())
+	}
+	tr.RespawnRank(1)
+	tr.Send(Packet{Src: 1, Dst: 0, Kind: PacketData})
+	if n != 2 {
+		t.Fatal("respawned rank's packet still dropped")
+	}
+}
+
+// TestCloseConcurrentAndIdempotent hammers Close from many goroutines on
+// a finished world — it must be safe, idempotent, and later use must fail
+// with the typed poisoned error.
+func TestCloseConcurrentAndIdempotent(t *testing.T) {
+	w := NewWorldTransport(2, NewChaosTransport(DefaultChaosConfig(5)))
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte{42})
+		} else {
+			c.Recv(0, 1)
+		}
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Close()
+		}()
+	}
+	wg.Wait()
+	w.Close() // still idempotent after the race
+	if !w.Poisoned() {
+		t.Fatal("closed world not poisoned")
+	}
+	defer func() {
+		p := recover()
+		ce, ok := AsCommError(p)
+		if !ok || ce.Kind != FailurePoisoned || !errors.Is(ce, ErrPoisoned) {
+			t.Fatalf("reuse after Close panicked with %v, want typed ErrPoisoned", p)
+		}
+	}()
+	w.Run(func(c *Comm) {})
+}
+
+// TestChaosStopLeaksNoGoroutines is the drain regression test: a chaos
+// world full of delayed deliveries must not leave timer goroutines (or
+// blocked delivery goroutines) behind after Close.
+func TestChaosStopLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		cfg := DefaultChaosConfig(uint64(7000 + round))
+		cfg.DelayPct = 80
+		cfg.MaxDelay = 5 * time.Millisecond
+		w := NewWorldTransport(3, NewChaosTransport(cfg))
+		w.SetTimeout(time.Minute)
+		w.Run(func(c *Comm) {
+			for i := 0; i < 50; i++ {
+				dst := (c.Rank() + 1) % 3
+				c.Send(dst, 2, []byte{byte(i)})
+			}
+			for i := 0; i < 50; i++ {
+				c.Recv((c.Rank()+2)%3, 2)
+			}
+		})
+		w.Close() // must cancel-or-drain every delayed delivery
+	}
+	// Give exiting goroutines (retransmitter, drained timers) a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestReportNamesStalledCollective checks the structured FailureReport —
+// on-demand and from the watchdog — names the blocked collective, ranks
+// and phase, under both the perfect and the chaos transport.
+func TestReportNamesStalledCollective(t *testing.T) {
+	transports := map[string]func() Transport{
+		"perfect": func() Transport { return NewPerfectTransport() },
+		"chaos":   func() Transport { return NewChaosTransport(DefaultChaosConfig(3)) },
+	}
+	for name, mk := range transports {
+		t.Run(name, func(t *testing.T) {
+			w := NewWorldTransport(3, mk())
+			w.SetTimeout(700 * time.Millisecond)
+			release := make(chan struct{})
+			snap := make(chan *FailureReport, 1)
+			go func() {
+				// Poll the on-demand report until the stall is visible.
+				for {
+					r := w.Report()
+					if len(r.Blocked()) == 2 {
+						snap <- r
+						close(release)
+						return
+					}
+					if w.Poisoned() {
+						snap <- r
+						return
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+			}()
+			func() {
+				defer func() { recover() }() // watchdog panic, if the race loses
+				w.Run(func(c *Comm) {
+					c.SetPhase("notify")
+					if c.Rank() == 0 {
+						<-release
+						time.Sleep(10 * time.Millisecond)
+						return // never enters the barrier
+					}
+					c.Barrier()
+				})
+			}()
+			w.Close()
+			r := <-snap
+			if r.Kind != "snapshot" || r.WorldSize != 3 {
+				t.Fatalf("report header %q/%d", r.Kind, r.WorldSize)
+			}
+			blocked := r.Blocked()
+			if fmt.Sprint(blocked) != "[1 2]" {
+				t.Fatalf("Blocked() = %v, want [1 2]", blocked)
+			}
+			for _, rank := range blocked {
+				st := r.Ranks[rank]
+				if st.Phase != "notify" || !strings.Contains(st.Op, "Barrier #1") {
+					t.Fatalf("rank %d status %+v, want phase notify blocked in Barrier #1", rank, st)
+				}
+				if st.BlockedFor <= 0 {
+					t.Fatalf("rank %d: BlockedFor not populated: %+v", rank, st)
+				}
+			}
+			text := r.String()
+			for _, want := range []string{`phase "notify"`, "Barrier #1", "rank 0"} {
+				if !strings.Contains(text, want) {
+					t.Fatalf("rendered report missing %q:\n%s", want, text)
+				}
+			}
+		})
+	}
+}
+
+// TestWatchdogStoresFailureReport checks the watchdog's escalation leaves
+// the machine-readable report behind for drivers to persist.
+func TestWatchdogStoresFailureReport(t *testing.T) {
+	w := NewWorld(2)
+	w.SetTimeout(250 * time.Millisecond)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("watchdog did not fire")
+			}
+		}()
+		w.Run(func(c *Comm) {
+			c.SetPhase("ghost")
+			if c.Rank() == 0 {
+				c.Recv(1, 3) // never sent
+			}
+		})
+	}()
+	r := w.LastFailure()
+	if r == nil {
+		t.Fatal("no FailureReport stored")
+	}
+	if r.Kind != "watchdog" || r.Timeout != 250*time.Millisecond {
+		t.Fatalf("report %q timeout %v", r.Kind, r.Timeout)
+	}
+	st := r.Ranks[0]
+	if st.Phase != "ghost" || !strings.Contains(st.Op, "Recv(src=1, tag=3)") {
+		t.Fatalf("rank 0 status %+v", st)
+	}
+}

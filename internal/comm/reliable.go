@@ -69,7 +69,8 @@ func (w *World) recvChan(src, dst int) *recvChan { return w.recvChans[src*w.size
 // layer.  On a reliable transport it is a plain delivery; otherwise it is
 // enrolled in the ack/retry protocol first.
 func (w *World) post(src, dst, tag int, data []byte, phase string) {
-	pkt := Packet{Src: src, Dst: dst, Kind: PacketData, Tag: tag, Data: data, phase: phase}
+	pkt := Packet{Src: src, Dst: dst, Kind: PacketData, Tag: tag, Data: data, phase: phase,
+		Inc: w.life.incarnation.Load()}
 	if !w.reliable {
 		// The packet stays retransmittable until acked, while the receiver
 		// may recycle the delivered buffer as soon as it has decoded it.
@@ -102,6 +103,12 @@ func (w *World) onPacket(p Packet) {
 	if w.poisoned.Load() {
 		return // late deliveries into a dead world are discarded
 	}
+	if p.Inc != w.life.incarnation.Load() {
+		return // stale delivery from an epoch a crash recovery rolled back
+	}
+	if w.life.failure.Load() != nil && w.RankDead(p.Src) {
+		return // a crashed process sends nothing; drop its in-flight traffic
+	}
 	if w.reliable {
 		w.inboxes[p.Dst].put(message{src: p.Src, tag: p.Tag, phase: p.phase, data: p.Data})
 		return
@@ -111,6 +118,14 @@ func (w *World) onPacket(p Packet) {
 		// The ack from p.Src acknowledges the (p.Dst -> p.Src) channel.
 		ch := w.sendChan(p.Dst, p.Src)
 		ch.mu.Lock()
+		if p.Inc != w.life.incarnation.Load() {
+			// Re-check under the channel lock: the recovery reset bumps the
+			// incarnation before clearing channels, so a stale ack that
+			// passed the unlocked check either loses here or its effect is
+			// about to be wiped by the reset holding out for this lock.
+			ch.mu.Unlock()
+			return
+		}
 		for seq, pd := range ch.unacked {
 			if seq < p.Seq {
 				// The retired wire copy was post's own (never shared with
@@ -125,6 +140,10 @@ func (w *World) onPacket(p Packet) {
 	case PacketData:
 		rc := w.recvChan(p.Src, p.Dst)
 		rc.mu.Lock()
+		if p.Inc != w.life.incarnation.Load() {
+			rc.mu.Unlock() // same stale-incarnation re-check as the ack path
+			return
+		}
 		if _, dup := rc.held[p.Seq]; p.Seq < rc.expected || dup {
 			atomic.AddInt64(&w.net.DupsDropped, 1)
 			w.Tracer().Add(p.Dst, "net/dups-dropped", 1)
@@ -171,7 +190,7 @@ func (w *World) onPacket(p Packet) {
 		}
 		rc.mu.Unlock()
 		atomic.AddInt64(&w.net.AckPackets, 1)
-		w.transport.Send(Packet{Src: p.Dst, Dst: p.Src, Kind: PacketAck, Seq: ack})
+		w.transport.Send(Packet{Src: p.Dst, Dst: p.Src, Kind: PacketAck, Seq: ack, Inc: p.Inc})
 	}
 }
 

@@ -1,0 +1,151 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FailureReport is the structured form of the watchdog's stuck-rank dump:
+// what every rank was doing when the world was declared wedged, which
+// ranks were dead, what was pending in each mailbox, and which reliable
+// channels still had unacknowledged packets.  The watchdog stores one on
+// the World (LastFailure) before panicking, so drivers can persist the
+// machine-readable report (cmd/stress -report-dir writes it as JSON for
+// the CI artifact) while the panic message keeps the human-readable
+// rendering produced by String.
+type FailureReport struct {
+	// Kind names the escalation that produced the report: "watchdog" for
+	// a timeout, "panic-grace" when surviving ranks failed to finish after
+	// another rank panicked, "snapshot" for an on-demand capture.
+	Kind string
+	// WorldSize is the number of ranks.
+	WorldSize int
+	// Timeout is the armed watchdog timeout (zero for on-demand reports).
+	Timeout time.Duration
+	// Ranks has one entry per rank, indexed by rank.
+	Ranks []RankStatus
+	// UnackedChannels lists reliable-layer channels with outstanding
+	// unacknowledged packets ("src->dst: n unacked (oldest seq s, attempt
+	// a)"), empty on a reliable transport.
+	UnackedChannels []string
+}
+
+// RankStatus is one rank's state inside a FailureReport.
+type RankStatus struct {
+	Rank  int
+	Phase string
+	// Op is the comm operation the rank was blocked in, "" when the rank
+	// was running application code.
+	Op string
+	// BlockedFor is how long the rank had been inside Op (zero when
+	// running).
+	BlockedFor time.Duration
+	// Dead reports whether the rank had been killed (KillRank or a crash
+	// fate) and not yet respawned.
+	Dead bool
+	// InboxPending counts messages waiting in the rank's mailbox;
+	// InboxTags breaks them down by tag.
+	InboxPending int
+	InboxTags    []TagCount
+}
+
+// TagCount is one mailbox tag with its pending-message count.
+type TagCount struct {
+	Tag   int
+	Count int
+}
+
+// Blocked returns the ranks that were blocked in a comm operation,
+// ascending.
+func (r *FailureReport) Blocked() []int {
+	var out []int
+	for _, st := range r.Ranks {
+		if st.Op != "" {
+			out = append(out, st.Rank)
+		}
+	}
+	return out
+}
+
+// String renders the classic per-rank watchdog dump.
+func (r *FailureReport) String() string {
+	var b strings.Builder
+	for _, st := range r.Ranks {
+		fmt.Fprintf(&b, "  rank %d: phase %q: ", st.Rank, st.Phase)
+		switch {
+		case st.Dead:
+			fmt.Fprintf(&b, "DEAD (killed, not respawned)")
+		case st.Op == "":
+			b.WriteString("running (not blocked in comm)")
+		default:
+			fmt.Fprintf(&b, "blocked %v in %s", st.BlockedFor.Round(time.Millisecond), st.Op)
+		}
+		if st.InboxPending == 0 {
+			b.WriteString("; inbox empty\n")
+			continue
+		}
+		parts := make([]string, 0, len(st.InboxTags))
+		for _, tc := range st.InboxTags {
+			parts = append(parts, fmt.Sprintf("tag %d ×%d", tc.Tag, tc.Count))
+		}
+		fmt.Fprintf(&b, "; inbox %d pending [%s]\n", st.InboxPending, strings.Join(parts, ", "))
+	}
+	if len(r.UnackedChannels) > 0 {
+		fmt.Fprintf(&b, "  unacked channels: %s\n", strings.Join(r.UnackedChannels, ", "))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Report captures the world's current per-rank state on demand, without
+// tearing anything down.  The watchdog uses the same capture path before
+// poisoning; drivers use it to persist diagnostics for failures that did
+// not reach the watchdog (an unrecovered crash, say).
+func (w *World) Report() *FailureReport {
+	return w.buildReport("snapshot", 0)
+}
+
+// LastFailure returns the report captured by the most recent watchdog or
+// panic-grace escalation in Run, or nil if none fired.
+func (w *World) LastFailure() *FailureReport {
+	return w.lastFailure.Load()
+}
+
+func (w *World) buildReport(kind string, timeout time.Duration) *FailureReport {
+	r := &FailureReport{Kind: kind, WorldSize: w.size, Timeout: timeout}
+	r.Ranks = make([]RankStatus, w.size)
+	for i := 0; i < w.size; i++ {
+		phase, op, since := w.states[i].snapshot()
+		st := RankStatus{Rank: i, Phase: phase, Op: op, Dead: w.RankDead(i)}
+		if op != "" {
+			st.BlockedFor = time.Since(since)
+		}
+		st.InboxPending, st.InboxTags = w.inboxes[i].pending()
+		r.Ranks[i] = st
+	}
+	if !w.reliable {
+		r.UnackedChannels = w.unackedSummary()
+	}
+	return r
+}
+
+// pending summarizes the mailbox contents for failure reports: total
+// message count plus a per-tag breakdown sorted by tag.
+func (ib *inbox) pending() (int, []TagCount) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if len(ib.msgs) == 0 {
+		return 0, nil
+	}
+	tags := make(map[int]int)
+	for _, m := range ib.msgs {
+		tags[m.tag]++
+	}
+	out := make([]TagCount, 0, len(tags))
+	for t, n := range tags {
+		out = append(out, TagCount{Tag: t, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
+	return len(ib.msgs), out
+}

@@ -44,7 +44,13 @@ type Packet struct {
 	// decisions on (channel, Seq, Attempt) so a retried packet gets a
 	// fresh, deterministic fate and delivery is eventually achieved.
 	Attempt int
-	Data    []byte
+	// Inc is the world incarnation the packet was posted under.  A crash
+	// recovery bumps the incarnation when it resets the channel state, so
+	// deliveries still in flight from an aborted epoch (chaos-delayed
+	// copies, racing retransmissions) are recognized as stale and dropped
+	// on arrival instead of corrupting the fresh seq/dedup state.
+	Inc  uint64
+	Data []byte
 
 	// phase is metering metadata (the sender's phase label at logical
 	// send time), not wire data; it attributes mailbox pressure to the

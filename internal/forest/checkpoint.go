@@ -1,0 +1,239 @@
+package forest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/comm"
+)
+
+// Per-rank epoch checkpoints for crash recovery.  A snapshot captures
+// exactly the state a rank needs to re-enter an epoch sequence: its local
+// chunks of the leaf curve, the global first positions, and the global
+// leaf count.  Leaves are stored in the SaveGlobalCodec v2 style — the
+// WireV1 delta-Morton encoding of wire.go — so checkpoints cost the same
+// few bytes per octant as compact on-disk saves.  Unlike SaveGlobal,
+// which serializes a *gathered* forest and validates tree completeness on
+// load, a snapshot is one rank's partition slice; the distributed curve
+// is reconstructible from the per-rank ranges (the property the p4est
+// line of work relies on), so per-rank snapshots are sufficient for
+// replay-based recovery.
+
+const (
+	ckptMagic   = 0x0c7ba1c9 // sibling of ioMagic
+	ckptVersion = 1
+)
+
+// CheckpointStore persists per-(rank, epoch) snapshots.  Implementations
+// must be safe for concurrent use by all ranks of a world.
+type CheckpointStore interface {
+	// Put stores the snapshot for (rank, epoch), replacing any previous
+	// one.  Replays overwrite deterministically identical bytes.
+	Put(rank, epoch int, snap []byte) error
+	// Get returns the snapshot stored for (rank, epoch).
+	Get(rank, epoch int) ([]byte, error)
+	// Latest returns the highest epoch with a snapshot for rank.
+	Latest(rank int) (epoch int, ok bool)
+}
+
+// MemCheckpointStore keeps snapshots in memory — the store used by the
+// harness and by worlds simulating rank death in-process.
+type MemCheckpointStore struct {
+	mu    sync.Mutex
+	snaps map[[2]int][]byte
+	bytes int64
+}
+
+// NewMemCheckpointStore returns an empty in-memory store.
+func NewMemCheckpointStore() *MemCheckpointStore {
+	return &MemCheckpointStore{snaps: make(map[[2]int][]byte)}
+}
+
+func (s *MemCheckpointStore) Put(rank, epoch int, snap []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := [2]int{rank, epoch}
+	s.bytes += int64(len(snap)) - int64(len(s.snaps[k]))
+	s.snaps[k] = append([]byte(nil), snap...)
+	return nil
+}
+
+func (s *MemCheckpointStore) Get(rank, epoch int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, ok := s.snaps[[2]int{rank, epoch}]
+	if !ok {
+		return nil, fmt.Errorf("forest: no checkpoint for rank %d epoch %d", rank, epoch)
+	}
+	return append([]byte(nil), snap...), nil
+}
+
+func (s *MemCheckpointStore) Latest(rank int) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best, ok := -1, false
+	for k := range s.snaps {
+		if k[0] == rank && k[1] > best {
+			best, ok = k[1], true
+		}
+	}
+	return best, ok
+}
+
+// TotalBytes reports the bytes currently held across all snapshots.
+func (s *MemCheckpointStore) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// DirCheckpointStore persists snapshots as files under a directory, one
+// per (rank, epoch) — the shape a cross-process transport needs, where a
+// respawned OS process must find its predecessor's state on disk.
+type DirCheckpointStore struct {
+	dir string
+}
+
+// NewDirCheckpointStore stores snapshots under dir, creating it if
+// needed.
+func NewDirCheckpointStore(dir string) (*DirCheckpointStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirCheckpointStore{dir: dir}, nil
+}
+
+func (s *DirCheckpointStore) path(rank, epoch int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("ckpt-r%04d-e%06d.oct", rank, epoch))
+}
+
+func (s *DirCheckpointStore) Put(rank, epoch int, snap []byte) error {
+	// Write-then-rename so a crash mid-write never leaves a torn
+	// checkpoint where Get would find it.
+	tmp := s.path(rank, epoch) + ".tmp"
+	if err := os.WriteFile(tmp, snap, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path(rank, epoch))
+}
+
+func (s *DirCheckpointStore) Get(rank, epoch int) ([]byte, error) {
+	return os.ReadFile(s.path(rank, epoch))
+}
+
+func (s *DirCheckpointStore) Latest(rank int) (int, bool) {
+	matches, err := filepath.Glob(filepath.Join(s.dir, fmt.Sprintf("ckpt-r%04d-e*.oct", rank)))
+	if err != nil || len(matches) == 0 {
+		return -1, false
+	}
+	sort.Strings(matches)
+	var epoch int
+	if _, err := fmt.Sscanf(filepath.Base(matches[len(matches)-1]), fmt.Sprintf("ckpt-r%04d-e%%d.oct", rank), &epoch); err != nil {
+		return -1, false
+	}
+	return epoch, true
+}
+
+// EncodeSnapshot serializes this rank's restorable state for epoch: the
+// local chunks (leaves in the v2 compact encoding), the global first
+// positions, and the global leaf count.  Appends to b and returns it.
+func (f *Forest) EncodeSnapshot(b []byte, epoch int) []byte {
+	b = comm.AppendInt32(b, ckptMagic)
+	b = append(b, ckptVersion)
+	b = comm.AppendUvarint(b, uint64(epoch))
+	b = comm.AppendVarint(b, f.NumGlobal)
+	b = comm.AppendUvarint(b, uint64(len(f.GFP)))
+	for _, p := range f.GFP {
+		b = comm.AppendVarint(b, int64(p.Tree))
+		b = comm.AppendVarint(b, int64(p.X))
+		b = comm.AppendVarint(b, int64(p.Y))
+		b = comm.AppendVarint(b, int64(p.Z))
+	}
+	b = comm.AppendUvarint(b, uint64(len(f.Local)))
+	for _, tc := range f.Local {
+		b = comm.AppendVarint(b, int64(tc.Tree))
+		b = EncodeOctantList(b, tc.Leaves, WireV1)
+	}
+	return b
+}
+
+// RestoreSnapshot replaces the rank's local state with a snapshot written
+// by EncodeSnapshot and returns the epoch it was taken at.  Malformed
+// input is reported as an error, never a panic or oversized allocation;
+// the forest is only mutated once the whole snapshot has decoded.
+func (f *Forest) RestoreSnapshot(b []byte) (int, error) {
+	if len(b) < 5 {
+		return 0, errors.New("forest: truncated checkpoint")
+	}
+	magic, off := comm.Int32At(b, 0)
+	if magic != ckptMagic {
+		return 0, fmt.Errorf("forest: bad checkpoint magic %#x", uint32(magic))
+	}
+	if b[off] != ckptVersion {
+		return 0, fmt.Errorf("forest: unsupported checkpoint version %d", b[off])
+	}
+	off++
+	epochU, off, err := comm.UvarintAt(b, off)
+	if err != nil {
+		return 0, err
+	}
+	numGlobal, off, err := comm.VarintAt(b, off)
+	if err != nil {
+		return 0, err
+	}
+	nGFP, off, err := comm.UvarintAt(b, off)
+	if err != nil {
+		return 0, err
+	}
+	if nGFP > uint64(len(b)-off) { // ≥1 byte per encoded position
+		return 0, fmt.Errorf("forest: checkpoint GFP count %d exceeds %d payload bytes", nGFP, len(b)-off)
+	}
+	gfp := make([]Pos, nGFP)
+	for i := range gfp {
+		var t, x, y, z int64
+		if t, off, err = comm.VarintAt(b, off); err != nil {
+			return 0, err
+		}
+		if x, off, err = comm.VarintAt(b, off); err != nil {
+			return 0, err
+		}
+		if y, off, err = comm.VarintAt(b, off); err != nil {
+			return 0, err
+		}
+		if z, off, err = comm.VarintAt(b, off); err != nil {
+			return 0, err
+		}
+		gfp[i] = Pos{Tree: int32(t), X: int32(x), Y: int32(y), Z: int32(z)}
+	}
+	nChunks, off, err := comm.UvarintAt(b, off)
+	if err != nil {
+		return 0, err
+	}
+	if nChunks > uint64(len(b)-off) {
+		return 0, fmt.Errorf("forest: checkpoint chunk count %d exceeds %d payload bytes", nChunks, len(b)-off)
+	}
+	local := make([]TreeChunk, 0, nChunks)
+	prevTree := int64(-1)
+	for i := uint64(0); i < nChunks; i++ {
+		var tree int64
+		if tree, off, err = comm.VarintAt(b, off); err != nil {
+			return 0, err
+		}
+		if tree <= prevTree || tree >= int64(f.Conn.NumTrees()) {
+			return 0, fmt.Errorf("forest: checkpoint chunk tree %d out of order or range", tree)
+		}
+		prevTree = tree
+		leaves, n, err := DecodeOctantList(b[off:], WireV1)
+		if err != nil {
+			return 0, err
+		}
+		off += n
+		local = append(local, TreeChunk{Tree: int32(tree), Leaves: leaves})
+	}
+	f.Local, f.GFP, f.NumGlobal = local, gfp, int64(numGlobal)
+	return int(epochU), nil
+}

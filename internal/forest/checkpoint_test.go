@@ -1,0 +1,146 @@
+package forest
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/otest"
+)
+
+func forestStateEqual(a, b *Forest) bool {
+	if a.NumGlobal != b.NumGlobal || len(a.GFP) != len(b.GFP) || len(a.Local) != len(b.Local) {
+		return false
+	}
+	for i := range a.GFP {
+		if a.GFP[i] != b.GFP[i] {
+			return false
+		}
+	}
+	for i := range a.Local {
+		if a.Local[i].Tree != b.Local[i].Tree || !otest.Equal(a.Local[i].Leaves, b.Local[i].Leaves) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	conn := NewBrick(2, 2, 2, 1, [3]bool{})
+	runForest(t, conn, 4, 1, func(c *comm.Comm, f *Forest) {
+		f.Refine(c, 4, fractalRefine(4))
+		f.Partition(c, nil)
+
+		snap := f.EncodeSnapshot(nil, 7)
+		g := &Forest{Conn: conn}
+		epoch, err := g.RestoreSnapshot(snap)
+		if err != nil {
+			t.Errorf("rank %d: restore: %v", c.Rank(), err)
+			return
+		}
+		if epoch != 7 {
+			t.Errorf("rank %d: epoch %d, want 7", c.Rank(), epoch)
+		}
+		if !forestStateEqual(f, g) {
+			t.Errorf("rank %d: restored state differs from original", c.Rank())
+		}
+	})
+}
+
+func TestSnapshotRejectsCorrupt(t *testing.T) {
+	conn := NewBrick(2, 2, 1, 1, [3]bool{})
+	var snap []byte
+	runForest(t, conn, 1, 2, func(c *comm.Comm, f *Forest) {
+		snap = f.EncodeSnapshot(nil, 3)
+	})
+
+	g := &Forest{Conn: conn}
+	if _, err := g.RestoreSnapshot(snap); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+	// Every truncation must fail cleanly — no panic, no state mutation.
+	for n := 0; n < len(snap); n++ {
+		h := &Forest{Conn: conn}
+		if _, err := h.RestoreSnapshot(snap[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+		if h.Local != nil || h.GFP != nil || h.NumGlobal != 0 {
+			t.Fatalf("failed restore at %d bytes mutated the forest", n)
+		}
+	}
+	bad := append([]byte(nil), snap...)
+	bad[0] ^= 0xff
+	if _, err := g.RestoreSnapshot(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	bad = append([]byte(nil), snap...)
+	bad[4] = 0x7f
+	if _, err := g.RestoreSnapshot(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestMemCheckpointStore(t *testing.T) {
+	s := NewMemCheckpointStore()
+	if _, ok := s.Latest(0); ok {
+		t.Fatal("empty store reports a latest epoch")
+	}
+	if err := s.Put(0, 0, []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(0, 2, []byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, 1, []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := s.Latest(0); !ok || e != 2 {
+		t.Fatalf("Latest(0) = %d, %v; want 2, true", e, ok)
+	}
+	if got, err := s.Get(0, 2); err != nil || string(got) != "bb" {
+		t.Fatalf("Get(0,2) = %q, %v", got, err)
+	}
+	if _, err := s.Get(1, 2); err == nil {
+		t.Fatal("Get on a missing epoch succeeded")
+	}
+	if n := s.TotalBytes(); n != 7 {
+		t.Fatalf("TotalBytes = %d, want 7", n)
+	}
+	// Overwrite replaces bytes and accounting.
+	if err := s.Put(0, 2, []byte("dddd")); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.TotalBytes(); n != 9 {
+		t.Fatalf("TotalBytes after overwrite = %d, want 9", n)
+	}
+	// The store must hold its own copy, immune to caller reuse.
+	buf := []byte("eeee")
+	s.Put(1, 3, buf)
+	copy(buf, "XXXX")
+	if got, _ := s.Get(1, 3); string(got) != "eeee" {
+		t.Fatalf("store aliased the caller's buffer: %q", got)
+	}
+}
+
+func TestDirCheckpointStore(t *testing.T) {
+	s, err := NewDirCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Latest(2); ok {
+		t.Fatal("empty store reports a latest epoch")
+	}
+	for _, e := range []int{0, 4, 12} {
+		if err := s.Put(2, e, []byte{byte(e)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e, ok := s.Latest(2); !ok || e != 12 {
+		t.Fatalf("Latest(2) = %d, %v; want 12, true", e, ok)
+	}
+	if got, err := s.Get(2, 4); err != nil || len(got) != 1 || got[0] != 4 {
+		t.Fatalf("Get(2,4) = %v, %v", got, err)
+	}
+	if _, ok := s.Latest(3); ok {
+		t.Fatal("Latest leaked across ranks")
+	}
+}

@@ -1,0 +1,234 @@
+package forest
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/obs"
+)
+
+// Epoch-structured execution with coordinated rollback recovery.
+//
+// RunEpochs drives a sequence of collective phases ("epochs") the way a
+// fault-tolerant job driver runs a timestep loop: the rank checkpoints
+// its forest state at epoch boundaries, runs each epoch body under a comm
+// deadline, and — when any rank of the world crashes or an operation
+// times out — converges with every other rank on the comm.Rejoin
+// rendezvous, restores the newest checkpoint epoch all ranks share, and
+// replays forward.  Because every epoch body in this repository is
+// deterministic (bit-identical results at any worker count and codec),
+// the replay reconverges with the fault-free execution exactly, which is
+// what the harness asserts by checksum.
+
+// EpochFunc is one epoch: a named collective body.  Every rank must run
+// the same epochs in the same order, and each body must be deterministic
+// and restartable from the state its predecessor left (replays re-enter
+// bodies after a checkpoint restore, so a body must not depend on
+// one-shot external effects).
+type EpochFunc struct {
+	Name string
+	Run  func(*comm.Comm, *Forest)
+}
+
+// EpochOptions configures RunEpochs.
+type EpochOptions struct {
+	// Store receives the per-rank checkpoints.  With a nil Store no
+	// checkpoints are written and no recovery is possible: the first
+	// failure aborts the run with its CommError.  (The crash canary runs
+	// exactly this mode and demands the failure.)
+	Store CheckpointStore
+
+	// Every is the checkpoint cadence in epochs: state is checkpointed
+	// before the first epoch, after every Every-th completed epoch, and
+	// after the last.  0 means 1 (every epoch boundary).
+	Every int
+
+	// Deadline bounds each blocking receive inside an epoch attempt, so a
+	// rank whose peer silently died cannot hang until the world watchdog;
+	// it converts the hang into a recoverable FailureDeadline.  0 leaves
+	// receives unbounded (the broadcast failure flag still aborts them as
+	// soon as a kill is detected).
+	Deadline time.Duration
+
+	// RespawnDelay simulates the victim's process-restart latency: the
+	// killed rank sleeps this long before rejoining, and the survivors
+	// block at the rendezvous until it arrives.
+	RespawnDelay time.Duration
+
+	// MaxRecoveries aborts after this many rollbacks, so a fault that
+	// reinjects forever (or a non-converging recovery bug) surfaces as an
+	// error instead of an unbounded replay loop.  0 means 8.
+	MaxRecoveries int
+}
+
+// EpochStats reports what one rank's RunEpochs call did.
+type EpochStats struct {
+	// Epochs counts completed epoch bodies, including replayed ones.
+	Epochs int
+	// Replays counts completed epochs that were discarded by a rollback
+	// and had to run again.
+	Replays int
+	// Recoveries counts rollback rendezvous this rank participated in.
+	Recoveries int
+	// Respawns counts this rank's own simulated deaths (kill + respawn).
+	Respawns int
+	// Checkpoints and CheckpointBytes count snapshots written by this
+	// rank and their encoded size.
+	Checkpoints     int
+	CheckpointBytes int64
+}
+
+// RunEpochs executes epochs on this rank with checkpoint/rollback crash
+// recovery.  It is a collective call: every rank of the world must call
+// it with the same epochs and compatible options.  On success the forest
+// holds the same state as a fault-free sequential execution of the
+// bodies.  Unrecoverable conditions (poisoned world, store errors,
+// MaxRecoveries exceeded, failure with a nil Store) return an error; the
+// poisoned-world panic of a torn-down world is not intercepted.
+func RunEpochs(c *comm.Comm, f *Forest, epochs []EpochFunc, opt EpochOptions) (EpochStats, error) {
+	var st EpochStats
+	every := opt.Every
+	if every <= 0 {
+		every = 1
+	}
+	maxRec := opt.MaxRecoveries
+	if maxRec <= 0 {
+		maxRec = 8
+	}
+	rank := c.Rank()
+	tr := c.Tracer()
+
+	if opt.Store == nil {
+		// No checkpoints, no recovery, and crucially no rendezvous: a rank
+		// whose attempt fails returns immediately, so the survivors must
+		// not wait for it at a Rejoin barrier.  They either fail their own
+		// attempts (the broadcast failure flag aborts blocked operations)
+		// or complete the single pass.
+		for e := 0; e < len(epochs); e++ {
+			if ferr := runAttempt(c, f, epochs[e], opt.Deadline); ferr != nil {
+				return st, ferr
+			}
+			st.Epochs++
+		}
+		return st, nil
+	}
+
+	lastCkpt := -1
+	checkpoint := func(epoch int) error {
+		if opt.Store == nil {
+			return nil
+		}
+		snap := f.EncodeSnapshot(comm.GetBuf(), epoch)
+		err := opt.Store.Put(rank, epoch, snap)
+		n := len(snap)
+		comm.PutBuf(snap)
+		if err != nil {
+			return fmt.Errorf("forest: checkpoint epoch %d: %w", epoch, err)
+		}
+		lastCkpt = epoch
+		st.Checkpoints++
+		st.CheckpointBytes += int64(n)
+		tr.Add(rank, obs.CounterCheckpoints, 1)
+		tr.Add(rank, obs.CounterCkptBytes, int64(n))
+		return nil
+	}
+	if err := checkpoint(0); err != nil {
+		return st, err
+	}
+
+	// e is the epoch index the forest state corresponds to: epochs[e] is
+	// the next body to run.  A completed rendezvous round either finishes
+	// all epochs on all ranks (exit) or rolls e back to the common
+	// checkpoint target (replay).
+	e := 0
+	for {
+		var ferr *comm.CommError
+		for e < len(epochs) {
+			ferr = runAttempt(c, f, epochs[e], opt.Deadline)
+			if ferr != nil {
+				break
+			}
+			e++
+			st.Epochs++
+			if e%every == 0 || e == len(epochs) {
+				if err := checkpoint(e); err != nil {
+					return st, err
+				}
+			}
+		}
+		if ferr != nil && ferr.Kind == comm.FailureRankDead && ferr.Rank == rank {
+			// This rank is the victim: simulate the respawned process
+			// coming back up before it can rejoin.  Survivors wait at the
+			// rendezvous meanwhile.
+			if opt.RespawnDelay > 0 {
+				time.Sleep(opt.RespawnDelay)
+			}
+			st.Respawns++
+		}
+		target, recovered := c.Rejoin(lastCkpt, ferr != nil)
+		if !recovered {
+			return st, nil // unanimous all-done exit
+		}
+		if st.Recoveries >= maxRec {
+			if ferr != nil {
+				return st, fmt.Errorf("forest: giving up after %d recoveries (last failure: %w)", st.Recoveries, ferr)
+			}
+			return st, fmt.Errorf("forest: giving up after %d recoveries", st.Recoveries)
+		}
+		st.Recoveries++
+		sp := tr.Begin(rank, obs.SpanRollback, "recover")
+		snap, err := opt.Store.Get(rank, target)
+		if err != nil {
+			sp.End()
+			return st, fmt.Errorf("forest: restore epoch %d: %w", target, err)
+		}
+		if _, err := f.RestoreSnapshot(snap); err != nil {
+			sp.End()
+			return st, fmt.Errorf("forest: restore epoch %d: %w", target, err)
+		}
+		// Collective tag sequences drift when ranks abort at different
+		// points; the rendezvous flushed all channels and barred stale
+		// packets behind the incarnation bump, so realigning to zero here
+		// is safe — and only here.  (Resetting at plain epoch boundaries
+		// would alias tags across epochs still draining in flight.)
+		c.ResetCollectiveSeq()
+		if replay := e - target; replay > 0 {
+			st.Replays += replay
+			tr.Add(rank, obs.CounterReplays, int64(replay))
+		}
+		lastCkpt = target
+		e = target
+		sp.End()
+	}
+}
+
+// runAttempt runs one epoch body bracketed by the attempt protocol: the
+// per-receive deadline armed, the body, a trailing barrier, and a final
+// failure-flag check (a kill can land between a rank's last operation and
+// the flag becoming visible elsewhere; without the check that rank would
+// count the epoch as complete and checkpoint state its peers are about to
+// roll back).  A recoverable CommError panic from anywhere inside is
+// converted to a return value; poisoned-world panics and non-comm panics
+// propagate.
+func runAttempt(c *comm.Comm, f *Forest, ep EpochFunc, deadline time.Duration) (ferr *comm.CommError) {
+	defer func() {
+		c.SetDeadline(0)
+		if r := recover(); r != nil {
+			ce, ok := comm.AsCommError(r)
+			if !ok || ce.Kind == comm.FailurePoisoned {
+				panic(r)
+			}
+			ferr = ce
+		}
+	}()
+	if deadline > 0 {
+		c.SetDeadline(deadline)
+	}
+	if ep.Name != "" {
+		c.SetPhase(ep.Name)
+	}
+	ep.Run(c, f)
+	c.Barrier()
+	return c.Failure()
+}

@@ -1,0 +1,249 @@
+package forest
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/octant"
+)
+
+// testEpochs is the canonical epoch split of the harness pipeline: build,
+// refine and partition, balance, ghost construction.  Construction is an
+// epoch too: its SyncGFP is collective, and any collective running outside
+// the epoch protocol would panic unprotected when a crash elsewhere raises
+// the failure flag mid-operation.
+func testEpochs(k int, opt BalanceOptions) []EpochFunc {
+	return []EpochFunc{
+		{Name: "init", Run: func(c *comm.Comm, f *Forest) {
+			*f = *NewUniform(f.Conn, c, 1)
+		}},
+		{Name: "refine", Run: func(c *comm.Comm, f *Forest) {
+			f.Refine(c, 4, fractalRefine(4))
+			f.Partition(c, nil)
+		}},
+		{Name: "balance", Run: func(c *comm.Comm, f *Forest) {
+			f.Balance(c, k, opt)
+		}},
+		{Name: "ghost", Run: func(c *comm.Comm, f *Forest) {
+			f.BuildGhost(c)
+		}},
+	}
+}
+
+// runEpochWorld is runForest with access to the World, so tests can arm
+// crash points and inspect lifecycle counters.
+func runEpochWorld(t *testing.T, conn *Connectivity, p int, arm func(w *comm.World), fn func(c *comm.Comm, f *Forest)) ([]*Forest, *comm.World) {
+	t.Helper()
+	w := comm.NewWorld(p)
+	w.SetTimeout(2 * time.Minute)
+	if arm != nil {
+		arm(w)
+	}
+	forests := make([]*Forest, p)
+	w.Run(func(c *comm.Comm) {
+		f := &Forest{Conn: conn} // built by the "init" epoch
+		fn(c, f)
+		forests[c.Rank()] = f
+	})
+	return forests, w
+}
+
+func faultFreeReference(t *testing.T, conn *Connectivity, p int) [][]octant.Octant {
+	t.Helper()
+	ref := runForest(t, conn, p, 1, func(c *comm.Comm, f *Forest) {
+		f.Refine(c, 4, fractalRefine(4))
+		f.Partition(c, nil)
+		f.Balance(c, 1, BalanceOptions{})
+		f.BuildGhost(c)
+	})
+	return gather(conn, ref)
+}
+
+func TestRunEpochsFaultFree(t *testing.T) {
+	conn := NewBrick(2, 2, 2, 1, [3]bool{})
+	const p = 4
+	want := faultFreeReference(t, conn, p)
+
+	store := NewMemCheckpointStore()
+	stats := make([]EpochStats, p)
+	forests, w := runEpochWorld(t, conn, p, nil, func(c *comm.Comm, f *Forest) {
+		st, err := RunEpochs(c, f, testEpochs(1, BalanceOptions{}), EpochOptions{Store: store})
+		if err != nil {
+			t.Errorf("rank %d: RunEpochs: %v", c.Rank(), err)
+		}
+		stats[c.Rank()] = st
+	})
+	if !forestsEqual(gather(conn, forests), want) {
+		t.Fatal("epoch-structured run differs from direct execution")
+	}
+	for r, st := range stats {
+		if st.Epochs != 4 || st.Recoveries != 0 || st.Replays != 0 || st.Respawns != 0 {
+			t.Fatalf("rank %d: unexpected stats %+v", r, st)
+		}
+		// Every = 1: checkpoints at epochs 0 through 4.
+		if st.Checkpoints != 5 || st.CheckpointBytes <= 0 {
+			t.Fatalf("rank %d: checkpoint stats %+v", r, st)
+		}
+	}
+	if ls := w.LifecycleStats(); ls.Kills != 0 || ls.Recoveries != 0 {
+		t.Fatalf("fault-free run touched the lifecycle: %+v", ls)
+	}
+	if store.TotalBytes() <= 0 {
+		t.Fatal("store holds no bytes")
+	}
+}
+
+func TestRunEpochsCheckpointCadence(t *testing.T) {
+	conn := NewBrick(2, 2, 1, 1, [3]bool{})
+	store := NewMemCheckpointStore()
+	var st EpochStats
+	runEpochWorld(t, conn, 1, nil, func(c *comm.Comm, f *Forest) {
+		var err error
+		st, err = RunEpochs(c, f, testEpochs(1, BalanceOptions{}), EpochOptions{Store: store, Every: 2})
+		if err != nil {
+			t.Errorf("RunEpochs: %v", err)
+		}
+	})
+	// Every = 2 over 4 epochs: checkpoints at 0, 2 and 4.
+	if st.Checkpoints != 3 {
+		t.Fatalf("Checkpoints = %d, want 3", st.Checkpoints)
+	}
+	if e, ok := store.Latest(0); !ok || e != 4 {
+		t.Fatalf("Latest = %d, %v; want 4, true", e, ok)
+	}
+	if _, err := store.Get(0, 1); err == nil {
+		t.Fatal("cadence 2 still wrote epoch 1")
+	}
+}
+
+// TestRunEpochsCrashRecovery kills rank 1 at each phase of the pipeline in
+// turn and requires the recovered run to reproduce the fault-free forest
+// bit for bit.
+func TestRunEpochsCrashRecovery(t *testing.T) {
+	conn := NewBrick(2, 2, 2, 1, [3]bool{})
+	const p, victim = 4, 1
+	want := faultFreeReference(t, conn, p)
+
+	cases := []struct {
+		phase    string
+		afterOps int
+	}{
+		{"init", 1},
+		{"refine", 1},
+		{"local-balance", 0},
+		{"query", 0},
+		{"notify", 1},
+		{"query-response", 1},
+		{"rebalance", 0},
+		{"ghost", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.phase, func(t *testing.T) {
+			store := NewMemCheckpointStore()
+			stats := make([]EpochStats, p)
+			forests, w := runEpochWorld(t, conn, p,
+				func(w *comm.World) { w.ArmCrash(victim, tc.phase, tc.afterOps) },
+				func(c *comm.Comm, f *Forest) {
+					st, err := RunEpochs(c, f, testEpochs(1, BalanceOptions{}), EpochOptions{
+						Store:        store,
+						Deadline:     30 * time.Second,
+						RespawnDelay: time.Millisecond,
+					})
+					if err != nil {
+						t.Errorf("rank %d: RunEpochs: %v", c.Rank(), err)
+					}
+					stats[c.Rank()] = st
+				})
+			ls := w.LifecycleStats()
+			if ls.Kills != 1 || ls.Respawns != 1 || ls.Recoveries != 1 {
+				t.Fatalf("lifecycle %+v, want 1 kill / 1 respawn / 1 recovery", ls)
+			}
+			if stats[victim].Respawns != 1 {
+				t.Fatalf("victim stats %+v, want 1 respawn", stats[victim])
+			}
+			for r, st := range stats {
+				if st.Recoveries != 1 {
+					t.Fatalf("rank %d: %d recoveries, want 1", r, st.Recoveries)
+				}
+			}
+			if !forestsEqual(gather(conn, forests), want) {
+				t.Fatalf("recovered forest differs from fault-free run (crash in %s)", tc.phase)
+			}
+			if w.Failure() != nil {
+				t.Fatalf("failure flag still raised after recovery: %v", w.Failure())
+			}
+		})
+	}
+}
+
+// TestRunEpochsCrashTransportRecovery drives recovery from a transport-
+// level seeded kill instead of an armed crash point: a CrashTransport fate
+// kills the first rank to send its 4th first-attempt data packet (the
+// threshold packet itself is lost with the process), the kill hook marks
+// the rank dead at the logical layer, and the checkpointed replay must
+// still reproduce the fault-free forest.
+func TestRunEpochsCrashTransportRecovery(t *testing.T) {
+	conn := NewBrick(2, 2, 2, 1, [3]bool{})
+	const p = 4
+	want := faultFreeReference(t, conn, p)
+
+	store := NewMemCheckpointStore()
+	tr := comm.NewCrashTransport(comm.NewPerfectTransport(), comm.CrashConfig{
+		Seed: 99, KillPct: 100, MinPackets: 4, MaxPackets: 4,
+	})
+	w := comm.NewWorldTransport(p, tr)
+	w.SetTimeout(2 * time.Minute)
+	forests := make([]*Forest, p)
+	w.Run(func(c *comm.Comm) {
+		f := &Forest{Conn: conn}
+		if _, err := RunEpochs(c, f, testEpochs(1, BalanceOptions{}), EpochOptions{
+			Store:        store,
+			Deadline:     30 * time.Second,
+			RespawnDelay: time.Millisecond,
+		}); err != nil {
+			t.Errorf("rank %d: RunEpochs: %v", c.Rank(), err)
+		}
+		forests[c.Rank()] = f
+	})
+	ls := w.LifecycleStats()
+	if ls.Kills != 1 || ls.Respawns != 1 || ls.Recoveries != 1 {
+		t.Fatalf("lifecycle %+v, want 1 kill / 1 respawn / 1 recovery", ls)
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("transport dropped no packets despite a wire-level kill")
+	}
+	if !forestsEqual(gather(conn, forests), want) {
+		t.Fatal("recovered forest differs from fault-free run")
+	}
+	if w.Failure() != nil {
+		t.Fatalf("failure flag still raised after recovery: %v", w.Failure())
+	}
+}
+
+// TestRunEpochsNilStoreSurfacesFailure is the recovery canary: with no
+// checkpoint store a kill must abort the run with the typed error instead
+// of silently recovering (or hanging).
+func TestRunEpochsNilStoreSurfacesFailure(t *testing.T) {
+	conn := NewBrick(2, 2, 2, 1, [3]bool{})
+	const p, victim = 4, 1
+	errs := make([]error, p)
+	_, w := runEpochWorld(t, conn, p,
+		func(w *comm.World) { w.ArmCrash(victim, "query-response", 1) },
+		func(c *comm.Comm, f *Forest) {
+			_, errs[c.Rank()] = RunEpochs(c, f, testEpochs(1, BalanceOptions{}), EpochOptions{})
+		})
+	if errs[victim] == nil {
+		t.Fatal("victim completed without error despite its own crash")
+	}
+	ce, _ := comm.AsCommError(errs[victim])
+	if ce == nil || ce.Kind != comm.FailureRankDead || ce.Rank != victim {
+		t.Fatalf("victim error = %v, want FailureRankDead rank %d", errs[victim], victim)
+	}
+	if w.LifecycleStats().Kills != 1 {
+		t.Fatalf("lifecycle %+v, want exactly 1 kill", w.LifecycleStats())
+	}
+	if w.Failure() == nil {
+		t.Fatal("failure flag cleared with no recovery rendezvous")
+	}
+}

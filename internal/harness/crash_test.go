@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/forest"
+)
+
+// baseCrashScenario is a small but fully multi-phase configuration: 2D
+// fractal refinement over a 2x2 brick, repartitioned to equal counts, so
+// every balance phase and the ghost exchange carry real traffic at every
+// rank count used below.
+func baseCrashScenario(p int) Scenario {
+	return Scenario{
+		Dim: 2, K: 1,
+		NX: 2, NY: 2, NZ: 1,
+		Ranks: p, BaseLevel: 1, MaxLevel: 4,
+		Refine:    RefFractal,
+		Partition: PartEqual,
+	}.Normalized()
+}
+
+// TestCrashRecoveryBitIdentical kills one rank at each late pipeline phase
+// in turn, at P in {1, 4, 13}, and requires the recovered run to pass the
+// full oracle pipeline and carry the fault-free run's checksum.  The
+// WireV1 and chaos legs run the same kills with the compact codec and the
+// fault-injecting transport switched on, so recovery is exercised across
+// codec and transport variants too.
+func TestCrashRecoveryBitIdentical(t *testing.T) {
+	phases := []string{"query", "notify", "query-response", "rebalance", "ghost"}
+	legs := []struct {
+		name string
+		mod  func(Scenario) Scenario
+	}{
+		{"perfect", func(sc Scenario) Scenario { return sc }},
+		{"wirev1", func(sc Scenario) Scenario { sc.Codec = forest.WireV1; return sc }},
+		{"chaos", func(sc Scenario) Scenario { return sc.WithChaos(0xc0ffee) }},
+	}
+	ranks := []int{1, 4, 13}
+	if testing.Short() {
+		ranks = []int{1, 4}
+		legs = legs[:1]
+	}
+	for _, p := range ranks {
+		for _, leg := range legs {
+			base := leg.mod(baseCrashScenario(p))
+			ref := Run(base)
+			if ref.Err != nil {
+				t.Fatalf("P=%d %s: fault-free run failed: %v", p, leg.name, ref.Err)
+			}
+			for _, ph := range phases {
+				t.Run(fmt.Sprintf("P%d/%s/%s", p, leg.name, ph), func(t *testing.T) {
+					sc := base
+					sc.CrashRank, sc.CrashPhase = p/2, ph
+					res := Run(sc)
+					if res.Err != nil {
+						t.Fatalf("crash run failed: %v", res.Err)
+					}
+					if res.Kills != 1 || res.Respawns != 1 || res.Recoveries != 1 {
+						t.Fatalf("lifecycle kills=%d respawns=%d recoveries=%d, want 1/1/1",
+							res.Kills, res.Respawns, res.Recoveries)
+					}
+					if res.Checksum != ref.Checksum {
+						t.Fatalf("recovered checksum %#x != fault-free %#x", res.Checksum, ref.Checksum)
+					}
+					if res.LeavesAfter != ref.LeavesAfter {
+						t.Fatalf("recovered %d leaves, fault-free %d", res.LeavesAfter, ref.LeavesAfter)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCrashSeededRecovery runs the sweep's seeded kill derivation end to
+// end: each crash seed picks its own victim and phase, and every recovered
+// run must match the fault-free checksum.
+func TestCrashSeededRecovery(t *testing.T) {
+	base := baseCrashScenario(4)
+	ref := Run(base)
+	if ref.Err != nil {
+		t.Fatalf("fault-free run failed: %v", ref.Err)
+	}
+	n := uint64(6)
+	if testing.Short() {
+		n = 2
+	}
+	hit := map[string]bool{}
+	for seed := uint64(1); seed <= n; seed++ {
+		sc := base.WithCrash(seed)
+		_, ph, _ := sc.CrashPlan()
+		hit[ph] = true
+		res := Run(sc)
+		if res.Err != nil {
+			t.Fatalf("crash seed %d (%v): %v", seed, sc, res.Err)
+		}
+		if res.Kills != 1 {
+			t.Fatalf("crash seed %d: %d kills, want 1", seed, res.Kills)
+		}
+		if res.Checksum != ref.Checksum {
+			t.Fatalf("crash seed %d: checksum %#x != fault-free %#x", seed, res.Checksum, ref.Checksum)
+		}
+	}
+	if len(hit) < 2 {
+		t.Fatalf("crash seeds 1..%d all landed in the same phase %v — derivation looks degenerate", n, hit)
+	}
+}
+
+// TestCrashCanaryFails is the injection canary: with checkpointing
+// disabled the kill must be fatal, surfacing the typed rank-death error.
+// If this scenario ever passes, crash injection has stopped firing.
+func TestCrashCanaryFails(t *testing.T) {
+	sc := baseCrashScenario(4)
+	sc.CrashRank, sc.CrashPhase = 1, "query"
+	sc.CrashCanary = true
+	res := Run(sc)
+	if res.Err == nil {
+		t.Fatal("crash canary passed — an unrecoverable kill went unnoticed")
+	}
+	if !errors.Is(res.Err, comm.ErrRankDead) {
+		t.Fatalf("canary error %v does not unwrap to ErrRankDead", res.Err)
+	}
+	if res.Kills != 1 || res.Respawns != 0 || res.Recoveries != 0 {
+		t.Fatalf("lifecycle kills=%d respawns=%d recoveries=%d, want 1/0/0", res.Kills, res.Respawns, res.Recoveries)
+	}
+	if res.Failure == nil {
+		t.Fatal("no FailureReport captured for the unrecovered kill")
+	}
+	dead := false
+	for _, st := range res.Failure.Ranks {
+		if st.Rank == 1 && st.Dead {
+			dead = true
+		}
+	}
+	if !dead {
+		t.Fatalf("FailureReport does not mark rank 1 dead:\n%s", res.Failure)
+	}
+}
+
+// TestCrashPlanDeterministic pins the seeded kill derivation: stable
+// across calls, in bounds, and with non-zero AfterOps only in the phases
+// where every rank is guaranteed that much traffic.
+func TestCrashPlanDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 64; seed++ {
+		sc := baseCrashScenario(4).WithCrash(seed)
+		r1, p1, o1 := sc.CrashPlan()
+		r2, p2, o2 := sc.CrashPlan()
+		if r1 != r2 || p1 != p2 || o1 != o2 {
+			t.Fatalf("seed %d: plan not deterministic", seed)
+		}
+		if r1 < 0 || r1 >= sc.Ranks {
+			t.Fatalf("seed %d: rank %d out of range", seed, r1)
+		}
+		found := false
+		for _, ph := range crashPhases {
+			if ph == p1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: unknown phase %q", seed, p1)
+		}
+		if o1 != 0 && p1 != "init" && p1 != "refine" {
+			t.Fatalf("seed %d: AfterOps %d in phase %q, which has no guaranteed traffic", seed, o1, p1)
+		}
+	}
+	// The pin overrides the seed entirely.
+	sc := baseCrashScenario(4).WithCrash(7)
+	sc.CrashRank, sc.CrashPhase, sc.CrashOps = 3, "ghost", 2
+	if r, ph, ops := sc.CrashPlan(); r != 3 || ph != "ghost" || ops != 2 {
+		t.Fatalf("pinned plan = (%d, %q, %d)", r, ph, ops)
+	}
+}
+
+// TestShrinkDropsCrash checks the shrinker proposes a crash-free variant
+// (exonerating the kill when the failure survives without it) — except for
+// canaries, which fail because of the kill.
+func TestShrinkDropsCrash(t *testing.T) {
+	sc := baseCrashScenario(4).WithCrash(7)
+	found := false
+	for _, c := range shrinkCandidates(sc) {
+		if !c.Crashing() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no crash-free shrink candidate proposed")
+	}
+	sc.CrashCanary = true
+	for _, c := range shrinkCandidates(sc) {
+		if !c.Normalized().Crashing() && c.CrashCanary {
+			t.Fatal("shrinker removed the kill from a canary")
+		}
+	}
+}
+
+// TestReplayFlagsCarryCrashPin checks the repro skeleton's replay command
+// pins the kill point explicitly, so a shrunken scenario with a different
+// rank count still replays the identical kill.
+func TestReplayFlagsCarryCrashPin(t *testing.T) {
+	sc := baseCrashScenario(4).WithCrash(9)
+	fl := replayFlags(sc)
+	r, ph, ops := sc.CrashPlan()
+	want := fmt.Sprintf("-crash-rank %d -crash-phase %s -crash-ops %d", r, ph, ops)
+	if !strings.Contains(fl, want) {
+		t.Fatalf("replayFlags %q missing %q", fl, want)
+	}
+	sc.CrashCanary = true
+	if fl := replayFlags(sc); !strings.Contains(fl, "-crash-canary") {
+		t.Fatalf("replayFlags %q missing -crash-canary", fl)
+	}
+	if fl := replayFlags(baseCrashScenario(4)); strings.Contains(fl, "crash") {
+		t.Fatalf("crash-free scenario renders crash flags: %q", fl)
+	}
+}

@@ -23,6 +23,19 @@ type Result struct {
 	// scenario; cmd/stress -chaos asserts exactly that.
 	Checksum uint64
 
+	// Kills, Respawns and Recoveries are the world's lifecycle counters
+	// after the run; non-zero only on crash scenarios.  Replays counts the
+	// epoch bodies that were rolled back and re-executed, summed over
+	// ranks.
+	Kills, Respawns, Recoveries int64
+	Replays                     int
+
+	// Failure is the structured failure report the world captured (the
+	// watchdog's stuck-rank dump, or the state snapshot of an unrecovered
+	// crash), nil when nothing was captured.  cmd/stress -report-dir
+	// persists it as a JSON artifact.
+	Failure *comm.FailureReport
+
 	// Err is non-nil when the run failed: an oracle mismatch, an audit
 	// violation, or a panic/deadlock inside the simulated world.
 	Err error
@@ -64,19 +77,19 @@ var canaryWorldTimeout = 10 * time.Second
 // perfect transport by default, a seeded chaos transport when ChaosSeed is
 // set, and — for canary runs — chaos without the reliable-delivery layer.
 func newScenarioWorld(sc Scenario) *comm.World {
+	timeout := worldTimeout
+	if sc.ChaosCanary || sc.CrashCanary {
+		timeout = canaryWorldTimeout
+	}
 	if sc.ChaosSeed == 0 {
 		w := comm.NewWorld(sc.Ranks)
-		w.SetTimeout(worldTimeout)
+		w.SetTimeout(timeout)
 		return w
 	}
 	cfg := comm.DefaultChaosConfig(sc.ChaosSeed)
 	cfg.DisableReliability = sc.ChaosCanary
 	w := comm.NewWorldTransport(sc.Ranks, comm.NewChaosTransport(cfg))
-	if sc.ChaosCanary {
-		w.SetTimeout(canaryWorldTimeout)
-	} else {
-		w.SetTimeout(worldTimeout)
-	}
+	w.SetTimeout(timeout)
 	return w
 }
 
@@ -95,6 +108,10 @@ func Run(sc Scenario) (res Result) {
 
 	conn := sc.Connectivity()
 	res.Trees = conn.NumTrees()
+	if sc.Crashing() {
+		runCrash(sc, conn, &res)
+		return res
+	}
 	refine := sc.Refiner()
 	opts := sc.Options()
 
@@ -114,6 +131,7 @@ func Run(sc Scenario) (res Result) {
 		auditErrs[c.Rank()] = Audit(c, f)
 		forests[c.Rank()] = f
 	})
+	res.Failure = w.LastFailure()
 
 	for r, err := range auditErrs {
 		if err != nil {
@@ -121,7 +139,130 @@ func Run(sc Scenario) (res Result) {
 			return res
 		}
 	}
+	verifyAgainstOracle(sc, conn, before, forests, &res)
+	return res
+}
 
+// crashDeadline bounds each blocking receive of a crash scenario's epoch
+// attempts, so a rank whose peer was killed mid-collective converts the
+// hang into a recoverable FailureDeadline well before the world watchdog.
+const crashDeadline = 30 * time.Second
+
+// crashRespawnDelay simulates the victim's process-restart latency; the
+// survivors block at the recovery rendezvous meanwhile.
+const crashRespawnDelay = time.Millisecond
+
+// runCrash executes a crash scenario: the same pipeline restructured into
+// checkpointed epochs (forest.RunEpochs), with the scenario's kill point
+// armed on the world.  Construction is an epoch too — its SyncGFP is
+// collective, and any collective running outside the epoch protocol would
+// panic unprotected when a kill elsewhere raises the failure flag
+// mid-operation.  After recovery the result must pass the exact oracle
+// pipeline of a fault-free run; the canary variant (no checkpoint store)
+// must instead fail with the typed rank-death error.
+func runCrash(sc Scenario, conn *forest.Connectivity, res *Result) {
+	refine := sc.Refiner()
+	opts := sc.Options()
+	rank, phase, afterOps := sc.CrashPlan()
+
+	w := newScenarioWorld(sc)
+	defer w.Close()
+	w.ArmCrash(rank, phase, afterOps)
+
+	var store forest.CheckpointStore
+	if !sc.CrashCanary {
+		store = forest.NewMemCheckpointStore()
+	}
+	before := make([][]forest.TreeChunk, sc.Ranks)
+	forests := make([]*forest.Forest, sc.Ranks)
+	epochErrs := make([]error, sc.Ranks)
+	auditErrs := make([]error, sc.Ranks)
+	stats := make([]forest.EpochStats, sc.Ranks)
+	epochs := []forest.EpochFunc{
+		{Name: "init", Run: func(c *comm.Comm, f *forest.Forest) {
+			*f = *forest.NewUniform(conn, c, sc.BaseLevel)
+			f.Wire = sc.Codec
+			f.Workers = sc.Workers
+		}},
+		{Name: "refine", Run: func(c *comm.Comm, f *forest.Forest) {
+			f.Refine(c, sc.MaxLevel, refine)
+			applyPartition(c, f, sc.Partition)
+			// Replays overwrite the slot with identical bytes, so taking
+			// the oracle's input snapshot inside the epoch is idempotent.
+			before[c.Rank()] = snapshotChunks(f)
+		}},
+		{Name: "balance", Run: func(c *comm.Comm, f *forest.Forest) {
+			f.Balance(c, sc.K, opts)
+		}},
+		{Name: "ghost", Run: func(c *comm.Comm, f *forest.Forest) {
+			f.BuildGhost(c)
+		}},
+	}
+	w.Run(func(c *comm.Comm) {
+		f := &forest.Forest{Conn: conn} // built by the "init" epoch
+		st, err := forest.RunEpochs(c, f, epochs, forest.EpochOptions{
+			Store:        store,
+			Deadline:     crashDeadline,
+			RespawnDelay: crashRespawnDelay,
+		})
+		stats[c.Rank()], epochErrs[c.Rank()] = st, err
+		if err == nil && store != nil {
+			// With a store, ranks only leave RunEpochs through the unanimous
+			// all-done rendezvous, so the world is clean and the collective
+			// audit is safe.  (The canary never gets here with err == nil on
+			// any rank unless the kill failed to fire, and then no rank has
+			// an error.)
+			auditErrs[c.Rank()] = Audit(c, f)
+		}
+		forests[c.Rank()] = f
+	})
+	ls := w.LifecycleStats()
+	res.Kills, res.Respawns, res.Recoveries = ls.Kills, ls.Respawns, ls.Recoveries
+	for _, st := range stats {
+		res.Replays += st.Replays
+	}
+	res.Failure = w.LastFailure()
+	if res.Failure == nil && w.Failure() != nil {
+		// An unrecovered kill never reaches the watchdog; snapshot the
+		// world state so the artifact still shows who died where.
+		res.Failure = w.Report()
+	}
+
+	if sc.CrashCanary {
+		// The canary EXPECTS the kill to be fatal: any rank surfacing the
+		// typed failure is the desired outcome.  If every rank completed,
+		// Err stays nil and the driver flags the dead canary.
+		for r, err := range epochErrs {
+			if err != nil {
+				res.Err = fmt.Errorf("harness: crash canary: rank %d: %w", r, err)
+				return
+			}
+		}
+		return
+	}
+	for r, err := range epochErrs {
+		if err != nil {
+			res.Err = fmt.Errorf("harness: crash recovery failed on rank %d: %w", r, err)
+			return
+		}
+	}
+	if ls.Kills == 0 {
+		res.Err = fmt.Errorf("harness: armed crash point (rank %d, phase %q, after %d ops) never fired", rank, phase, afterOps)
+		return
+	}
+	for r, err := range auditErrs {
+		if err != nil {
+			res.Err = fmt.Errorf("harness: audit failed on rank %d: %w", r, err)
+			return
+		}
+	}
+	verifyAgainstOracle(sc, conn, before, forests, res)
+}
+
+// verifyAgainstOracle gathers the per-rank state, fills in the result's
+// leaf counts and checksum, and diffs the balanced forest against the
+// serial RefBalance oracle plus the independent checkers.
+func verifyAgainstOracle(sc Scenario, conn *forest.Connectivity, before [][]forest.TreeChunk, forests []*forest.Forest, res *Result) {
 	beforeTrees := gatherChunks(conn, before)
 	afterTrees := gatherForests(conn, forests)
 	res.LeavesBefore = countLeaves(beforeTrees)
@@ -131,13 +272,13 @@ func Run(sc Scenario) (res Result) {
 	want := forest.RefBalance(conn, beforeTrees, sc.K)
 	if err := diffForests(afterTrees, want, sc); err != nil {
 		res.Err = err
-		return res
+		return
 	}
 	// Belt and braces: the oracle itself must be balanced; so must the
 	// parallel result, independently of the diff.
 	if err := forest.CheckForest(conn, afterTrees, sc.K); err != nil {
 		res.Err = fmt.Errorf("harness: balanced forest fails CheckForest: %w", err)
-		return res
+		return
 	}
 	// Independent audit: CheckForest shares its Canonicalize+OverlapRange
 	// boundary logic with the balancer itself, so on small scenarios the
@@ -148,7 +289,6 @@ func Run(sc Scenario) (res Result) {
 			res.Err = fmt.Errorf("harness: balanced forest fails the pairwise cross-check: %w", err)
 		}
 	}
-	return res
 }
 
 // applyPartition repartitions the freshly refined forest according to the

@@ -146,6 +146,27 @@ type Scenario struct {
 	// mismatch); if it passes, reliable delivery has silently stopped
 	// mattering and the chaos sweep has lost its teeth.
 	ChaosCanary bool
+
+	// CrashSeed, when non-zero, arms a seeded rank-kill: one rank is
+	// killed at a pipeline phase drawn from this seed (see CrashPlan),
+	// respawns, and the run recovers from epoch checkpoints by rollback
+	// and replay.  The recovered forest must still match the serial
+	// oracle octant for octant and carry the same checksum as the
+	// fault-free run — that is the crash-fault-tolerance claim the crash
+	// sweep verifies.
+	CrashSeed uint64
+	// CrashCanary runs the same kill with checkpointing DISABLED, so the
+	// kill cannot be recovered.  A crash-canary scenario is EXPECTED to
+	// fail with the typed rank-death error; if it passes, crash injection
+	// has silently stopped firing and the crash sweep has lost its teeth.
+	CrashCanary bool
+	// CrashRank, CrashPhase and CrashOps pin the kill point explicitly
+	// instead of deriving it from CrashSeed (a non-empty CrashPhase
+	// activates the pin).  Used by tests that sweep specific phases and
+	// by replays of one exact kill point.
+	CrashRank  int
+	CrashPhase string
+	CrashOps   int
 }
 
 // WithChaos returns a copy of the scenario that runs under seeded
@@ -153,6 +174,48 @@ type Scenario struct {
 func (sc Scenario) WithChaos(seed uint64) Scenario {
 	sc.ChaosSeed = seed
 	return sc
+}
+
+// WithCrash returns a copy of the scenario that runs with a seeded
+// rank-kill and checkpoint/rollback recovery.
+func (sc Scenario) WithCrash(seed uint64) Scenario {
+	sc.CrashSeed = seed
+	return sc
+}
+
+// Crashing reports whether the scenario injects a rank-kill.
+func (sc Scenario) Crashing() bool {
+	return sc.CrashSeed != 0 || sc.CrashPhase != ""
+}
+
+// crashPhases are the pipeline phases a seeded kill can land in: the two
+// construction epochs, the five phases of Balance, and the ghost exchange.
+var crashPhases = []string{
+	"init", "refine",
+	"local-balance", "query", "notify", "query-response", "rebalance",
+	"ghost",
+}
+
+// CrashPlan resolves the kill point of a crash scenario: the pinned point
+// when CrashPhase is set, otherwise one derived from CrashSeed.  AfterOps
+// is non-zero only in phases where every rank is guaranteed that many comm
+// operations (the collective allgathers of init and refine at Ranks >= 2);
+// everywhere else the kill fires at phase entry, which every rank reaches
+// unconditionally — so an armed crash always fires, and the sweep can
+// treat a run with zero kills as a broken injector rather than luck.
+func (sc Scenario) CrashPlan() (rank int, phase string, afterOps int) {
+	if sc.CrashPhase != "" {
+		return sc.CrashRank, sc.CrashPhase, sc.CrashOps
+	}
+	h := otest.SplitMix64(sc.CrashSeed)
+	if sc.Ranks > 0 {
+		rank = int(h % uint64(sc.Ranks))
+	}
+	phase = crashPhases[(h>>16)%uint64(len(crashPhases))]
+	if sc.Ranks >= 2 && (phase == "init" || phase == "refine") {
+		afterOps = int((h >> 32) % 2)
+	}
+	return rank, phase, afterOps
 }
 
 // FromSeed deterministically derives a Scenario from one seed.
@@ -311,6 +374,21 @@ func (sc Scenario) Normalized() Scenario {
 	if sc.Codec != forest.WireV1 {
 		sc.Codec = forest.WireV0
 	}
+	if !sc.Crashing() {
+		// No kill armed: the dependent knobs are meaningless, so zero them
+		// out (shrinking relies on "crash off" being one canonical value).
+		sc.CrashCanary = false
+		sc.CrashRank, sc.CrashOps = 0, 0
+	}
+	if sc.CrashRank < 0 {
+		sc.CrashRank = 0
+	}
+	if sc.CrashRank >= sc.Ranks {
+		sc.CrashRank = sc.Ranks - 1
+	}
+	if sc.CrashOps < 0 {
+		sc.CrashOps = 0
+	}
 	return sc
 }
 
@@ -373,6 +451,18 @@ func (sc Scenario) String() string {
 			chaos += "(canary)"
 		}
 	}
+	crash := ""
+	if sc.Crashing() {
+		r, ph, ops := sc.CrashPlan()
+		if sc.CrashPhase != "" {
+			crash = fmt.Sprintf(" crash=r%d@%s+%d", r, ph, ops)
+		} else {
+			crash = fmt.Sprintf(" crash=%d(r%d@%s+%d)", sc.CrashSeed, r, ph, ops)
+		}
+		if sc.CrashCanary {
+			crash += "(canary)"
+		}
+	}
 	wk := ""
 	if sc.Workers != 0 {
 		wk = fmt.Sprintf(" wk=%d", sc.Workers)
@@ -381,9 +471,9 @@ func (sc Scenario) String() string {
 	if sc.Codec != forest.WireV0 {
 		codec = fmt.Sprintf(" codec=%v", sc.Codec)
 	}
-	return fmt.Sprintf("seed=%d dim=%d k=%d brick=%dx%dx%d per=%s mask=%s P=%d lvl=%d..%d ref=%v part=%v algo=%v notify=%d%s%s%s",
+	return fmt.Sprintf("seed=%d dim=%d k=%d brick=%dx%dx%d per=%s mask=%s P=%d lvl=%d..%d ref=%v part=%v algo=%v notify=%d%s%s%s%s",
 		sc.Seed, sc.Dim, sc.K, sc.NX, sc.NY, sc.NZ, per, mask,
-		sc.Ranks, sc.BaseLevel, sc.MaxLevel, sc.Refine, sc.Partition, sc.Algo, sc.Notify, wk, codec, chaos)
+		sc.Ranks, sc.BaseLevel, sc.MaxLevel, sc.Refine, sc.Partition, sc.Algo, sc.Notify, wk, codec, chaos, crash)
 }
 
 // GoLiteral renders the scenario as a Go composite literal, used by the
@@ -414,6 +504,15 @@ func (sc Scenario) GoLiteral() string {
 	}
 	if sc.ChaosSeed != 0 {
 		add("ChaosSeed: %#x, ChaosCanary: %v,", sc.ChaosSeed, sc.ChaosCanary)
+	}
+	if sc.CrashSeed != 0 {
+		add("CrashSeed: %#x,", sc.CrashSeed)
+	}
+	if sc.CrashPhase != "" {
+		add("CrashRank: %d, CrashPhase: %q, CrashOps: %d,", sc.CrashRank, sc.CrashPhase, sc.CrashOps)
+	}
+	if sc.CrashCanary {
+		add("CrashCanary: true,")
 	}
 	return s + "\t}"
 }

@@ -66,6 +66,15 @@ func shrinkCandidates(sc Scenario) []Scenario {
 	var out []Scenario
 	add := func(s Scenario) { out = append(out, s) }
 
+	// No crash: if the failure survives without the rank-kill, crash
+	// injection and recovery are exonerated.  (Canaries are excluded: they
+	// fail BECAUSE of the kill, so removing it can only hide the repro.)
+	if sc.Crashing() && !sc.CrashCanary {
+		s := sc
+		s.CrashSeed, s.CrashPhase = 0, ""
+		s.CrashRank, s.CrashOps = 0, 0
+		add(s)
+	}
 	// No chaos: if the failure survives on the perfect transport, the
 	// transport layer is exonerated and the repro is easier to debug.
 	if sc.ChaosSeed != 0 && !sc.ChaosCanary {
@@ -186,9 +195,11 @@ func ReproSource(sc Scenario, failure error) string {
 
 // replayFlags renders the extra cmd/stress flags a bare -replay of the
 // seed would silently drop: a worker-pool size that differs from the
-// seed's own draw (e.g. pinned with -workers during the sweep), and the
-// chaos leg.  The replayed seed regenerates every other knob itself; the
-// embedded Scenario literal above carries all of them regardless.
+// seed's own draw (e.g. pinned with -workers during the sweep), the
+// chaos leg, and the crash leg (with the kill point pinned explicitly,
+// so the replayed kill lands on the same rank, phase and op count).
+// The replayed seed regenerates every other knob itself; the embedded
+// Scenario literal above carries all of them regardless.
 func replayFlags(sc Scenario) string {
 	var s string
 	if sc.Workers != FromSeed(sc.Seed).Workers {
@@ -199,6 +210,13 @@ func replayFlags(sc Scenario) string {
 	}
 	if sc.ChaosSeed != 0 {
 		s += " -chaos <sweep base>"
+	}
+	if sc.Crashing() {
+		r, ph, ops := sc.CrashPlan()
+		s += fmt.Sprintf(" -crash-rank %d -crash-phase %s -crash-ops %d", r, ph, ops)
+		if sc.CrashCanary {
+			s += " -crash-canary"
+		}
 	}
 	return s
 }

@@ -33,6 +33,20 @@ const (
 	GaugeLocalWorkers = "local/workers"
 )
 
+// Well-known names emitted by the crash-fault tolerance layer: the comm
+// rank lifecycle (kills, respawns) and the forest epoch runner
+// (checkpoints, rollback/replay).  SpanRollback brackets one coordinated
+// recovery on the rank that performs it — restore from checkpoint through
+// the end of the re-synchronizing rendezvous.
+const (
+	CounterKills       = "recover/kills"
+	CounterRespawns    = "recover/respawns"
+	CounterReplays     = "recover/replays"
+	CounterCheckpoints = "recover/checkpoints"
+	CounterCkptBytes   = "recover/ckpt-bytes"
+	SpanRollback       = "recover/rollback"
+)
+
 // eventKind distinguishes the record types in a rank's event buffer.
 type eventKind uint8
 
