@@ -46,6 +46,7 @@ func main() {
 		out       = flag.String("out", "", "output record path (default BENCH_<workload>.json)")
 		traceOut  = flag.String("trace", "", "also export a Chrome trace-event file to this path")
 		kernelsF  = flag.Bool("kernels", true, "run the hot-kernel micro-benchmarks")
+		netKernF  = flag.Bool("net-kernels", false, "also run the socket-transport loopback kernels (Net*)")
 		workersF   = flag.Int("workers", 0, "rank-local worker pool size; > 1 records a serial AND a parallel run per algorithm")
 		codecF     = flag.String("codec", "v0", "wire codec: v0, v1, both (both records a run per codec)")
 		poolF      = flag.Bool("pool", true, "recycle payload buffers through the comm pool")
@@ -221,12 +222,21 @@ func main() {
 	}
 	fmt.Print(tbl)
 
-	if *kernelsF {
-		if err := kernels.Verify(); err != nil {
-			log.Fatal(err)
+	if *kernelsF || *netKernF {
+		var list []kernels.Kernel
+		if *kernelsF {
+			if err := kernels.Verify(); err != nil {
+				log.Fatal(err)
+			}
+			list = kernels.List()
+		}
+		if *netKernF {
+			// The socket kernels ride the same record and table; their Net*
+			// prefix is what -gate-prefix Net compares in CI.
+			list = append(list, kernels.NetList()...)
 		}
 		ktbl := stats.NewTable("hot kernels", "kernel", "ns/op", "iters")
-		for _, kn := range kernels.List() {
+		for _, kn := range list {
 			kn := kn
 			r := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()

@@ -1,0 +1,84 @@
+// Command octd is the worker-process binary of a multi-process world: it
+// joins a leader's rendezvous (cmd/stress or cmd/bench with
+// -transport=tcp|unix), receives the rank→address map and the scenario
+// job blob, hosts its rank span of the shared comm.World over the socket
+// transport, and runs the identical harness pipeline the leader runs on
+// its own span.  All collectives — refinement sync, partition, balance,
+// audit, checksum — cross process boundaries through internal/netcomm
+// without any forest-layer changes.
+//
+// octd is normally spawned by the launcher, but can be started by hand:
+//
+//	octd -join 127.0.0.1:40001 -network tcp -span 5-9
+//	octd -join /tmp/rdv.sock -network unix -span 5-9 -v
+//
+// The span must partition [0, P) together with the leader's and the other
+// workers' spans; the rendezvous rejects anything else with a typed
+// error.  Exit status 0 means this process's share of the run (including
+// the collective audit) succeeded.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/harness"
+	"repro/internal/netcomm"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		join    = flag.String("join", "", "leader rendezvous address (required)")
+		network = flag.String("network", "tcp", "socket family: tcp or unix")
+		spanF   = flag.String("span", "", "rank span to host, as lo-hi (required)")
+		listen  = flag.String("listen", "", "mesh listen address (default: loopback port 0 / fresh temp-dir socket)")
+		worldID = flag.String("world", "", "expected world ID (default: accept the leader's)")
+		timeout = flag.Duration("timeout", 2*time.Minute, "world watchdog timeout")
+		verbose = flag.Bool("v", false, "log bootstrap and result details")
+	)
+	flag.Parse()
+	if *join == "" || *spanF == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	span, err := netcomm.ParseSpan(*spanF)
+	if err != nil {
+		log.Fatalf("octd: %v", err)
+	}
+	log.SetPrefix("octd[" + *spanF + "]: ")
+
+	tr, wi, err := netcomm.Join(netcomm.JoinConfig{
+		Network: *network, Addr: *join, ListenAddr: *listen,
+		Span: span, WorldID: *worldID,
+	})
+	if err != nil {
+		log.Fatalf("join %s: %v", *join, err)
+	}
+	sc, err := harness.DecodeJob(wi.Job)
+	if err != nil {
+		tr.Stop()
+		log.Fatalf("%v", err)
+	}
+	if *verbose {
+		log.Printf("joined world %s as proc %d/%d, hosting ranks %v of %d: %v",
+			wi.WorldID, wi.ProcID, len(wi.Procs), span, wi.Size, sc)
+	}
+
+	w := comm.NewWorldTransport(wi.Size, tr)
+	w.SetTimeout(*timeout)
+	res := harness.RunLocalRanks(w, span.Lo, span.Hi, sc)
+	w.Close()
+	if res.Err != nil {
+		log.Fatalf("FAIL: %v", res.Err)
+	}
+	if *verbose {
+		log.Printf("ok: %d leaves, checksum %#x (stats %+v)", res.LeavesAfter, res.Checksum, tr.Stats())
+	}
+	// The checksum line is the worker's machine-readable result; the
+	// launcher cross-checks it against the leader's collective value.
+	log.Printf("checksum %#x", res.Checksum)
+}

@@ -80,8 +80,24 @@ func main() {
 		workersF  = flag.Int("workers", -1, "pin the rank-local worker pool size for every scenario (-1 = scenario-chosen)")
 		codecF    = flag.String("codec", "", "pin the wire codec for every scenario: v0 or v1 (default scenario-chosen)")
 		verbose   = flag.Bool("v", false, "print every scenario as it runs")
+
+		// Multi-process mode (net.go): run one pinned scenario as a world
+		// spanning several OS processes over sockets and compare its
+		// checksum against the in-process run.
+		transport = flag.String("transport", "inproc", "world transport: inproc, tcp or unix (tcp/unix = multi-process mode)")
+		procsF    = flag.Int("procs", 3, "with -transport tcp|unix: OS process count, including this leader")
+		listenF   = flag.String("listen", "", "with -transport tcp|unix: leader rendezvous address (default loopback port 0 / temp-dir socket)")
+		joinF     = flag.String("join", "", "worker mode: join the leader rendezvous at this address instead of leading")
+		spanF     = flag.String("span", "", "worker mode: rank span to host, as lo-hi")
+		octdF     = flag.String("octd", "", "with -transport tcp|unix: worker binary to spawn (default: this binary in -join mode)")
+		netRanks  = flag.Int("net-ranks", 13, "with -transport tcp|unix: pin the scenario's world size (0 = scenario-chosen)")
+		netChaos  = flag.Uint("net-chaos", 0, "with -transport tcp|unix: socket-layer frame-drop rate in parts per million")
 	)
 	flag.Parse()
+
+	if *joinF != "" {
+		os.Exit(runNetWorker(*transport, *joinF, *spanF))
+	}
 
 	// pin applies the -workers override; replay commands printed below
 	// carry the same flag so a pinned failure stays reproducible.
@@ -108,6 +124,17 @@ func main() {
 	}
 	if *codecF != "" {
 		pinFlag += fmt.Sprintf(" -codec %v", pinCodec)
+	}
+
+	if *transport != "inproc" {
+		netSeed := *seed
+		if *replay != 0 {
+			netSeed = *replay
+		}
+		os.Exit(runNetLeader(netLaunch{
+			network: *transport, procs: *procsF, listen: *listenF, octd: *octdF,
+			ranks: *netRanks, chaosPPM: *netChaos, seed: netSeed, pin: pin,
+		}))
 	}
 
 	forest.PreclusionFaultLevels = *fault

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/harness"
+	"repro/internal/netcomm"
+)
+
+// Multi-process mode: with -transport tcp|unix the stress driver becomes
+// a launcher.  It runs one pinned scenario twice — once in-process on the
+// PerfectTransport with the full oracle diff, then again as one world
+// spread across -procs OS processes over sockets — and requires the two
+// forests to carry the identical partition-invariant checksum.  The
+// worker processes are either spawned copies of this binary (-join puts
+// stress into worker mode) or the dedicated cmd/octd binary (-octd).
+//
+//	stress -transport unix -procs 3 -net-ranks 13 -replay 42
+//	stress -transport tcp  -procs 3 -net-ranks 13 -replay 42 -codec v1
+//	stress -transport unix -procs 3 -octd ./octd -net-chaos 20000 -replay 42
+
+// netLaunch describes one multi-process comparison run.
+type netLaunch struct {
+	network  string // "tcp" or "unix"
+	procs    int
+	listen   string // leader rendezvous address; "" = safe default
+	octd     string // worker binary; "" = re-exec this binary in -join mode
+	ranks    int    // world size override (0 keeps the scenario's)
+	chaosPPM uint   // socket-layer frame-drop rate, parts per million
+	seed     int64
+	pin      func(harness.Scenario) harness.Scenario
+}
+
+// runNetLeader executes the multi-process comparison and returns the
+// process exit code.
+func runNetLeader(cfg netLaunch) int {
+	if cfg.network != "tcp" && cfg.network != "unix" {
+		log.Printf("-transport %q: want inproc, tcp or unix", cfg.network)
+		return 2
+	}
+	if cfg.procs < 1 {
+		log.Printf("-procs %d: need at least the leader", cfg.procs)
+		return 2
+	}
+	sc := cfg.pin(harness.FromSeed(cfg.seed))
+	if cfg.ranks > 0 {
+		sc.Ranks = cfg.ranks
+		sc = sc.Normalized()
+	}
+	if cfg.procs > sc.Ranks {
+		cfg.procs = sc.Ranks
+	}
+
+	// Leg A: the in-process reference run, with the full serial-oracle
+	// octant diff.  Its checksum is the value the distributed world must
+	// reproduce bit for bit.
+	log.Printf("in-process leg: %v", sc)
+	ref := harness.Run(sc)
+	if ref.Err != nil {
+		log.Printf("FAIL (in-process leg): %v", ref.Err)
+		return 1
+	}
+	log.Printf("in-process leg ok: %d -> %d leaves, checksum %#x", ref.LeavesBefore, ref.LeavesAfter, ref.Checksum)
+
+	// Leg B: the same scenario as one world over -procs OS processes.
+	spans := splitSpans(sc.Ranks, cfg.procs)
+	ln, cleanup, err := netcomm.Listen(cfg.network, cfg.listen)
+	if err != nil {
+		log.Printf("listen: %v", err)
+		return 1
+	}
+	defer cleanup()
+	addr := ln.Addr().String()
+	log.Printf("distributed leg: %d ranks over %d processes (%s %s)", sc.Ranks, cfg.procs, cfg.network, addr)
+
+	workers, err := spawnWorkers(cfg, addr, spans[1:])
+	if err != nil {
+		ln.Close()
+		log.Printf("spawn workers: %v", err)
+		return 1
+	}
+	chaos := netcomm.NetChaos{}
+	if cfg.chaosPPM > 0 {
+		chaos = netcomm.NetChaos{Seed: uint64(sc.Seed) | 1, DropPPM: uint32(cfg.chaosPPM)}
+	}
+	tr, _, err := netcomm.Lead(ln, netcomm.LeadConfig{
+		WorldSize: sc.Ranks, Procs: cfg.procs, Span: spans[0],
+		Job: harness.EncodeJob(sc), Chaos: chaos,
+	})
+	if err != nil {
+		log.Printf("rendezvous: %v", err)
+		reapWorkers(workers)
+		return 1
+	}
+	w := comm.NewWorldTransport(sc.Ranks, tr)
+	w.SetTimeout(2 * time.Minute)
+	res := harness.RunLocalRanks(w, spans[0].Lo, spans[0].Hi, sc)
+	w.Close()
+	if werr := reapWorkers(workers); werr != nil {
+		log.Printf("FAIL (distributed leg): %v", werr)
+		return 1
+	}
+	if res.Err != nil {
+		log.Printf("FAIL (distributed leg): %v", res.Err)
+		return 1
+	}
+	log.Printf("distributed leg ok: %d leaves, checksum %#x", res.LeavesAfter, res.Checksum)
+
+	if res.Checksum != ref.Checksum || res.LeavesAfter != ref.LeavesAfter {
+		log.Printf("FAIL: distributed world diverged from the in-process run: checksum %#x != %#x (leaves %d vs %d)",
+			res.Checksum, ref.Checksum, res.LeavesAfter, ref.LeavesAfter)
+		return 1
+	}
+	log.Printf("ok: %d-process world matches the in-process run bit for bit (checksum %#x)", cfg.procs, ref.Checksum)
+	return 0
+}
+
+// spawnWorkers starts one worker process per remote span, inheriting
+// stderr so bootstrap failures surface in the launcher's log.
+func spawnWorkers(cfg netLaunch, addr string, spans []netcomm.Span) ([]*exec.Cmd, error) {
+	workers := make([]*exec.Cmd, 0, len(spans))
+	for _, sp := range spans {
+		span := fmt.Sprintf("%d-%d", sp.Lo, sp.Hi)
+		var cmd *exec.Cmd
+		if cfg.octd != "" {
+			cmd = exec.Command(cfg.octd, "-join", addr, "-network", cfg.network, "-span", span, "-v")
+		} else {
+			self, err := os.Executable()
+			if err != nil {
+				reapWorkers(workers)
+				return nil, err
+			}
+			cmd = exec.Command(self, "-transport", cfg.network, "-join", addr, "-span", span)
+		}
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			reapWorkers(workers)
+			return nil, fmt.Errorf("starting worker for span %s: %w", span, err)
+		}
+		workers = append(workers, cmd)
+	}
+	return workers, nil
+}
+
+// reapWorkers waits for every worker and returns the first failure.
+func reapWorkers(workers []*exec.Cmd) error {
+	var first error
+	for _, cmd := range workers {
+		if err := cmd.Wait(); err != nil && first == nil {
+			first = fmt.Errorf("worker %d: %w", cmd.Process.Pid, err)
+		}
+	}
+	return first
+}
+
+// runNetWorker is the -join mode: this stress process hosts one rank span
+// of a leader's world, exactly like cmd/octd.  Returns the exit code.
+func runNetWorker(network, join, spanStr string) int {
+	span, err := netcomm.ParseSpan(spanStr)
+	if err != nil {
+		log.Printf("%v", err)
+		return 2
+	}
+	log.SetPrefix(fmt.Sprintf("stress[%s]: ", spanStr))
+	tr, wi, err := netcomm.Join(netcomm.JoinConfig{Network: network, Addr: join, Span: span})
+	if err != nil {
+		log.Printf("join %s: %v", join, err)
+		return 1
+	}
+	sc, err := harness.DecodeJob(wi.Job)
+	if err != nil {
+		tr.Stop()
+		log.Printf("%v", err)
+		return 1
+	}
+	w := comm.NewWorldTransport(wi.Size, tr)
+	w.SetTimeout(2 * time.Minute)
+	res := harness.RunLocalRanks(w, span.Lo, span.Hi, sc)
+	w.Close()
+	if res.Err != nil {
+		log.Printf("FAIL: %v", res.Err)
+		return 1
+	}
+	log.Printf("ok: checksum %#x", res.Checksum)
+	return 0
+}
+
+// splitSpans cuts [0, p) into n near-equal contiguous spans.
+func splitSpans(p, n int) []netcomm.Span {
+	spans := make([]netcomm.Span, 0, n)
+	lo := 0
+	for i := 0; i < n; i++ {
+		hi := lo + (p-lo)/(n-i)
+		spans = append(spans, netcomm.Span{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return spans
+}

@@ -235,9 +235,22 @@ type World struct {
 
 	net NetStats // updated atomically field by field
 
+	// retainsWire, when non-nil, reports that the transport reads packet
+	// payloads outside the Send call (a socket transport serializes them on
+	// writer goroutines and in retransmit races).  Wire copies of packets
+	// bound for such destinations are leaked to the GC instead of recycled,
+	// so no pool reuse can race the transport's reads.
+	retainsWire func(dst int) bool
+
 	poisoned  atomic.Bool
 	closeCh   chan struct{}
 	closeOnce sync.Once
+
+	// spanLo/spanHi is the local rank span the most recent Run/RunRanks
+	// hosted, used by failure reports to name only observable ranks.  A
+	// single-process world always spans [0, size).
+	spanMu         sync.Mutex
+	spanLo, spanHi int
 
 	// life holds the crash-fault state: dead ranks, the broadcast failure
 	// flag, the packet incarnation, armed crash points and the recovery
@@ -274,6 +287,7 @@ func NewWorldTransport(p int, tr Transport) *World {
 		closeCh:    make(chan struct{}),
 		stats:      make(map[string]Stats),
 		inflight:   make(map[string]int64),
+		spanHi:     p,
 	}
 	w.inboxes = make([]*inbox, p)
 	w.states = make([]*rankState, p)
@@ -294,6 +308,11 @@ func NewWorldTransport(p int, tr Transport) *World {
 	// kills upward so the logical layer raises the typed failure.
 	if ct, ok := tr.(interface{ SetKillHook(func(int)) }); ok {
 		ct.SetKillHook(w.KillRank)
+	}
+	// A transport that reads payloads asynchronously (internal/netcomm)
+	// opts the affected channels out of wire-copy recycling.
+	if rt, ok := tr.(interface{ RetainsWire(dst int) bool }); ok {
+		w.retainsWire = rt.RetainsWire
 	}
 	if !w.reliable {
 		go w.retransmitter()
@@ -328,6 +347,19 @@ func (w *World) SetTracer(tr *obs.Tracer) {
 		panic(fmt.Sprintf("comm: tracer has %d rank tracks, world needs %d", tr.NumRanks(), w.size))
 	}
 	w.tracer.Store(tr)
+	// Transports with their own physical-layer meters (the socket transport
+	// counts frames, bytes and reconnects) mirror them into the same tracer.
+	if st, ok := w.transport.(interface{ SetTracer(*obs.Tracer) }); ok {
+		st.SetTracer(tr)
+	}
+}
+
+// LocalSpan returns the local rank span the most recent Run/RunRanks
+// hosted ([0, Size) for a single-process world).
+func (w *World) LocalSpan() (lo, hi int) {
+	w.spanMu.Lock()
+	defer w.spanMu.Unlock()
+	return w.spanLo, w.spanHi
 }
 
 // Tracer returns the attached tracer, or nil (a valid disabled tracer).
@@ -351,7 +383,16 @@ func (w *World) Poisoned() bool { return w.poisoned.Load() }
 
 // Close stops the transport and the retransmission loop.  The world must
 // not be used afterwards.  Idempotent.
+//
+// On an unreliable transport Close first quiesces: it waits (bounded)
+// until every message this process sent has been acknowledged.  In a
+// multi-process world the ranks of one process can finish a collective
+// before their peers have received its tail — the final ring sends of an
+// Allgatherv sit in a writer queue or await acks when the local span
+// returns — and poisoning at that instant would discard the frames and
+// kill the retransmitter, starving the remote ranks forever.
 func (w *World) Close() {
+	w.drainOutbound()
 	w.poison()
 }
 
@@ -391,10 +432,30 @@ const panicGrace = 5 * time.Second
 // armed (SetTimeout) and expires, Run poisons the world and panics with a
 // per-rank diagnostic dump naming the operation each rank is blocked in.
 func (w *World) Run(fn func(c *Comm)) {
+	w.RunRanks(0, w.size, fn)
+}
+
+// RunRanks executes fn concurrently on the local rank span [lo, hi) and
+// blocks until those ranks return.  It is how a world that spans multiple
+// OS processes (internal/netcomm) runs: every process creates a World of
+// the full size over the same socket transport, but hosts only the rank
+// goroutines of its own span — the remaining ranks live in peer processes
+// and reach this one through the transport.  Collectives work unchanged
+// because they are built on point-to-point sends that the transport routes
+// by destination rank.  Panic and watchdog semantics match Run, except the
+// diagnostic dump names only local ranks (remote state is not observable
+// here).
+func (w *World) RunRanks(lo, hi int, fn func(c *Comm)) {
+	if lo < 0 || hi > w.size || lo >= hi {
+		panic(fmt.Sprintf("comm: RunRanks: invalid span [%d, %d) for world of %d ranks", lo, hi, w.size))
+	}
 	w.checkLive()
+	w.spanMu.Lock()
+	w.spanLo, w.spanHi = lo, hi
+	w.spanMu.Unlock()
 	var wg sync.WaitGroup
-	panics := make(chan string, w.size)
-	for r := 0; r < w.size; r++ {
+	panics := make(chan string, hi-lo)
+	for r := lo; r < hi; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()

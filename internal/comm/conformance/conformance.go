@@ -1,0 +1,216 @@
+// Package conformance is the Transport conformance suite: every behavior
+// the World's reliable-delivery layer promises to the application — FIFO
+// per channel, tag matching, RecvAny fairness, working collectives — is
+// exercised over each Transport implementation, including deliberately
+// hostile ones.
+//
+// The suite lives in its own package (rather than inside package comm's
+// tests) so transport implementations outside comm — the socket transport
+// in internal/netcomm spans several Worlds across what would be separate
+// OS processes — can run the identical legs against their own harness.
+// The suite only sees the Harness interface: "run this rank body on every
+// rank of a fresh world, then tear it down".
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// Harness is one world of P ranks under test.  Run executes fn on every
+// rank (rank identity and messaging come from the *comm.Comm handle, as
+// in World.Run) and returns when all ranks finish.  Close tears the world
+// down; the harness is not reused after Close.
+//
+// A multi-process harness may back Run with several Worlds each hosting a
+// rank span — the suite does not care, provided all P ranks execute fn.
+type Harness interface {
+	Run(fn func(c *comm.Comm))
+	Close()
+}
+
+// Factory builds fresh harnesses for one transport under test.
+type Factory struct {
+	// Name labels the subtest tree.
+	Name string
+	// New returns a fresh harness of p ranks.  seed parameterizes
+	// fault-injecting transports; deterministic transports ignore it.
+	New func(t *testing.T, seed uint64, p int) Harness
+	// Scale divides the iteration counts: fault-injecting or
+	// syscall-heavy transports run fewer rounds to stay inside the
+	// tier-1 time budget.  Zero means 1.
+	Scale int
+}
+
+func (f Factory) scale() int {
+	if f.Scale < 1 {
+		return 1
+	}
+	return f.Scale
+}
+
+// Run executes the full conformance suite against one factory as a
+// subtest tree: Ordering, AllPairs, Tags, RecvAny, Collectives.
+func Run(t *testing.T, f Factory) {
+	t.Run(f.Name, func(t *testing.T) {
+		t.Run("Ordering", func(t *testing.T) { Ordering(t, f) })
+		t.Run("AllPairs", func(t *testing.T) { AllPairs(t, f) })
+		t.Run("Tags", func(t *testing.T) { Tags(t, f) })
+		t.Run("RecvAny", func(t *testing.T) { RecvAny(t, f) })
+		t.Run("Collectives", func(t *testing.T) { Collectives(t, f) })
+	})
+}
+
+// Ordering checks per-channel FIFO: a burst of numbered messages on one
+// (src, dst, tag) channel arrives in send order.  Repeated many times
+// because reordering windows are scheduling-dependent (this is the
+// promoted zz_race_scratch regression test: the scratch-buffer release
+// order of the reliable layer once allowed delivery reordering under an
+// async transport).
+func Ordering(t *testing.T, f Factory) {
+	const p = 2
+	iters, n := 200/f.scale(), 2000/f.scale()
+	if iters < 1 {
+		iters = 1
+	}
+	if n < 50 {
+		n = 50
+	}
+	for iter := 0; iter < iters; iter++ {
+		h := f.New(t, uint64(1000+iter), p)
+		bad := false
+		h.Run(func(c *comm.Comm) {
+			if c.Rank() == 0 {
+				for i := 0; i < n; i++ {
+					c.Send(1, 3, []byte{byte(i / 256), byte(i % 256)})
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					got := c.Recv(0, 3)
+					if int(got[0])*256+int(got[1]) != i {
+						bad = true
+						t.Errorf("iter %d: message %d arrived as %d", iter, i, int(got[0])*256+int(got[1]))
+						return
+					}
+				}
+			}
+		})
+		h.Close()
+		if bad {
+			return
+		}
+	}
+}
+
+// AllPairs exchanges a distinct payload between every ordered rank pair
+// and checks content and provenance.
+func AllPairs(t *testing.T, f Factory) {
+	const p = 5
+	iters := 20 / f.scale()
+	if iters < 1 {
+		iters = 1
+	}
+	payload := func(src, dst, iter int) []byte {
+		return []byte(fmt.Sprintf("p%d->%d#%d", src, dst, iter))
+	}
+	for iter := 0; iter < iters; iter++ {
+		h := f.New(t, uint64(2000+iter), p)
+		h.Run(func(c *comm.Comm) {
+			me := c.Rank()
+			for d := 0; d < p; d++ {
+				if d != me {
+					c.Send(d, 7, payload(me, d, iter))
+				}
+			}
+			for s := 0; s < p; s++ {
+				if s == me {
+					continue
+				}
+				got := c.Recv(s, 7)
+				if want := payload(s, me, iter); !bytes.Equal(got, want) {
+					t.Errorf("rank %d from %d: got %q want %q", me, s, got, want)
+				}
+			}
+		})
+		h.Close()
+	}
+}
+
+// Tags checks tag matching: messages on different tags are matched by
+// tag, not arrival order, even when received in reverse send order.
+func Tags(t *testing.T, f Factory) {
+	h := f.New(t, 3000, 2)
+	const tags = 8
+	h.Run(func(c *comm.Comm) {
+		if c.Rank() == 0 {
+			for tag := 0; tag < tags; tag++ {
+				c.Send(1, tag, []byte{byte(tag)})
+			}
+		} else {
+			for tag := tags - 1; tag >= 0; tag-- {
+				got := c.Recv(0, tag)
+				if len(got) != 1 || got[0] != byte(tag) {
+					t.Errorf("tag %d: got %v", tag, got)
+				}
+			}
+		}
+	})
+	h.Close()
+}
+
+// RecvAny checks wildcard receive: rank 0 drains one message from every
+// other rank, in whatever order they land, and sees each exactly once.
+func RecvAny(t *testing.T, f Factory) {
+	const p = 6
+	h := f.New(t, 4000, p)
+	h.Run(func(c *comm.Comm) {
+		if c.Rank() == 0 {
+			seen := make(map[int]bool)
+			for i := 0; i < p-1; i++ {
+				src, data := c.RecvAny(9)
+				if seen[src] {
+					t.Errorf("duplicate message from rank %d", src)
+				}
+				seen[src] = true
+				if len(data) != 1 || int(data[0]) != src {
+					t.Errorf("from %d: payload %v", src, data)
+				}
+			}
+		} else {
+			c.Send(0, 9, []byte{byte(c.Rank())})
+		}
+	})
+	h.Close()
+}
+
+// Collectives checks Barrier, Allgatherv and the Allreduce wrappers built
+// on top of point-to-point delivery.
+func Collectives(t *testing.T, f Factory) {
+	const p = 5
+	h := f.New(t, 5000, p)
+	h.Run(func(c *comm.Comm) {
+		me := c.Rank()
+		// Barrier: a flag set before the barrier must be visible to all
+		// ranks after it (checked via the gather below).
+		c.Barrier()
+		blocks := c.Allgatherv([]byte(fmt.Sprintf("rank-%d", me)))
+		if len(blocks) != p {
+			t.Errorf("rank %d: %d blocks", me, len(blocks))
+		}
+		for r, b := range blocks {
+			if want := fmt.Sprintf("rank-%d", r); string(b) != want {
+				t.Errorf("rank %d: block %d = %q want %q", me, r, b, want)
+			}
+		}
+		if sum := c.AllreduceSumInt64(int64(me + 1)); sum != int64(p*(p+1)/2) {
+			t.Errorf("rank %d: sum %d", me, sum)
+		}
+		if max := c.AllreduceMaxInt64(int64(me)); max != int64(p-1) {
+			t.Errorf("rank %d: max %d", me, max)
+		}
+	})
+	h.Close()
+}

@@ -316,10 +316,15 @@ func (w *World) resetMessageLayer() {
 	w.statsMu.Unlock()
 
 	if !w.reliable {
-		for _, ch := range w.sendChans {
+		for i, ch := range w.sendChans {
+			// Same recycle exception as the ack path: wire copies bound for
+			// a payload-retaining transport (RetainsWire) leak to the GC.
+			recycle := w.retainsWire == nil || !w.retainsWire(i%w.size)
 			ch.mu.Lock()
 			for _, pd := range ch.unacked {
-				PutBuf(pd.pkt.Data)
+				if recycle {
+					PutBuf(pd.pkt.Data)
+				}
 			}
 			ch.unacked = make(map[uint64]*pending)
 			ch.nextSeq = 0

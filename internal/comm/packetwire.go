@@ -1,0 +1,123 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Wire encoding of Packet, used by socket transports (internal/netcomm) to
+// carry reliable-layer packets between OS processes.  The encoding is
+// varint-based and self-delimiting: a frame body may hold any number of
+// packets back to back, and the decoder consumes exactly one per call.
+//
+// The phase label rides along even though it is metering metadata, not
+// protocol state: the receiving process attributes mailbox pressure to the
+// phase that caused it, exactly as the in-process transports do.  Payload
+// bytes are NOT copied by the decoder — the returned Packet's Data aliases
+// the input buffer, which is safe because World.onPacket copies everything
+// it retains before returning (the unreliable-transport path always runs
+// under a socket transport).  Callers that hold packets past the deliver
+// call must copy Data themselves.
+
+// Packet decode failures.  Frames cross process boundaries, so truncation
+// and malformed fields surface as errors rather than panics — the same
+// hardening discipline as the forest wire codec.
+var (
+	ErrPacketTruncated = errors.New("comm: truncated packet")
+	ErrPacketMalformed = errors.New("comm: malformed packet")
+)
+
+// maxPacketString bounds the decoded phase-label length, so a crafted
+// frame cannot force an oversized allocation.
+const maxPacketString = 1 << 10
+
+// AppendPacket appends the wire encoding of p to b and returns the
+// extended slice.
+func AppendPacket(b []byte, p Packet) []byte {
+	b = append(b, byte(p.Kind))
+	b = AppendVarint(b, int64(p.Src))
+	b = AppendVarint(b, int64(p.Dst))
+	b = AppendVarint(b, int64(p.Tag))
+	b = AppendUvarint(b, p.Seq)
+	b = AppendUvarint(b, uint64(p.Attempt))
+	b = AppendUvarint(b, p.Inc)
+	b = AppendUvarint(b, uint64(len(p.phase)))
+	b = append(b, p.phase...)
+	b = AppendUvarint(b, uint64(len(p.Data)))
+	b = append(b, p.Data...)
+	return b
+}
+
+// PacketAt decodes the packet at byte offset off and returns it with the
+// offset just past it.  The returned Packet's Data aliases b.  Truncated
+// or malformed input is reported as an error, never a panic.
+func PacketAt(b []byte, off int) (Packet, int, error) {
+	var p Packet
+	if off < 0 || off >= len(b) {
+		return p, off, ErrPacketTruncated
+	}
+	kind := PacketKind(b[off])
+	if kind != PacketData && kind != PacketAck {
+		return p, off, fmt.Errorf("%w: kind %d", ErrPacketMalformed, kind)
+	}
+	p.Kind = kind
+	off++
+	var err error
+	var sv int64
+	if sv, off, err = VarintAt(b, off); err != nil {
+		return p, off, err
+	}
+	p.Src = int(sv)
+	if sv, off, err = VarintAt(b, off); err != nil {
+		return p, off, err
+	}
+	p.Dst = int(sv)
+	if sv, off, err = VarintAt(b, off); err != nil {
+		return p, off, err
+	}
+	p.Tag = int(sv)
+	var uv uint64
+	if uv, off, err = UvarintAt(b, off); err != nil {
+		return p, off, err
+	}
+	p.Seq = uv
+	if uv, off, err = UvarintAt(b, off); err != nil {
+		return p, off, err
+	}
+	p.Attempt = int(uv)
+	if uv, off, err = UvarintAt(b, off); err != nil {
+		return p, off, err
+	}
+	p.Inc = uv
+	if uv, off, err = UvarintAt(b, off); err != nil {
+		return p, off, err
+	}
+	if uv > maxPacketString || int(uv) > len(b)-off {
+		return p, off, fmt.Errorf("%w: phase length %d exceeds %d remaining bytes", ErrPacketMalformed, uv, len(b)-off)
+	}
+	p.phase = string(b[off : off+int(uv)])
+	off += int(uv)
+	if uv, off, err = UvarintAt(b, off); err != nil {
+		return p, off, err
+	}
+	if int64(uv) > int64(len(b)-off) {
+		return p, off, fmt.Errorf("%w: payload length %d exceeds %d remaining bytes", ErrPacketMalformed, uv, len(b)-off)
+	}
+	if uv > 0 {
+		p.Data = b[off : off+int(uv) : off+int(uv)]
+		off += int(uv)
+	}
+	return p, off, nil
+}
+
+// Phase returns the metering phase label the packet carries.  Exported for
+// transport implementations and their tests; application code never sees
+// packets.
+func (p Packet) Phase() string { return p.phase }
+
+// WithPhase returns a copy of the packet carrying the given metering phase
+// label.  Exported for transport tests that construct packets by hand.
+func (p Packet) WithPhase(phase string) Packet {
+	p.phase = phase
+	return p
+}

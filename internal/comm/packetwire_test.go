@@ -1,0 +1,67 @@
+package comm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPacketWireRoundTrip checks that every field of a packet — including
+// the metering phase label and an empty payload — survives the wire
+// encoding, and that several packets decode back to back from one buffer.
+func TestPacketWireRoundTrip(t *testing.T) {
+	pkts := []Packet{
+		Packet{Src: 0, Dst: 12, Kind: PacketData, Tag: 3, Seq: 7, Attempt: 2, Inc: 1,
+			Data: []byte("payload")}.WithPhase("balance/query"),
+		{Src: 12, Dst: 0, Kind: PacketAck, Seq: 8, Inc: 1},
+		Packet{Src: 5, Dst: 6, Kind: PacketData, Tag: -42, Seq: 0, Data: nil}.WithPhase(""),
+	}
+	var b []byte
+	for _, p := range pkts {
+		b = AppendPacket(b, p)
+	}
+	off := 0
+	for i, want := range pkts {
+		got, next, err := PacketAt(b, off)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		off = next
+		if got.Src != want.Src || got.Dst != want.Dst || got.Kind != want.Kind ||
+			got.Tag != want.Tag || got.Seq != want.Seq || got.Attempt != want.Attempt ||
+			got.Inc != want.Inc || got.Phase() != want.Phase() || !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("packet %d: got %+v phase %q, want %+v phase %q", i, got, got.Phase(), want, want.Phase())
+		}
+	}
+	if off != len(b) {
+		t.Fatalf("decoded %d of %d bytes", off, len(b))
+	}
+}
+
+// TestPacketWireMalformed checks that truncation and crafted length fields
+// are rejected with errors, never panics or oversized allocations.
+func TestPacketWireMalformed(t *testing.T) {
+	good := AppendPacket(nil, Packet{Src: 1, Dst: 2, Kind: PacketData, Tag: 9, Seq: 3,
+		Data: bytes.Repeat([]byte{0xab}, 100)}.WithPhase("ph"))
+	// Every strict prefix must fail cleanly.
+	for n := 0; n < len(good); n++ {
+		if _, _, err := PacketAt(good[:n], 0); err == nil {
+			t.Fatalf("prefix of %d bytes decoded without error", n)
+		}
+	}
+	// A bad kind byte fails.
+	bad := append([]byte{0xee}, good[1:]...)
+	if _, _, err := PacketAt(bad, 0); err == nil {
+		t.Fatal("bad kind byte decoded without error")
+	}
+	// A payload length pointing past the buffer fails (claims 2^40 bytes).
+	crafted := AppendPacket(nil, Packet{Src: 1, Dst: 2, Kind: PacketData}.WithPhase(""))
+	crafted = crafted[:len(crafted)-1] // strip the 0 data length
+	crafted = AppendUvarint(crafted, 1<<40)
+	if _, _, err := PacketAt(crafted, 0); err == nil {
+		t.Fatal("oversized payload length decoded without error")
+	}
+	// An offset out of range fails.
+	if _, _, err := PacketAt(good, len(good)+5); err == nil {
+		t.Fatal("out-of-range offset decoded without error")
+	}
+}

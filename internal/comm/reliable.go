@@ -126,13 +126,19 @@ func (w *World) onPacket(p Packet) {
 			ch.mu.Unlock()
 			return
 		}
+		// The retired wire copy was post's own (never shared with the
+		// producer or the receiver), so this is its sole recycle point.
+		// Duplicate deliveries of it may still be in flight, but dedup
+		// drops them without reading Data.  Exception: a transport that
+		// serializes payloads on its own goroutines (RetainsWire) may
+		// still be encoding a retransmission of the copy, so for those
+		// destinations it is leaked to the GC instead.
+		recycle := w.retainsWire == nil || !w.retainsWire(p.Src)
 		for seq, pd := range ch.unacked {
 			if seq < p.Seq {
-				// The retired wire copy was post's own (never shared with
-				// the producer or the receiver), so this is its sole
-				// recycle point.  Duplicate deliveries of it may still be
-				// in flight, but dedup drops them without reading Data.
-				PutBuf(pd.pkt.Data)
+				if recycle {
+					PutBuf(pd.pkt.Data)
+				}
 				delete(ch.unacked, seq)
 			}
 		}
@@ -239,6 +245,39 @@ func (w *World) retransmitter() {
 				w.transport.Send(pkt)
 			}
 		}
+	}
+}
+
+// quiesceTimeout bounds how long Close waits for the world's final
+// in-flight messages to be acknowledged before tearing the network down.
+// The normal case empties in a few retransmission ticks; the bound only
+// bites when a peer process died, and then the caller is about to report
+// a failure anyway.
+const quiesceTimeout = 5 * time.Second
+
+// drainOutbound blocks until every send channel is fully acknowledged or
+// the quiesce deadline passes.  It runs with the world still live — the
+// retransmitter keeps resending, readers keep delivering acks — which is
+// exactly what distinguishes it from poison.  Skipped on reliable
+// transports (nothing is ever unacked), on already-poisoned worlds
+// (watchdog/failure paths must not stall teardown), and when a crash
+// fault is registered (channels to dead ranks never drain).
+func (w *World) drainOutbound() {
+	if w.reliable || w.poisoned.Load() || w.life.failure.Load() != nil {
+		return
+	}
+	deadline := time.Now().Add(quiesceTimeout)
+	for time.Now().Before(deadline) {
+		outstanding := 0
+		for _, ch := range w.sendChans {
+			ch.mu.Lock()
+			outstanding += len(ch.unacked)
+			ch.mu.Unlock()
+		}
+		if outstanding == 0 {
+			return
+		}
+		time.Sleep(retryTick)
 	}
 }
 

@@ -113,16 +113,20 @@ func (w *World) LastFailure() *FailureReport {
 }
 
 func (w *World) buildReport(kind string, timeout time.Duration) *FailureReport {
+	// Only the local rank span is observable: in a multi-process world
+	// (RunRanks under a socket transport) the remaining ranks' states and
+	// mailboxes live in peer processes.
+	lo, hi := w.LocalSpan()
 	r := &FailureReport{Kind: kind, WorldSize: w.size, Timeout: timeout}
-	r.Ranks = make([]RankStatus, w.size)
-	for i := 0; i < w.size; i++ {
+	r.Ranks = make([]RankStatus, 0, hi-lo)
+	for i := lo; i < hi; i++ {
 		phase, op, since := w.states[i].snapshot()
 		st := RankStatus{Rank: i, Phase: phase, Op: op, Dead: w.RankDead(i)}
 		if op != "" {
 			st.BlockedFor = time.Since(since)
 		}
 		st.InboxPending, st.InboxTags = w.inboxes[i].pending()
-		r.Ranks[i] = st
+		r.Ranks = append(r.Ranks, st)
 	}
 	if !w.reliable {
 		r.UnackedChannels = w.unackedSummary()

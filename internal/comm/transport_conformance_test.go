@@ -1,26 +1,28 @@
-package comm
+package comm_test
+
+// The Transport conformance legs themselves live in
+// internal/comm/conformance so socket transports (internal/netcomm) can
+// run the identical suite; this file wires the in-process transports into
+// it.  It is an external test package because conformance imports comm —
+// an in-package test would form an import cycle.
 
 import (
-	"bytes"
-	"fmt"
 	"testing"
 	"time"
-)
 
-// This file is the Transport conformance suite: every behavior the World's
-// reliable-delivery layer promises to the application — FIFO per channel,
-// tag matching, RecvAny fairness, working collectives — is exercised over
-// each Transport implementation, including deliberately hostile ones.
+	"repro/internal/comm"
+	"repro/internal/comm/conformance"
+)
 
 // asyncTransport delivers every packet on its own goroutine with no
 // ordering guarantee — a legal Transport per the interface contract, and an
 // approximation of ChaosTransport's time.AfterFunc path with zero delay.
 type asyncTransport struct {
-	deliver func(Packet)
+	deliver func(comm.Packet)
 }
 
-func (t *asyncTransport) Start(d func(Packet)) { t.deliver = d }
-func (t *asyncTransport) Send(p Packet) {
+func (t *asyncTransport) Start(d func(comm.Packet)) { t.deliver = d }
+func (t *asyncTransport) Send(p comm.Packet) {
 	go t.deliver(p)
 }
 func (t *asyncTransport) Reliable() bool { return false }
@@ -30,186 +32,38 @@ func (t *asyncTransport) Reliable() bool { return false }
 // poisoning, so there is nothing to wait for.
 func (t *asyncTransport) Stop() {}
 
-// conformanceTransport is one transport under test.  scale divides the
-// iteration counts: fault-injecting transports run fewer rounds to stay
-// inside the tier-1 time budget.
-type conformanceTransport struct {
-	name  string
-	mk    func(seed uint64) Transport
-	scale int
-}
+// worldHarness adapts a single in-process World to the conformance
+// Harness interface.
+type worldHarness struct{ w *comm.World }
 
-func conformanceTransports() []conformanceTransport {
-	return []conformanceTransport{
-		{"perfect", func(uint64) Transport { return NewPerfectTransport() }, 1},
-		{"async", func(uint64) Transport { return &asyncTransport{} }, 1},
-		{"chaos", func(seed uint64) Transport { return NewChaosTransport(DefaultChaosConfig(seed)) }, 10},
+func (h worldHarness) Run(fn func(c *comm.Comm)) { h.w.Run(fn) }
+func (h worldHarness) Close()                    { h.w.Close() }
+
+func inprocFactory(name string, scale int, mk func(seed uint64) comm.Transport) conformance.Factory {
+	return conformance.Factory{
+		Name:  name,
+		Scale: scale,
+		New: func(t *testing.T, seed uint64, p int) conformance.Harness {
+			t.Helper()
+			w := comm.NewWorldTransport(p, mk(seed))
+			w.SetTimeout(2 * time.Minute)
+			return worldHarness{w}
+		},
 	}
 }
 
-func conformanceWorld(t *testing.T, tr Transport, p int) *World {
-	t.Helper()
-	w := NewWorldTransport(p, tr)
-	w.SetTimeout(2 * time.Minute)
-	return w
-}
-
-// TestTransportConformance runs the full suite over every transport.
+// TestTransportConformance runs the full suite over every in-process
+// transport.  The socket transports run the same suite from
+// internal/netcomm's tests.
 func TestTransportConformance(t *testing.T) {
-	for _, ct := range conformanceTransports() {
-		ct := ct
-		t.Run(ct.name, func(t *testing.T) {
-			t.Run("Ordering", func(t *testing.T) { conformOrdering(t, ct) })
-			t.Run("AllPairs", func(t *testing.T) { conformAllPairs(t, ct) })
-			t.Run("Tags", func(t *testing.T) { conformTags(t, ct) })
-			t.Run("RecvAny", func(t *testing.T) { conformRecvAny(t, ct) })
-			t.Run("Collectives", func(t *testing.T) { conformCollectives(t, ct) })
-		})
+	factories := []conformance.Factory{
+		inprocFactory("perfect", 1, func(uint64) comm.Transport { return comm.NewPerfectTransport() }),
+		inprocFactory("async", 1, func(uint64) comm.Transport { return &asyncTransport{} }),
+		inprocFactory("chaos", 10, func(seed uint64) comm.Transport {
+			return comm.NewChaosTransport(comm.DefaultChaosConfig(seed))
+		}),
 	}
-}
-
-// conformOrdering checks per-channel FIFO: a burst of numbered messages on
-// one (src, dst, tag) channel arrives in send order.  Repeated many times
-// because reordering windows are scheduling-dependent (this is the promoted
-// zz_race_scratch regression test: the scratch-buffer release order of the
-// reliable layer once allowed delivery reordering under an async
-// transport).
-func conformOrdering(t *testing.T, ct conformanceTransport) {
-	const p = 2
-	iters, n := 200/ct.scale, 2000/ct.scale
-	for iter := 0; iter < iters; iter++ {
-		w := conformanceWorld(t, ct.mk(uint64(1000+iter)), p)
-		bad := false
-		w.Run(func(c *Comm) {
-			if c.Rank() == 0 {
-				for i := 0; i < n; i++ {
-					c.Send(1, 3, []byte{byte(i / 256), byte(i % 256)})
-				}
-			} else {
-				for i := 0; i < n; i++ {
-					got := c.Recv(0, 3)
-					if int(got[0])*256+int(got[1]) != i {
-						bad = true
-						t.Errorf("iter %d: message %d arrived as %d", iter, i, int(got[0])*256+int(got[1]))
-						return
-					}
-				}
-			}
-		})
-		w.Close()
-		if bad {
-			return
-		}
+	for _, f := range factories {
+		conformance.Run(t, f)
 	}
-}
-
-// conformAllPairs exchanges a distinct payload between every ordered rank
-// pair and checks content and provenance.
-func conformAllPairs(t *testing.T, ct conformanceTransport) {
-	const p = 5
-	iters := 20 / ct.scale
-	if iters < 1 {
-		iters = 1
-	}
-	payload := func(src, dst, iter int) []byte {
-		return []byte(fmt.Sprintf("p%d->%d#%d", src, dst, iter))
-	}
-	for iter := 0; iter < iters; iter++ {
-		w := conformanceWorld(t, ct.mk(uint64(2000+iter)), p)
-		w.Run(func(c *Comm) {
-			me := c.Rank()
-			for d := 0; d < p; d++ {
-				if d != me {
-					c.Send(d, 7, payload(me, d, iter))
-				}
-			}
-			for s := 0; s < p; s++ {
-				if s == me {
-					continue
-				}
-				got := c.Recv(s, 7)
-				if want := payload(s, me, iter); !bytes.Equal(got, want) {
-					t.Errorf("rank %d from %d: got %q want %q", me, s, got, want)
-				}
-			}
-		})
-		w.Close()
-	}
-}
-
-// conformTags checks tag matching: messages on different tags are matched
-// by tag, not arrival order, even when received in reverse send order.
-func conformTags(t *testing.T, ct conformanceTransport) {
-	w := conformanceWorld(t, ct.mk(3000), 2)
-	const tags = 8
-	w.Run(func(c *Comm) {
-		if c.Rank() == 0 {
-			for tag := 0; tag < tags; tag++ {
-				c.Send(1, tag, []byte{byte(tag)})
-			}
-		} else {
-			for tag := tags - 1; tag >= 0; tag-- {
-				got := c.Recv(0, tag)
-				if len(got) != 1 || got[0] != byte(tag) {
-					t.Errorf("tag %d: got %v", tag, got)
-				}
-			}
-		}
-	})
-	w.Close()
-}
-
-// conformRecvAny checks wildcard receive: rank 0 drains one message from
-// every other rank, in whatever order they land, and sees each exactly
-// once.
-func conformRecvAny(t *testing.T, ct conformanceTransport) {
-	const p = 6
-	w := conformanceWorld(t, ct.mk(4000), p)
-	w.Run(func(c *Comm) {
-		if c.Rank() == 0 {
-			seen := make(map[int]bool)
-			for i := 0; i < p-1; i++ {
-				src, data := c.RecvAny(9)
-				if seen[src] {
-					t.Errorf("duplicate message from rank %d", src)
-				}
-				seen[src] = true
-				if len(data) != 1 || int(data[0]) != src {
-					t.Errorf("from %d: payload %v", src, data)
-				}
-			}
-		} else {
-			c.Send(0, 9, []byte{byte(c.Rank())})
-		}
-	})
-	w.Close()
-}
-
-// conformCollectives checks Barrier, Allgatherv and the Allreduce wrappers
-// built on top of point-to-point delivery.
-func conformCollectives(t *testing.T, ct conformanceTransport) {
-	const p = 5
-	w := conformanceWorld(t, ct.mk(5000), p)
-	w.Run(func(c *Comm) {
-		me := c.Rank()
-		// Barrier: a flag set before the barrier must be visible to all
-		// ranks after it (checked via the gather below).
-		c.Barrier()
-		blocks := c.Allgatherv([]byte(fmt.Sprintf("rank-%d", me)))
-		if len(blocks) != p {
-			t.Errorf("rank %d: %d blocks", me, len(blocks))
-		}
-		for r, b := range blocks {
-			if want := fmt.Sprintf("rank-%d", r); string(b) != want {
-				t.Errorf("rank %d: block %d = %q want %q", me, r, b, want)
-			}
-		}
-		if sum := c.AllreduceSumInt64(int64(me + 1)); sum != int64(p*(p+1)/2) {
-			t.Errorf("rank %d: sum %d", me, sum)
-		}
-		if max := c.AllreduceMaxInt64(int64(me)); max != int64(p-1) {
-			t.Errorf("rank %d: max %d", me, max)
-		}
-	})
-	w.Close()
 }

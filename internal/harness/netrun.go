@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/forest"
+)
+
+// Multi-process execution of a scenario.  The leader serializes the
+// Scenario as the rendezvous Job blob (EncodeJob), every process —
+// cmd/octd workers and the launcher itself — decodes it and runs
+// RunLocalRanks over its local span, and the leader compares the
+// collective checksum against the in-process Run of the same scenario.
+// Scenario fields are plain values by design, so JSON round-trips them
+// exactly.
+
+// EncodeJob serializes a scenario for the rendezvous Job blob.
+func EncodeJob(sc Scenario) []byte {
+	b, err := json.Marshal(sc)
+	if err != nil {
+		// Scenario is a plain struct of scalars; this cannot fail.
+		panic(fmt.Sprintf("harness: encoding scenario: %v", err))
+	}
+	return b
+}
+
+// DecodeJob reverses EncodeJob.
+func DecodeJob(b []byte) (Scenario, error) {
+	var sc Scenario
+	if err := json.Unmarshal(b, &sc); err != nil {
+		return Scenario{}, fmt.Errorf("harness: decoding scenario job: %w", err)
+	}
+	return sc, nil
+}
+
+// NetResult reports one process's share of a distributed scenario run.
+type NetResult struct {
+	// Checksum is the collective forest digest (forest.Checksum); every
+	// process of the world computes the identical value, and it must
+	// equal the ChecksumGlobal of the in-process run of the same
+	// scenario.
+	Checksum uint64
+	// LeavesAfter is the global leaf count after balance (collective).
+	LeavesAfter int64
+	// Err is the first local failure (audit violation or a panic inside
+	// a rank body).
+	Err error
+}
+
+// RunLocalRanks executes the scenario's pipeline on this process's rank
+// span [lo, hi) of an already-established multi-process world.  Every
+// process of the world must call it concurrently with the same scenario;
+// together the spans cover all sc.Ranks ranks and the collectives inside
+// (refinement sync, partition, balance, audit, checksum) run across
+// process boundaries unchanged.  Crash and canary scenarios are
+// in-process-only features and are rejected.
+func RunLocalRanks(w *comm.World, lo, hi int, sc Scenario) (res NetResult) {
+	if sc.Crashing() || sc.ChaosCanary {
+		res.Err = fmt.Errorf("harness: crash/canary scenarios cannot run multi-process")
+		return res
+	}
+	conn := sc.Connectivity()
+	refine := sc.Refiner()
+	opts := sc.Options()
+
+	var mu sync.Mutex
+	fail := func(err error) {
+		mu.Lock()
+		if res.Err == nil {
+			res.Err = err
+		}
+		mu.Unlock()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			fail(fmt.Errorf("harness: distributed scenario panicked: %v", p))
+		}
+	}()
+	w.RunRanks(lo, hi, func(c *comm.Comm) {
+		f := forest.NewUniform(conn, c, sc.BaseLevel)
+		f.Wire = sc.Codec
+		f.Workers = sc.Workers
+		f.Refine(c, sc.MaxLevel, refine)
+		applyPartition(c, f, sc.Partition)
+		f.Balance(c, sc.K, opts)
+		if err := Audit(c, f); err != nil {
+			fail(fmt.Errorf("harness: audit failed on rank %d: %w", c.Rank(), err))
+		}
+		var local int64
+		for _, tc := range f.Local {
+			local += int64(len(tc.Leaves))
+		}
+		leaves := c.AllreduceSumInt64(local)
+		sum := f.Checksum(c)
+		if c.Rank() == lo {
+			mu.Lock()
+			res.Checksum = sum
+			res.LeavesAfter = leaves
+			mu.Unlock()
+		}
+	})
+	return res
+}

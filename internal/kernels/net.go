@@ -1,0 +1,155 @@
+package kernels
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/netcomm"
+)
+
+// Socket-transport kernels: a two-rank world joined over a real loopback
+// TCP socket inside one process, measuring what cmd/octd workers pay per
+// message.  NetRTT ping-pongs a small payload, so ns/op is one full
+// round trip through Send -> serialize -> writer coalesce -> socket ->
+// readLoop -> reliable-layer accept -> mailbox (twice).  NetThroughput
+// streams windowed bulk payloads one way, so MB/s is the sustained
+// frame-coalescing rate.  They live behind NetList, not List, because
+// they open real sockets and spawn a transport goroutine set per
+// measurement — cmd/bench runs them under -net-kernels and CI gates
+// their allocs/op against results/BENCH_net.json.
+
+// NetList returns the socket-transport kernels in a fixed order.
+func NetList() []Kernel {
+	return []Kernel{
+		{"NetRTT64B", benchNetRTT(64)},
+		{"NetThroughput16KiB", benchNetThroughput(16 << 10)},
+	}
+}
+
+const (
+	// netWindow is the NetThroughput ack window: far below the writer
+	// queue capacity, so a blast of b.N sends never overflows into the
+	// queue-drop + retransmission path, which would make allocs/op (and
+	// the CI gate) nondeterministic.
+	netWindow = 64
+	// netBenchTimeout converts a wedged loopback pair into a loud panic
+	// instead of a hung bench run.
+	netBenchTimeout = 2 * time.Minute
+)
+
+// loopbackPair is a two-process world folded into one process: a leader
+// and a worker transport rendezvoused over a loopback socket, each
+// hosting one rank of a size-2 world.
+type loopbackPair struct {
+	leader, worker *comm.World
+	cleanup        func()
+}
+
+func (p *loopbackPair) close() {
+	p.leader.Close()
+	p.worker.Close()
+	p.cleanup()
+}
+
+// run drives one rank body on each world concurrently and waits for
+// both, which is exactly how the real launcher and octd split a world.
+func (p *loopbackPair) run(leader, worker func(c *comm.Comm)) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		p.leader.RunRanks(0, 1, leader)
+	}()
+	go func() {
+		defer wg.Done()
+		p.worker.RunRanks(1, 2, worker)
+	}()
+	wg.Wait()
+}
+
+func newLoopbackPair(b *testing.B) *loopbackPair {
+	ln, cleanup, err := netcomm.Listen("tcp", "")
+	if err != nil {
+		b.Fatalf("kernels: loopback listen: %v", err)
+	}
+	type joined struct {
+		tr  *netcomm.Transport
+		err error
+	}
+	ch := make(chan joined, 1)
+	go func() {
+		tr, _, err := netcomm.Join(netcomm.JoinConfig{
+			Network: "tcp", Addr: ln.Addr().String(), Span: netcomm.Span{Lo: 1, Hi: 2},
+		})
+		ch <- joined{tr, err}
+	}()
+	lt, _, err := netcomm.Lead(ln, netcomm.LeadConfig{
+		WorldSize: 2, Procs: 2, Span: netcomm.Span{Lo: 0, Hi: 1},
+	})
+	if err != nil {
+		cleanup()
+		b.Fatalf("kernels: loopback lead: %v", err)
+	}
+	j := <-ch
+	if j.err != nil {
+		lt.Stop()
+		cleanup()
+		b.Fatalf("kernels: loopback join: %v", j.err)
+	}
+	p := &loopbackPair{
+		leader:  comm.NewWorldTransport(2, lt),
+		worker:  comm.NewWorldTransport(2, j.tr),
+		cleanup: cleanup,
+	}
+	p.leader.SetTimeout(netBenchTimeout)
+	p.worker.SetTimeout(netBenchTimeout)
+	return p
+}
+
+func benchNetRTT(size int) func(b *testing.B) {
+	return func(b *testing.B) {
+		p := newLoopbackPair(b)
+		defer p.close()
+		payload := make([]byte, size)
+		b.SetBytes(int64(2 * size))
+		b.ResetTimer()
+		p.run(func(c *comm.Comm) {
+			for i := 0; i < b.N; i++ {
+				c.Send(1, 1, payload)
+				c.Recv(1, 2)
+			}
+		}, func(c *comm.Comm) {
+			for i := 0; i < b.N; i++ {
+				echo := c.Recv(0, 1)
+				c.Send(0, 2, echo)
+			}
+		})
+	}
+}
+
+func benchNetThroughput(size int) func(b *testing.B) {
+	return func(b *testing.B) {
+		p := newLoopbackPair(b)
+		defer p.close()
+		payload := make([]byte, size)
+		b.SetBytes(int64(size))
+		b.ResetTimer()
+		p.run(func(c *comm.Comm) {
+			for i := 0; i < b.N; i++ {
+				c.Send(1, 1, payload)
+				if (i+1)%netWindow == 0 || i+1 == b.N {
+					c.Recv(1, 2)
+				}
+			}
+		}, func(c *comm.Comm) {
+			for i := 0; i < b.N; i++ {
+				c.Recv(0, 1)
+				if (i+1)%netWindow == 0 || i+1 == b.N {
+					c.Send(0, 2, nil)
+				}
+			}
+		})
+	}
+}

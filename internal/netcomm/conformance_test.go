@@ -1,0 +1,247 @@
+package netcomm_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/comm/conformance"
+	"repro/internal/netcomm"
+)
+
+// cluster is the conformance Harness over sockets: one comm.World per
+// simulated process (all inside this test process, each with its own
+// listener, connections and rank span), bootstrapped through the real
+// rendezvous protocol.  Run executes the rank body on every world's local
+// span concurrently, which is exactly what the multi-process launcher
+// does across real OS processes.
+type cluster struct {
+	tb     testing.TB
+	worlds []*comm.World
+	spans  []netcomm.Span
+}
+
+// splitSpans cuts [0, p) into n near-equal contiguous spans.
+func splitSpans(p, n int) []netcomm.Span {
+	spans := make([]netcomm.Span, 0, n)
+	lo := 0
+	for i := 0; i < n; i++ {
+		hi := lo + (p-lo)/(n-i)
+		spans = append(spans, netcomm.Span{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return spans
+}
+
+// startCluster bootstraps procs worlds of p ranks over the given network.
+// Socket endpoints always come from port 0 (tcp) or fresh TempDir paths
+// (unix); resolved addresses propagate through the rendezvous.
+func startCluster(tb testing.TB, network string, p, procs int, chaos netcomm.NetChaos) *cluster {
+	tb.Helper()
+	if procs > p {
+		procs = p
+	}
+	spans := splitSpans(p, procs)
+
+	addr := ""
+	if network == "unix" {
+		addr = filepath.Join(tb.TempDir(), "rdv.sock")
+	}
+	ln, cleanup, err := netcomm.Listen(network, addr)
+	if err != nil {
+		tb.Fatalf("listen: %v", err)
+	}
+	tb.Cleanup(cleanup)
+	leaderAddr := ln.Addr().String()
+
+	transports := make([]*netcomm.Transport, procs)
+	errs := make([]error, procs)
+	var wg sync.WaitGroup
+	wg.Add(procs)
+	go func() {
+		defer wg.Done()
+		transports[0], _, errs[0] = netcomm.Lead(ln, netcomm.LeadConfig{
+			WorldSize: p, Procs: procs, Span: spans[0], Chaos: chaos,
+			Timeout: 30 * time.Second,
+		})
+	}()
+	for i := 1; i < procs; i++ {
+		go func(i int) {
+			defer wg.Done()
+			listenAddr := ""
+			if network == "unix" {
+				listenAddr = filepath.Join(tb.TempDir(), fmt.Sprintf("mesh%d.sock", i))
+			}
+			transports[i], _, errs[i] = netcomm.Join(netcomm.JoinConfig{
+				Network: network, Addr: leaderAddr, ListenAddr: listenAddr,
+				Span: spans[i], Timeout: 30 * time.Second,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			for _, tr := range transports {
+				if tr != nil {
+					tr.Stop()
+				}
+			}
+			tb.Fatalf("proc %d bootstrap: %v", i, err)
+		}
+	}
+
+	c := &cluster{tb: tb, spans: spans}
+	for _, tr := range transports {
+		w := comm.NewWorldTransport(p, tr)
+		w.SetTimeout(2 * time.Minute)
+		c.worlds = append(c.worlds, w)
+	}
+	return c
+}
+
+func (c *cluster) Run(fn func(cm *comm.Comm)) {
+	var wg sync.WaitGroup
+	for i, w := range c.worlds {
+		wg.Add(1)
+		go func(w *comm.World, sp netcomm.Span) {
+			defer wg.Done()
+			w.RunRanks(sp.Lo, sp.Hi, fn)
+		}(w, c.spans[i])
+	}
+	wg.Wait()
+}
+
+func (c *cluster) Close() {
+	for _, w := range c.worlds {
+		w.Close()
+	}
+}
+
+func socketFactory(network string, procs int, chaos netcomm.NetChaos, suffix string) conformance.Factory {
+	return conformance.Factory{
+		Name: network + suffix,
+		// Sockets pay real syscalls and a rendezvous per harness, so run
+		// an order of magnitude fewer rounds than the in-process suite.
+		Scale: 20,
+		New: func(t *testing.T, seed uint64, p int) conformance.Harness {
+			ch := chaos
+			if ch.DropPPM != 0 {
+				ch.Seed = seed
+			}
+			return startCluster(t, network, p, procs, ch)
+		},
+	}
+}
+
+// TestSocketTransportConformance runs the identical suite the in-process
+// transports pass (internal/comm/conformance) over real sockets: every
+// world spans 3 simulated processes (or p, when smaller), with a chaos
+// variant dropping 2% of data frames to force the reliable layer through
+// the loss path.
+func TestSocketTransportConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket conformance is not a -short test")
+	}
+	for _, f := range []conformance.Factory{
+		socketFactory("unix", 3, netcomm.NetChaos{}, ""),
+		socketFactory("tcp", 3, netcomm.NetChaos{}, ""),
+		socketFactory("unix", 3, netcomm.NetChaos{DropPPM: 20_000}, "-chaos"),
+	} {
+		conformance.Run(t, f)
+	}
+}
+
+// TestSocketCollectivesManyProcs spreads P=13 ranks over 3 processes with
+// uneven spans and runs the collective stack — the same topology the
+// multi-process smoke run uses.
+func TestSocketCollectivesManyProcs(t *testing.T) {
+	c := startCluster(t, "unix", 13, 3, netcomm.NetChaos{})
+	defer c.Close()
+	c.Run(func(cm *comm.Comm) {
+		me := cm.Rank()
+		if sum := cm.AllreduceSumInt64(int64(me)); sum != 78 {
+			t.Errorf("rank %d: sum %d, want 78", me, sum)
+		}
+		blocks := cm.Allgatherv([]byte(fmt.Sprintf("r%d", me)))
+		for r, b := range blocks {
+			if want := fmt.Sprintf("r%d", r); string(b) != want {
+				t.Errorf("rank %d: block %d = %q", me, r, b)
+			}
+		}
+		cm.Barrier()
+	})
+}
+
+// TestSocketReconnectDirect exercises the redial path below the World: a
+// two-proc mesh where the acceptor closes the live connection, then both
+// sides keep exchanging packets.
+func TestSocketReconnectDirect(t *testing.T) {
+	spans := []netcomm.Span{{Lo: 0, Hi: 1}, {Lo: 1, Hi: 2}}
+	ln, cleanup, err := netcomm.Listen("tcp", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cleanup)
+
+	var lead, join *netcomm.Transport
+	var leadErr, joinErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		lead, _, leadErr = netcomm.Lead(ln, netcomm.LeadConfig{WorldSize: 2, Procs: 2, Span: spans[0]})
+	}()
+	go func() {
+		defer wg.Done()
+		join, _, joinErr = netcomm.Join(netcomm.JoinConfig{Network: "tcp", Addr: ln.Addr().String(), Span: spans[1]})
+	}()
+	wg.Wait()
+	if leadErr != nil || joinErr != nil {
+		t.Fatalf("bootstrap: lead %v join %v", leadErr, joinErr)
+	}
+
+	w0 := comm.NewWorldTransport(2, lead)
+	w1 := comm.NewWorldTransport(2, join)
+	w0.SetTimeout(time.Minute)
+	w1.SetTimeout(time.Minute)
+	defer w0.Close()
+	defer w1.Close()
+
+	var done sync.WaitGroup
+	done.Add(2)
+	go func() {
+		defer done.Done()
+		w0.RunRanks(0, 1, func(cm *comm.Comm) {
+			for i := 0; i < 50; i++ {
+				cm.Send(1, 2, []byte{byte(i)})
+				got := cm.Recv(1, 3)
+				if int(got[0]) != i {
+					t.Errorf("echo %d: got %d", i, got[0])
+				}
+			}
+		})
+	}()
+	go func() {
+		defer done.Done()
+		w1.RunRanks(1, 2, func(cm *comm.Comm) {
+			for i := 0; i < 50; i++ {
+				got := cm.Recv(0, 2)
+				if i == 20 {
+					// Drop the mesh connection from the acceptor side;
+					// the dialer (lead, proc 0) must redial and the
+					// reliable layer re-deliver anything lost.
+					join.DropConnections()
+				}
+				cm.Send(0, 3, got)
+			}
+		})
+	}()
+	done.Wait()
+
+	if s := lead.Stats(); s.Reconnects == 0 && s.Dials < 2 {
+		t.Errorf("expected a redial after the drop; stats %+v", s)
+	}
+}

@@ -1,0 +1,422 @@
+package netcomm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// Frame layer: every byte on a netcomm connection (rendezvous and mesh
+// alike) travels in a length-prefixed frame —
+//
+//	uint32 big-endian  n   (type byte + body, so n >= 1)
+//	byte               frame type
+//	n-1 bytes          body
+//
+// Control frames (hello, welcome, peer handshakes, ready/start, error)
+// carry varint-encoded fields prefixed by the handshake magic and
+// protocol version, so a foreign or mismatched peer is detected on the
+// first frame.  Packets frames carry reliable-layer packets back to back
+// in the comm wire encoding (comm.AppendPacket); the writer goroutine
+// coalesces as many queued packets as fit under coalesceTarget into one
+// frame, which is the syscall-amortization that makes small-message
+// phases (balance queries, notify rounds) viable over sockets.
+
+type frameType uint8
+
+const (
+	ftHello frameType = iota + 1
+	ftWelcome
+	ftReady
+	ftStart
+	ftPeerHello
+	ftPeerWelcome
+	ftPackets
+	ftError
+)
+
+func (ft frameType) String() string {
+	switch ft {
+	case ftHello:
+		return "hello"
+	case ftWelcome:
+		return "welcome"
+	case ftReady:
+		return "ready"
+	case ftStart:
+		return "start"
+	case ftPeerHello:
+		return "peer-hello"
+	case ftPeerWelcome:
+		return "peer-welcome"
+	case ftPackets:
+		return "packets"
+	case ftError:
+		return "error"
+	}
+	return fmt.Sprintf("frame-type-%d", uint8(ft))
+}
+
+// coalesceTarget is the soft cap on a packets-frame body: the writer
+// stops draining its queue once the frame grows past it.  A single packet
+// larger than the target still ships alone in an oversized frame.
+const coalesceTarget = 128 << 10
+
+// maxCtrlString bounds decoded handshake strings (world IDs, addresses).
+const maxCtrlString = 1 << 12
+
+// handshakeTimeout bounds every individual rendezvous/handshake IO so a
+// wedged peer cannot hang bootstrap forever.
+const handshakeTimeout = 30 * time.Second
+
+// writeFrame sends one control frame.  The packets path does not use it —
+// the writer goroutine assembles header and body in a single pooled
+// buffer (buildPacketsFrame) to write with one syscall.
+func writeFrame(c net.Conn, ft frameType, body []byte) error {
+	buf := make([]byte, 5+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(1+len(body)))
+	buf[4] = byte(ft)
+	copy(buf[5:], body)
+	_, err := c.Write(buf)
+	return err
+}
+
+// readFrame reads one frame, reusing buf for the body when it fits.  The
+// returned body aliases the (possibly grown) buffer, which is also
+// returned for the next call.
+func readFrame(r io.Reader, buf []byte) (frameType, []byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrameSize {
+		return 0, nil, buf, fmt.Errorf("%w: frame length %d", ErrHandshake, n)
+	}
+	if int(n) > cap(buf) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, buf, err
+	}
+	return frameType(buf[0]), buf[1:], buf, nil
+}
+
+// buildPacketsFrame wraps already-encoded packet bytes in a frame header,
+// reusing a pooled buffer.  encoded entries are consumed (recycled).
+func buildPacketsFrame(frame []byte, encoded ...[]byte) []byte {
+	frame = append(frame, 0, 0, 0, 0, byte(ftPackets))
+	for _, e := range encoded {
+		frame = append(frame, e...)
+		comm.PutBuf(e)
+	}
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	return frame
+}
+
+// Control-frame field helpers, on top of the comm varint codec.
+
+func appendString(b []byte, s string) []byte {
+	b = comm.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func stringAt(b []byte, off int) (string, int, error) {
+	n, off, err := comm.UvarintAt(b, off)
+	if err != nil {
+		return "", off, err
+	}
+	if n > maxCtrlString || int(n) > len(b)-off {
+		return "", off, fmt.Errorf("%w: string length %d", ErrHandshake, n)
+	}
+	return string(b[off : off+int(n)]), off + int(n), nil
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = comm.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func bytesAt(b []byte, off int) ([]byte, int, error) {
+	n, off, err := comm.UvarintAt(b, off)
+	if err != nil {
+		return nil, off, err
+	}
+	if int64(n) > int64(len(b)-off) {
+		return nil, off, fmt.Errorf("%w: blob length %d", ErrHandshake, n)
+	}
+	out := make([]byte, n)
+	copy(out, b[off:off+int(n)])
+	return out, off + int(n), nil
+}
+
+// appendPreamble / checkPreamble carry the magic + version + world ID
+// triple that leads every handshake body.
+func appendPreamble(b []byte, worldID string) []byte {
+	b = binary.BigEndian.AppendUint32(b, handshakeMagic)
+	b = comm.AppendUvarint(b, protocolVersion)
+	return appendString(b, worldID)
+}
+
+// checkPreamble validates magic and version and returns the peer's world
+// ID.  wantWorld == "" accepts any world (a joining worker learns the ID
+// here); otherwise a mismatch is ErrWorldMismatch.
+func checkPreamble(b []byte, wantWorld string) (worldID string, off int, err error) {
+	if len(b) < 4 {
+		return "", 0, fmt.Errorf("%w: short preamble", ErrBadMagic)
+	}
+	if m := binary.BigEndian.Uint32(b); m != handshakeMagic {
+		return "", 0, fmt.Errorf("%w: got 0x%08x", ErrBadMagic, m)
+	}
+	ver, off, err := comm.UvarintAt(b, 4)
+	if err != nil {
+		return "", off, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	if ver != protocolVersion {
+		return "", off, fmt.Errorf("%w: peer speaks v%d, this endpoint v%d", ErrVersionMismatch, ver, protocolVersion)
+	}
+	worldID, off, err = stringAt(b, off)
+	if err != nil {
+		return "", off, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	if wantWorld != "" && worldID != wantWorld {
+		return worldID, off, fmt.Errorf("%w: peer world %q, want %q", ErrWorldMismatch, worldID, wantWorld)
+	}
+	return worldID, off, nil
+}
+
+// helloMsg is the worker→leader rendezvous announcement.
+type helloMsg struct {
+	worldID string // "" = accept the leader's world
+	span    Span
+	network string // worker's mesh listener endpoint
+	addr    string
+}
+
+func (m helloMsg) encode() []byte {
+	b := appendPreamble(nil, m.worldID)
+	b = comm.AppendUvarint(b, uint64(m.span.Lo))
+	b = comm.AppendUvarint(b, uint64(m.span.Hi))
+	b = appendString(b, m.network)
+	return appendString(b, m.addr)
+}
+
+func decodeHello(b []byte, wantWorld string) (helloMsg, error) {
+	var m helloMsg
+	var off int
+	var err error
+	// The worker may present an empty world ID (it accepts the leader's);
+	// enforce the match only when it names one.
+	if m.worldID, off, err = checkPreamble(b, ""); err != nil {
+		return m, err
+	}
+	if m.worldID != "" && wantWorld != "" && m.worldID != wantWorld {
+		return m, fmt.Errorf("%w: worker world %q, leader world %q", ErrWorldMismatch, m.worldID, wantWorld)
+	}
+	var lo, hi uint64
+	if lo, off, err = comm.UvarintAt(b, off); err == nil {
+		hi, off, err = comm.UvarintAt(b, off)
+	}
+	if err != nil {
+		return m, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	m.span = Span{Lo: int(lo), Hi: int(hi)}
+	if m.network, off, err = stringAt(b, off); err != nil {
+		return m, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	if m.addr, _, err = stringAt(b, off); err != nil {
+		return m, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	return m, nil
+}
+
+// welcomeMsg is the leader→worker broadcast: the full world map plus the
+// recipient's proc ID and the opaque job blob.
+type welcomeMsg struct {
+	info WorldInfo // ProcID is the recipient's
+}
+
+func (m welcomeMsg) encode() []byte {
+	wi := m.info
+	b := appendPreamble(nil, wi.WorldID)
+	b = comm.AppendUvarint(b, uint64(wi.Size))
+	b = comm.AppendUvarint(b, uint64(wi.ProcID))
+	b = comm.AppendUvarint(b, uint64(len(wi.Procs)))
+	for _, pr := range wi.Procs {
+		b = comm.AppendUvarint(b, uint64(pr.Span.Lo))
+		b = comm.AppendUvarint(b, uint64(pr.Span.Hi))
+		b = appendString(b, pr.Network)
+		b = appendString(b, pr.Addr)
+	}
+	b = comm.AppendUvarint(b, wi.Chaos.Seed)
+	b = comm.AppendUvarint(b, uint64(wi.Chaos.DropPPM))
+	return appendBytes(b, wi.Job)
+}
+
+func decodeWelcome(b []byte, wantWorld string) (WorldInfo, error) {
+	var wi WorldInfo
+	var off int
+	var err error
+	if wi.WorldID, off, err = checkPreamble(b, wantWorld); err != nil {
+		return wi, err
+	}
+	var size, procID, nprocs uint64
+	if size, off, err = comm.UvarintAt(b, off); err == nil {
+		if procID, off, err = comm.UvarintAt(b, off); err == nil {
+			nprocs, off, err = comm.UvarintAt(b, off)
+		}
+	}
+	if err != nil || nprocs == 0 || nprocs > 1<<16 || procID >= nprocs {
+		return wi, fmt.Errorf("%w: bad welcome header (size %d, proc %d/%d): %v", ErrHandshake, size, procID, nprocs, err)
+	}
+	wi.Size, wi.ProcID = int(size), int(procID)
+	wi.Procs = make([]ProcInfo, nprocs)
+	for i := range wi.Procs {
+		var lo, hi uint64
+		if lo, off, err = comm.UvarintAt(b, off); err == nil {
+			hi, off, err = comm.UvarintAt(b, off)
+		}
+		if err != nil {
+			return wi, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+		wi.Procs[i].Span = Span{Lo: int(lo), Hi: int(hi)}
+		if wi.Procs[i].Network, off, err = stringAt(b, off); err != nil {
+			return wi, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+		if wi.Procs[i].Addr, off, err = stringAt(b, off); err != nil {
+			return wi, fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+	}
+	var ppm uint64
+	if wi.Chaos.Seed, off, err = comm.UvarintAt(b, off); err == nil {
+		ppm, off, err = comm.UvarintAt(b, off)
+	}
+	if err != nil {
+		return wi, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	wi.Chaos.DropPPM = uint32(ppm)
+	if wi.Job, _, err = bytesAt(b, off); err != nil {
+		return wi, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	return wi, nil
+}
+
+// peerHelloMsg opens (or reopens) a mesh connection: the dialing process
+// identifies itself and carries the per-connection generation, bumped on
+// every redial so the acceptor can discard stale duplicate connections.
+type peerHelloMsg struct {
+	worldID  string
+	fromProc int
+	gen      uint64
+}
+
+func (m peerHelloMsg) encode() []byte {
+	b := appendPreamble(nil, m.worldID)
+	b = comm.AppendUvarint(b, uint64(m.fromProc))
+	return comm.AppendUvarint(b, m.gen)
+}
+
+func decodePeerHello(b []byte, wantWorld string) (peerHelloMsg, error) {
+	var m peerHelloMsg
+	var off int
+	var err error
+	if m.worldID, off, err = checkPreamble(b, wantWorld); err != nil {
+		return m, err
+	}
+	var from uint64
+	if from, off, err = comm.UvarintAt(b, off); err == nil {
+		m.gen, _, err = comm.UvarintAt(b, off)
+	}
+	if err != nil {
+		return m, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	m.fromProc = int(from)
+	return m, nil
+}
+
+// errorCode maps the typed handshake failures onto the wire so the
+// rejected side surfaces the same sentinel the rejecting side saw.
+type errorCode uint8
+
+const (
+	ecGeneric errorCode = iota
+	ecBadMagic
+	ecVersionMismatch
+	ecWorldMismatch
+	ecBadSpan
+)
+
+func codeOf(err error) errorCode {
+	switch {
+	case errors.Is(err, ErrBadMagic):
+		return ecBadMagic
+	case errors.Is(err, ErrVersionMismatch):
+		return ecVersionMismatch
+	case errors.Is(err, ErrWorldMismatch):
+		return ecWorldMismatch
+	case errors.Is(err, ErrBadSpan):
+		return ecBadSpan
+	}
+	return ecGeneric
+}
+
+func (ec errorCode) sentinel() error {
+	switch ec {
+	case ecBadMagic:
+		return ErrBadMagic
+	case ecVersionMismatch:
+		return ErrVersionMismatch
+	case ecWorldMismatch:
+		return ErrWorldMismatch
+	case ecBadSpan:
+		return ErrBadSpan
+	}
+	return ErrHandshake
+}
+
+func encodeError(err error) []byte {
+	b := []byte{byte(codeOf(err))}
+	return appendString(b, err.Error())
+}
+
+func decodeError(b []byte) error {
+	if len(b) < 1 {
+		return ErrHandshake
+	}
+	msg, _, err := stringAt(b, 1)
+	if err != nil {
+		return errorCode(b[0]).sentinel()
+	}
+	return fmt.Errorf("%w: peer rejected: %s", errorCode(b[0]).sentinel(), msg)
+}
+
+// sendError best-effort reports a handshake rejection to the peer before
+// the connection is dropped.
+func sendError(c net.Conn, err error) {
+	_ = c.SetWriteDeadline(time.Now().Add(handshakeTimeout))
+	_ = writeFrame(c, ftError, encodeError(err))
+}
+
+// readControlFrame reads one frame under the handshake deadline, turning
+// an ftError frame into its typed error.
+func readControlFrame(c net.Conn, r io.Reader, want frameType) ([]byte, error) {
+	_ = c.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	defer c.SetReadDeadline(time.Time{})
+	ft, body, _, err := readFrame(r, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading %s: %v", ErrHandshake, want, err)
+	}
+	if ft == ftError {
+		return nil, decodeError(body)
+	}
+	if ft != want {
+		return nil, fmt.Errorf("%w: got %s frame, want %s", ErrHandshake, ft, want)
+	}
+	return body, nil
+}

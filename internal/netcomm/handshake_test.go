@@ -1,0 +1,214 @@
+package netcomm
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// Unit tests for the frame/handshake codec and the typed rejection path.
+// These live inside the package to reach the unexported message types;
+// the cross-process behavior is covered by the conformance and rendezvous
+// tests in package netcomm_test.
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := helloMsg{worldID: "w-1", span: Span{Lo: 3, Hi: 9}, network: "unix", addr: "/tmp/x.sock"}
+	out, err := decodeHello(in.encode(), "w-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+}
+
+func TestWelcomeRoundTrip(t *testing.T) {
+	in := welcomeMsg{info: WorldInfo{
+		WorldID: "w-2", Size: 13, ProcID: 1,
+		Procs: []ProcInfo{
+			{Span: Span{0, 5}, Network: "tcp", Addr: "127.0.0.1:4001"},
+			{Span: Span{5, 9}, Network: "tcp", Addr: "127.0.0.1:4002"},
+			{Span: Span{9, 13}, Network: "tcp", Addr: "127.0.0.1:4003"},
+		},
+		Job:   []byte(`{"seed":7}`),
+		Chaos: NetChaos{Seed: 42, DropPPM: 1000},
+	}}
+	out, err := decodeWelcome(in.encode(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.WorldID != "w-2" || out.Size != 13 || out.ProcID != 1 ||
+		len(out.Procs) != 3 || out.Procs[2].Addr != "127.0.0.1:4003" ||
+		string(out.Job) != `{"seed":7}` || out.Chaos != (NetChaos{Seed: 42, DropPPM: 1000}) {
+		t.Fatalf("got %+v", out)
+	}
+	if out.Span() != (Span{5, 9}) {
+		t.Fatalf("span %v", out.Span())
+	}
+}
+
+func TestHandshakeTypedErrors(t *testing.T) {
+	good := helloMsg{worldID: "w", span: Span{0, 1}, network: "tcp", addr: "a"}.encode()
+
+	bad := append([]byte{}, good...)
+	binary.BigEndian.PutUint32(bad, 0xdeadbeef)
+	if _, err := decodeHello(bad, "w"); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+
+	verBad := binary.BigEndian.AppendUint32(nil, handshakeMagic)
+	verBad = comm.AppendUvarint(verBad, protocolVersion+7)
+	if _, _, err := checkPreamble(verBad, ""); !errors.Is(err, ErrVersionMismatch) {
+		t.Errorf("version: %v", err)
+	}
+
+	other := helloMsg{worldID: "other", span: Span{0, 1}, network: "tcp", addr: "a"}.encode()
+	if _, err := decodeHello(other, "w"); !errors.Is(err, ErrWorldMismatch) {
+		t.Errorf("world: %v", err)
+	}
+
+	// Truncations fail cleanly at every prefix.
+	for n := 0; n < len(good); n++ {
+		if _, err := decodeHello(good[:n], "w"); err == nil {
+			t.Fatalf("prefix %d decoded", n)
+		}
+	}
+
+	// Error frames carry the sentinel across the wire.
+	for _, sentinel := range []error{ErrBadMagic, ErrVersionMismatch, ErrWorldMismatch, ErrBadSpan, ErrHandshake} {
+		if got := decodeError(encodeError(sentinel)); !errors.Is(got, sentinel) {
+			t.Errorf("error code round trip: %v -> %v", sentinel, got)
+		}
+	}
+}
+
+func TestValidSpans(t *testing.T) {
+	if _, err := validSpans([]Span{{5, 13}, {0, 5}}, 13); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+	for name, tc := range map[string]struct {
+		spans []Span
+		size  int
+	}{
+		"gap":     {[]Span{{0, 4}, {6, 10}}, 10},
+		"overlap": {[]Span{{0, 5}, {4, 10}}, 10},
+		"short":   {[]Span{{0, 5}}, 10},
+		"long":    {[]Span{{0, 5}, {5, 12}}, 10},
+	} {
+		if _, err := validSpans(tc.spans, tc.size); !errors.Is(err, ErrBadSpan) {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestLeaderRejectsForeignPeer dials the rendezvous with garbage and
+// checks both sides fail fast with the typed error: the leader's Lead
+// call returns ErrBadMagic, and the dialer receives an error frame
+// carrying the same sentinel.
+func TestLeaderRejectsForeignPeer(t *testing.T) {
+	ln, cleanup, err := Listen("tcp", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cleanup)
+
+	leadDone := make(chan error, 1)
+	go func() {
+		_, _, err := Lead(ln, LeadConfig{WorldSize: 2, Procs: 2, Span: Span{0, 1},
+			Timeout: 10 * time.Second})
+		leadDone <- err
+	}()
+
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	garbage := helloMsg{worldID: "", span: Span{1, 2}, network: "tcp", addr: "x"}.encode()
+	binary.BigEndian.PutUint32(garbage, 0x42424242) // stomp the magic
+	if err := writeFrame(c, ftHello, garbage); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := <-leadDone; !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("leader error: %v", err)
+	}
+	// The dialer side sees the mirrored typed rejection.
+	_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	ft, body, _, err := readFrame(c, nil)
+	if err != nil || ft != ftError {
+		t.Fatalf("expected error frame, got %v type %v", err, ft)
+	}
+	if err := decodeError(body); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("mirrored error: %v", err)
+	}
+}
+
+// TestLeaderRejectsBadSpan joins with a span that overlaps the leader's
+// and checks the ErrBadSpan rejection reaches the worker.
+func TestLeaderRejectsBadSpan(t *testing.T) {
+	ln, cleanup, err := Listen("tcp", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cleanup)
+
+	leadDone := make(chan error, 1)
+	go func() {
+		_, _, err := Lead(ln, LeadConfig{WorldSize: 4, Procs: 2, Span: Span{0, 3},
+			Timeout: 10 * time.Second})
+		leadDone <- err
+	}()
+	_, _, joinErr := Join(JoinConfig{Network: "tcp", Addr: ln.Addr().String(),
+		Span: Span{2, 4}, Timeout: 10 * time.Second})
+	if !errors.Is(joinErr, ErrBadSpan) {
+		t.Fatalf("join error: %v", joinErr)
+	}
+	if err := <-leadDone; !errors.Is(err, ErrBadSpan) {
+		t.Fatalf("lead error: %v", err)
+	}
+}
+
+func TestChaosDropsDeterministic(t *testing.T) {
+	nc := NetChaos{Seed: 99, DropPPM: 100_000} // 10%
+	mk := func(seq uint64, attempt int) comm.Packet {
+		return comm.Packet{Src: 1, Dst: 2, Kind: comm.PacketData, Seq: seq, Attempt: attempt}
+	}
+	drops := 0
+	for seq := uint64(0); seq < 10_000; seq++ {
+		d1 := nc.drops(mk(seq, 0))
+		d2 := nc.drops(mk(seq, 0))
+		if d1 != d2 {
+			t.Fatalf("seq %d: nondeterministic fate", seq)
+		}
+		if d1 {
+			drops++
+		}
+	}
+	if drops < 800 || drops > 1200 {
+		t.Errorf("10%% drop rate produced %d/10000", drops)
+	}
+	// Acks are never chaos-dropped.
+	ack := comm.Packet{Src: 1, Dst: 2, Kind: comm.PacketAck, Seq: 1}
+	for i := 0; i < 1000; i++ {
+		ack.Seq = uint64(i)
+		if nc.drops(ack) {
+			t.Fatal("ack dropped by chaos")
+		}
+	}
+	// A retransmission gets a fresh fate (different attempts must not all
+	// share the original's).
+	same := true
+	for seq := uint64(0); seq < 100 && same; seq++ {
+		if nc.drops(mk(seq, 0)) != nc.drops(mk(seq, 1)) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("attempt number does not vary the drop fate")
+	}
+}

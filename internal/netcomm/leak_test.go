@@ -1,0 +1,187 @@
+package netcomm_test
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/netcomm"
+)
+
+// countFDs returns the process's open file-descriptor count, or -1 where
+// /proc is unavailable (non-Linux).
+func countFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// TestSocketStopLeaksNoGoroutines extends the PR 7 leak-check pattern
+// from ChaosTransport.Stop to the socket transport: World.Close over a
+// cluster must join every accept/reader/writer/keeper goroutine.  Run
+// with -race in CI, where a leaked goroutine also tends to surface as a
+// race on teardown.
+func TestSocketStopLeaksNoGoroutines(t *testing.T) {
+	for _, network := range []string{"tcp", "unix"} {
+		t.Run(network, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			for iter := 0; iter < 3; iter++ {
+				c := startCluster(t, network, 6, 3, netcomm.NetChaos{})
+				c.Run(func(cm *comm.Comm) {
+					cm.Barrier()
+					cm.Allgatherv([]byte{byte(cm.Rank())})
+				})
+				c.Close()
+			}
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				if n := runtime.NumGoroutine(); n <= before+2 {
+					return
+				}
+				if time.Now().After(deadline) {
+					buf := make([]byte, 1<<16)
+					n := runtime.Stack(buf, true)
+					t.Fatalf("goroutines: before %d, after %d; stacks:\n%s",
+						before, runtime.NumGoroutine(), buf[:n])
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestSocketStopLeaksNoFDs checks that Close over a socket transport
+// closes every connection and listener: the process FD count must return
+// to its baseline.  Linux-only (reads /proc/self/fd).
+func TestSocketStopLeaksNoFDs(t *testing.T) {
+	if countFDs() < 0 {
+		t.Skip("no /proc/self/fd on this platform")
+	}
+	for _, network := range []string{"tcp", "unix"} {
+		t.Run(network, func(t *testing.T) {
+			// Warm up once so lazily-created runtime FDs (epoll, pipes)
+			// are in the baseline.
+			c := startCluster(t, network, 4, 2, netcomm.NetChaos{})
+			c.Run(func(cm *comm.Comm) { cm.Barrier() })
+			c.Close()
+
+			before := countFDs()
+			for iter := 0; iter < 3; iter++ {
+				c := startCluster(t, network, 6, 3, netcomm.NetChaos{})
+				c.Run(func(cm *comm.Comm) {
+					cm.Barrier()
+					if cm.Rank() == 0 {
+						cm.Send(5, 1, []byte("fd"))
+					}
+					if cm.Rank() == 5 {
+						cm.Recv(0, 1)
+					}
+					cm.Barrier()
+				})
+				c.Close()
+			}
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				if n := countFDs(); n <= before {
+					return
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("fds: before %d, after %d", before, countFDs())
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestUnixSocketFilesRemoved checks the TempDir hygiene end to end: after
+// Stop, the auto-created unix socket paths are gone.
+func TestUnixSocketFilesRemoved(t *testing.T) {
+	ln, cleanup, err := netcomm.Listen("unix", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	path := ln.Addr().String()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("rendezvous socket missing before use: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		tr, _, err := netcomm.Lead(ln, netcomm.LeadConfig{WorldSize: 2, Procs: 2, Span: netcomm.Span{Lo: 0, Hi: 1}})
+		if err == nil {
+			defer tr.Stop()
+		}
+		done <- err
+	}()
+	tr, _, err := netcomm.Join(netcomm.JoinConfig{Network: "unix", Addr: path, Span: netcomm.Span{Lo: 1, Hi: 2}})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	meshPath := tr.Addr()
+	if lerr := <-done; lerr != nil {
+		t.Fatalf("lead: %v", lerr)
+	}
+	tr.Stop()
+	if _, err := os.Stat(meshPath); !os.IsNotExist(err) {
+		t.Fatalf("worker mesh socket %s still present after Stop (err %v)", meshPath, err)
+	}
+}
+
+// TestSocketStatsCounters sanity-checks the physical-layer meters: a
+// round of cross-process traffic must move frames and bytes in both
+// directions on both ends.
+func TestSocketStatsCounters(t *testing.T) {
+	spans := []netcomm.Span{{Lo: 0, Hi: 1}, {Lo: 1, Hi: 2}}
+	ln, cleanup, err := netcomm.Listen("tcp", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cleanup)
+	var lead *netcomm.Transport
+	done := make(chan error, 1)
+	go func() {
+		var err error
+		lead, _, err = netcomm.Lead(ln, netcomm.LeadConfig{WorldSize: 2, Procs: 2, Span: spans[0]})
+		done <- err
+	}()
+	join, _, err := netcomm.Join(netcomm.JoinConfig{Network: "tcp", Addr: ln.Addr().String(), Span: spans[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	w0 := comm.NewWorldTransport(2, lead)
+	w1 := comm.NewWorldTransport(2, join)
+	defer w0.Close()
+	defer w1.Close()
+	var wg = make(chan struct{})
+	go func() {
+		w0.RunRanks(0, 1, func(cm *comm.Comm) {
+			cm.Send(1, 1, []byte("ping"))
+			cm.Recv(1, 2)
+		})
+		close(wg)
+	}()
+	w1.RunRanks(1, 2, func(cm *comm.Comm) {
+		cm.Recv(0, 1)
+		cm.Send(0, 2, []byte("pong"))
+	})
+	<-wg
+	for name, s := range map[string]netcomm.Stats{"lead": lead.Stats(), "join": join.Stats()} {
+		if s.FramesSent == 0 || s.FramesRecv == 0 || s.BytesSent == 0 || s.BytesRecv == 0 {
+			t.Errorf("%s: counters did not move: %+v", name, s)
+		}
+	}
+	if lead.Stats().Dials == 0 {
+		t.Errorf("lead (lower proc) should have dialed: %+v", lead.Stats())
+	}
+	_ = fmt.Sprintf("%v", lead.Stats())
+}

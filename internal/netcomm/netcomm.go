@@ -1,0 +1,185 @@
+// Package netcomm is the cross-process physical layer of the runtime: a
+// TCP / Unix-domain-socket comm.Transport that lets a single comm.World
+// span multiple OS processes.
+//
+// The model: every process creates a World of the FULL size over the same
+// socket transport, but hosts only the rank goroutines of its own
+// contiguous span (World.RunRanks).  Point-to-point packets are routed by
+// destination rank — local destinations are delivered synchronously, like
+// PerfectTransport; remote ones are serialized with the comm packet wire
+// codec and framed onto one connection per peer process.  Collectives
+// work unchanged because they are built on point-to-point sends.
+//
+// The transport reports Reliable() == false, which is the load-bearing
+// design decision: the World layers its seq/ack/retransmit protocol
+// (comm/reliable.go) on top, exactly as it does for ChaosTransport.
+// Sender and receiver channel state live in their respective processes and
+// the protocol is symmetric, so the socket layer is ALLOWED to be lossy —
+// a frame lost to a write error, a dropped connection, a full out-queue or
+// injected chaos is recovered by retransmission, and duplicate deliveries
+// regenerate acknowledgements.  Nothing here needs to be exactly-once.
+//
+// Topology and bootstrap (rendezvous.go): a leader process listens,
+// workers dial it and announce their rank span and their own mesh
+// endpoint, and the leader broadcasts the full rank→address map before any
+// rank proceeds.  The mesh is then established with the lower-procID
+// process dialing the higher one, and a ready/start barrier over the
+// rendezvous connections guarantees every connection is up before the
+// first application packet flows.
+//
+// Failure semantics: a dropped connection is redialed by its original
+// dialer with a bumped per-connection generation (the "incarnation bump"
+// at the connection layer); packets lost in between are retransmitted by
+// the reliable layer.  World-level crash recovery (KillRank / Rejoin)
+// remains an in-process facility — a killed *process* is not respawned by
+// this package.
+package netcomm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/comm"
+)
+
+// Protocol constants.  The magic ("OCTB") and version lead every
+// handshake frame so a mismatched or foreign peer fails fast with a typed
+// error instead of desynchronizing the stream.
+const (
+	handshakeMagic  = 0x4F435442 // "OCTB"
+	protocolVersion = 1
+)
+
+// maxFrameSize bounds a single frame body.  Payloads can be large (whole
+// partition transfers ride one packet), so the bound exists to reject
+// garbage length prefixes from a desynchronized stream, not to limit
+// legitimate traffic.
+const maxFrameSize = 1 << 30
+
+// Typed handshake failures.  Wrapped with peer context; test with
+// errors.Is.
+var (
+	// ErrBadMagic means the peer did not present the handshake magic — it
+	// is not a netcomm endpoint at all.
+	ErrBadMagic = errors.New("netcomm: bad handshake magic")
+	// ErrVersionMismatch means the peer speaks a different protocol
+	// version.
+	ErrVersionMismatch = errors.New("netcomm: protocol version mismatch")
+	// ErrWorldMismatch means the peer belongs to a different world ID.
+	ErrWorldMismatch = errors.New("netcomm: world ID mismatch")
+	// ErrBadSpan means the announced rank spans do not partition the world
+	// ([0, P) exactly once, contiguously).
+	ErrBadSpan = errors.New("netcomm: rank spans do not partition the world")
+	// ErrHandshake covers malformed or unexpected handshake traffic.
+	ErrHandshake = errors.New("netcomm: handshake failed")
+)
+
+// Span is a contiguous rank range [Lo, Hi) hosted by one process.
+type Span struct {
+	Lo, Hi int
+}
+
+// Size returns the number of ranks in the span.
+func (s Span) Size() int { return s.Hi - s.Lo }
+
+func (s Span) String() string { return fmt.Sprintf("[%d,%d)", s.Lo, s.Hi) }
+
+// Contains reports whether rank r falls inside the span.
+func (s Span) Contains(r int) bool { return r >= s.Lo && r < s.Hi }
+
+// ParseSpan parses the "lo-hi" flag form (hi exclusive) used by cmd/octd.
+func ParseSpan(s string) (Span, error) {
+	var sp Span
+	if _, err := fmt.Sscanf(s, "%d-%d", &sp.Lo, &sp.Hi); err != nil {
+		return Span{}, fmt.Errorf("netcomm: span %q is not lo-hi: %w", s, err)
+	}
+	if sp.Lo < 0 || sp.Hi <= sp.Lo {
+		return Span{}, fmt.Errorf("netcomm: span %q is empty or negative", s)
+	}
+	return sp, nil
+}
+
+// ProcInfo is one process's slot in the rank→address map the leader
+// broadcasts: which rank span it hosts and where its mesh listener is.
+type ProcInfo struct {
+	Span    Span
+	Network string // "tcp" or "unix"
+	Addr    string
+}
+
+// WorldInfo is everything a process knows about the world after the
+// rendezvous completes.
+type WorldInfo struct {
+	// WorldID identifies this world instance; every handshake carries it
+	// so endpoints of different worlds refuse each other.
+	WorldID string
+	// Size is the total rank count P.
+	Size int
+	// ProcID is this process's index into Procs (procs are ordered by
+	// ascending span).
+	ProcID int
+	// Procs is the full rank→address map, one entry per process.
+	Procs []ProcInfo
+	// Job is the leader's opaque payload, broadcast verbatim to every
+	// worker (cmd/octd receives its harness scenario this way).
+	Job []byte
+	// Chaos is the world-wide socket fault-injection config.
+	Chaos NetChaos
+}
+
+// Span returns this process's local rank span.
+func (wi *WorldInfo) Span() Span { return wi.Procs[wi.ProcID].Span }
+
+// NetChaos injects seeded frame loss at the socket layer: a data packet
+// bound for a remote process is dropped with probability DropPPM/1e6,
+// decided by a hash of (Seed, src, dst, seq, attempt) so every run with
+// the same seed drops the same frames and every retransmission gets a
+// fresh fate.  Acks are never dropped here (connection loss drops them
+// instead); the reliable layer regenerates them on duplicate delivery
+// anyway.
+type NetChaos struct {
+	Seed    uint64
+	DropPPM uint32 // drop probability in parts per million
+}
+
+func (nc NetChaos) drops(p comm.Packet) bool {
+	if nc.DropPPM == 0 || p.Kind != comm.PacketData {
+		return false
+	}
+	h := mix64(nc.Seed ^ mix64(uint64(uint32(p.Src))<<32|uint64(uint32(p.Dst))) ^ mix64(p.Seq<<8|uint64(uint32(p.Attempt))))
+	return h%1_000_000 < uint64(nc.DropPPM)
+}
+
+// mix64 is the splitmix64 finalizer, the same bit mixer ChaosTransport
+// uses for its deterministic per-packet fates.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// validSpans checks that spans (in any order) partition [0, size) and
+// returns them sorted by Lo.
+func validSpans(spans []Span, size int) ([]Span, error) {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Lo < sorted[j-1].Lo; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	next := 0
+	for _, s := range sorted {
+		if s.Lo != next || s.Hi <= s.Lo {
+			return nil, fmt.Errorf("%w: span %v does not continue at rank %d (world size %d)", ErrBadSpan, s, next, size)
+		}
+		next = s.Hi
+	}
+	if next != size {
+		return nil, fmt.Errorf("%w: spans cover [0,%d) of world size %d", ErrBadSpan, next, size)
+	}
+	return sorted, nil
+}

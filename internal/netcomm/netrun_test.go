@@ -1,0 +1,62 @@
+package netcomm_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/netcomm"
+)
+
+// TestDistributedScenarioChecksum is the in-test version of the
+// multi-process smoke run: the pinned stress scenario (seed 42, P=13)
+// runs once in-process with the full oracle diff and once as one world
+// over 3 socket-backed transports, and the collective checksum must be
+// bit-identical on every process under both wire codecs.
+func TestDistributedScenarioChecksum(t *testing.T) {
+	for _, codec := range []string{"v0", "v1"} {
+		t.Run(codec, func(t *testing.T) {
+			sc := harness.FromSeed(42)
+			sc.Ranks = 13
+			if codec == "v1" {
+				sc.Codec = 1
+			} else {
+				sc.Codec = 0
+			}
+			sc = sc.Normalized()
+
+			ref := harness.Run(sc)
+			if ref.Err != nil {
+				t.Fatalf("in-process run: %v", ref.Err)
+			}
+
+			job := harness.EncodeJob(sc)
+			dec, err := harness.DecodeJob(job)
+			if err != nil || dec != sc {
+				t.Fatalf("job round trip: %v (%+v vs %+v)", err, dec, sc)
+			}
+
+			c := startCluster(t, "unix", sc.Ranks, 3, netcomm.NetChaos{})
+			defer c.Close()
+			results := make([]harness.NetResult, len(c.worlds))
+			var wg sync.WaitGroup
+			for i := range c.worlds {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i] = harness.RunLocalRanks(c.worlds[i], c.spans[i].Lo, c.spans[i].Hi, sc)
+				}(i)
+			}
+			wg.Wait()
+			for i, res := range results {
+				if res.Err != nil {
+					t.Fatalf("proc %d: %v", i, res.Err)
+				}
+				if res.Checksum != ref.Checksum || res.LeavesAfter != ref.LeavesAfter {
+					t.Errorf("proc %d diverged: checksum %#x leaves %d, want %#x / %d",
+						i, res.Checksum, res.LeavesAfter, ref.Checksum, ref.LeavesAfter)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,337 @@
+package netcomm
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Rendezvous/bootstrap protocol.  One process Leads: it listens, collects
+// a hello (rank span + mesh endpoint) from every joining worker,
+// validates that the spans partition [0, P), and broadcasts the full
+// rank→address map.  Mesh connections are then established (lower procID
+// dials higher) and a ready/start barrier over the rendezvous connections
+// guarantees the full mesh is up before any process returns and starts
+// its World.  Every step runs under handshakeTimeout, so a missing or
+// wedged process fails the bootstrap loudly instead of hanging it.
+//
+// The leader's listener does double duty: rendezvous hellos and mesh
+// peer-hellos arrive on the same endpoint and are told apart by frame
+// type, so every process owns exactly one listening socket.
+
+// LeadConfig configures the leader side of the rendezvous.
+type LeadConfig struct {
+	// WorldSize is the total rank count P.
+	WorldSize int
+	// Procs is the total process count, including the leader.
+	Procs int
+	// Span is the leader's local rank span.
+	Span Span
+	// WorldID identifies the world in every handshake; empty generates a
+	// random one.
+	WorldID string
+	// Job is an opaque blob broadcast to every worker (the launcher ships
+	// the harness scenario this way).
+	Job []byte
+	// Chaos is the socket fault-injection config, broadcast to every
+	// process so all sides drop deterministically from the same seed.
+	Chaos NetChaos
+	// Timeout bounds the whole rendezvous; 0 means handshakeTimeout.
+	Timeout time.Duration
+}
+
+// Listen opens the rendezvous/mesh listener.  addr "" picks a safe
+// default: a kernel-assigned loopback port for tcp, a socket in a fresh
+// temporary directory for unix (never a hard-coded path).  The returned
+// cleanup removes that directory (it is a no-op otherwise) and must be
+// called after the transport stops; the resolved address to publish to
+// workers is ln.Addr().String().
+func Listen(network, addr string) (ln net.Listener, cleanup func(), err error) {
+	cleanup = func() {}
+	switch network {
+	case "tcp":
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+	case "unix":
+		if addr == "" {
+			dir, err := os.MkdirTemp("", "netcomm-*")
+			if err != nil {
+				return nil, cleanup, err
+			}
+			addr = filepath.Join(dir, "rendezvous.sock")
+			cleanup = func() { os.RemoveAll(dir) }
+		}
+	default:
+		return nil, cleanup, fmt.Errorf("netcomm: unsupported network %q (want tcp or unix)", network)
+	}
+	ln, err = net.Listen(network, addr)
+	if err != nil {
+		cleanup()
+		return nil, func() {}, err
+	}
+	return ln, cleanup, nil
+}
+
+// Lead runs the leader side of the rendezvous on an already-open listener
+// (so the caller can launch workers with the resolved address first) and
+// returns the established transport plus the world map.  On error the
+// listener is closed.
+func Lead(ln net.Listener, cfg LeadConfig) (*Transport, *WorldInfo, error) {
+	t, wi, err := lead(ln, cfg)
+	if err != nil {
+		ln.Close()
+		return nil, nil, err
+	}
+	return t, wi, nil
+}
+
+func lead(ln net.Listener, cfg LeadConfig) (*Transport, *WorldInfo, error) {
+	if cfg.Procs < 1 || cfg.WorldSize < 1 {
+		return nil, nil, fmt.Errorf("netcomm: need at least one proc and one rank (procs %d, size %d)", cfg.Procs, cfg.WorldSize)
+	}
+	worldID := cfg.WorldID
+	if worldID == "" {
+		var raw [8]byte
+		if _, err := rand.Read(raw[:]); err != nil {
+			return nil, nil, err
+		}
+		worldID = hex.EncodeToString(raw[:])
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = handshakeTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	network := ln.Addr().Network()
+
+	// Phase 1: collect a hello from every worker.
+	type joiner struct {
+		conn net.Conn
+		br   *bufio.Reader
+		mesh ProcInfo
+	}
+	joiners := make([]*joiner, 0, cfg.Procs-1)
+	fail := func(err error) (*Transport, *WorldInfo, error) {
+		for _, j := range joiners {
+			sendError(j.conn, err)
+			j.conn.Close()
+		}
+		return nil, nil, err
+	}
+	if dl, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+		_ = dl.SetDeadline(deadline)
+		defer dl.SetDeadline(time.Time{})
+	}
+	for len(joiners) < cfg.Procs-1 {
+		c, err := ln.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("netcomm: rendezvous accept (have %d of %d workers): %w", len(joiners), cfg.Procs-1, err))
+		}
+		br := bufio.NewReaderSize(c, 64<<10)
+		body, err := readControlFrame(c, br, ftHello)
+		if err != nil {
+			sendError(c, err)
+			c.Close()
+			return fail(err)
+		}
+		hello, err := decodeHello(body, worldID)
+		if err != nil {
+			sendError(c, err)
+			c.Close()
+			return fail(err)
+		}
+		joiners = append(joiners, &joiner{conn: c, br: br,
+			mesh: ProcInfo{Span: hello.span, Network: hello.network, Addr: hello.addr}})
+	}
+
+	// Phase 2: validate the partition and build the proc map, ordered by
+	// ascending span.
+	spans := []Span{cfg.Span}
+	for _, j := range joiners {
+		spans = append(spans, j.mesh.Span)
+	}
+	if _, err := validSpans(spans, cfg.WorldSize); err != nil {
+		return fail(err)
+	}
+	procs := make([]ProcInfo, 0, cfg.Procs)
+	procs = append(procs, ProcInfo{Span: cfg.Span, Network: network, Addr: ln.Addr().String()})
+	for _, j := range joiners {
+		procs = append(procs, j.mesh)
+	}
+	sort.Slice(procs, func(i, k int) bool { return procs[i].Span.Lo < procs[k].Span.Lo })
+	procID := -1
+	joinerProc := make(map[*joiner]int)
+	for id, pr := range procs {
+		if pr.Span == cfg.Span {
+			procID = id
+		}
+		for _, j := range joiners {
+			if j.mesh.Span == pr.Span {
+				joinerProc[j] = id
+			}
+		}
+	}
+
+	// Phase 3: start the transport (its accept loop must be live before
+	// any worker can dial the leader's mesh endpoint), then broadcast the
+	// map.  The rendezvous deadline comes off the listener first — the
+	// accept loop owns it for the rest of the world's life.
+	if dl, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+		_ = dl.SetDeadline(time.Time{})
+	}
+	t := newTransport(worldID, procID, procs, cfg.WorldSize, cfg.Chaos, ln, "")
+	for _, j := range joiners {
+		wm := welcomeMsg{info: WorldInfo{
+			WorldID: worldID, Size: cfg.WorldSize, ProcID: joinerProc[j],
+			Procs: procs, Job: cfg.Job, Chaos: cfg.Chaos,
+		}}
+		_ = j.conn.SetWriteDeadline(deadline)
+		if err := writeFrame(j.conn, ftWelcome, wm.encode()); err != nil {
+			t.Stop()
+			return fail(fmt.Errorf("netcomm: sending welcome: %w", err))
+		}
+		_ = j.conn.SetWriteDeadline(time.Time{})
+	}
+
+	// Phase 4: establish this side's mesh connections, then the
+	// ready/start barrier.
+	if err := t.establishMesh(); err != nil {
+		t.Stop()
+		return fail(err)
+	}
+	for _, j := range joiners {
+		if _, err := readControlFrame(j.conn, j.br, ftReady); err != nil {
+			t.Stop()
+			return fail(fmt.Errorf("netcomm: waiting for worker ready: %w", err))
+		}
+	}
+	for _, j := range joiners {
+		_ = j.conn.SetWriteDeadline(deadline)
+		err := writeFrame(j.conn, ftStart, nil)
+		j.conn.Close()
+		if err != nil {
+			t.Stop()
+			return fail(fmt.Errorf("netcomm: sending start: %w", err))
+		}
+	}
+	wi := &WorldInfo{WorldID: worldID, Size: cfg.WorldSize, ProcID: procID,
+		Procs: procs, Job: cfg.Job, Chaos: cfg.Chaos}
+	return t, wi, nil
+}
+
+// JoinConfig configures a worker joining a leader's rendezvous.
+type JoinConfig struct {
+	// Network and Addr name the leader's rendezvous endpoint.
+	Network string
+	Addr    string
+	// ListenAddr is this worker's mesh listen address; empty picks a safe
+	// default (loopback port 0 for tcp, a fresh temp-dir socket for
+	// unix).
+	ListenAddr string
+	// Span is the rank span this process will host.
+	Span Span
+	// WorldID, when non-empty, must match the leader's (empty accepts
+	// whatever world the leader runs).
+	WorldID string
+	// Timeout bounds the whole join; 0 means handshakeTimeout.
+	Timeout time.Duration
+}
+
+// Join runs the worker side of the rendezvous: open a mesh listener, dial
+// the leader, announce the span and resolved listen address, receive the
+// world map, establish mesh connections, and clear the start barrier.
+func Join(cfg JoinConfig) (*Transport, *WorldInfo, error) {
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = handshakeTimeout
+	}
+	deadline := time.Now().Add(timeout)
+
+	listenNet := cfg.Network
+	listenAddr := cfg.ListenAddr
+	tmpDir := ""
+	if listenAddr == "" {
+		switch cfg.Network {
+		case "tcp":
+			listenAddr = "127.0.0.1:0"
+		case "unix":
+			dir, err := os.MkdirTemp("", "netcomm-*")
+			if err != nil {
+				return nil, nil, err
+			}
+			tmpDir = dir
+			listenAddr = filepath.Join(dir, "mesh.sock")
+		default:
+			return nil, nil, fmt.Errorf("netcomm: unsupported network %q (want tcp or unix)", cfg.Network)
+		}
+	}
+	cleanupTmp := func() {
+		if tmpDir != "" {
+			os.RemoveAll(tmpDir)
+		}
+	}
+	ln, err := net.Listen(listenNet, listenAddr)
+	if err != nil {
+		cleanupTmp()
+		return nil, nil, err
+	}
+
+	c, err := net.DialTimeout(cfg.Network, cfg.Addr, timeout)
+	if err != nil {
+		ln.Close()
+		cleanupTmp()
+		return nil, nil, fmt.Errorf("netcomm: dialing leader at %s: %w", cfg.Addr, err)
+	}
+	failConn := func(err error) (*Transport, *WorldInfo, error) {
+		c.Close()
+		ln.Close()
+		cleanupTmp()
+		return nil, nil, err
+	}
+	hello := helloMsg{worldID: cfg.WorldID, span: cfg.Span,
+		network: listenNet, addr: ln.Addr().String()}
+	_ = c.SetWriteDeadline(deadline)
+	if err := writeFrame(c, ftHello, hello.encode()); err != nil {
+		return failConn(fmt.Errorf("netcomm: sending hello: %w", err))
+	}
+	_ = c.SetWriteDeadline(time.Time{})
+	br := bufio.NewReaderSize(c, 64<<10)
+	body, err := readControlFrame(c, br, ftWelcome)
+	if err != nil {
+		return failConn(err)
+	}
+	wi, err := decodeWelcome(body, cfg.WorldID)
+	if err != nil {
+		return failConn(err)
+	}
+	if got := wi.Procs[wi.ProcID].Span; got != cfg.Span {
+		return failConn(fmt.Errorf("%w: leader assigned span %v, announced %v", ErrHandshake, got, cfg.Span))
+	}
+
+	t := newTransport(wi.WorldID, wi.ProcID, wi.Procs, wi.Size, wi.Chaos, ln, tmpDir)
+	failT := func(err error) (*Transport, *WorldInfo, error) {
+		t.Stop() // closes ln and removes tmpDir
+		c.Close()
+		return nil, nil, err
+	}
+	if err := t.establishMesh(); err != nil {
+		return failT(err)
+	}
+	_ = c.SetWriteDeadline(deadline)
+	if err := writeFrame(c, ftReady, nil); err != nil {
+		return failT(fmt.Errorf("netcomm: sending ready: %w", err))
+	}
+	_ = c.SetWriteDeadline(time.Time{})
+	if _, err := readControlFrame(c, br, ftStart); err != nil {
+		return failT(fmt.Errorf("netcomm: waiting for start: %w", err))
+	}
+	c.Close()
+	return t, &wi, nil
+}

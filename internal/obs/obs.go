@@ -47,6 +47,23 @@ const (
 	SpanRollback       = "recover/rollback"
 )
 
+// Well-known names emitted by the socket transport (internal/netcomm):
+// physical frames and bytes on the wire, dial attempts with cumulative
+// latency, and reconnects after dropped connections.  The transport
+// records them on its lowest local rank's track, since frames belong to
+// the process, not to any one rank.
+const (
+	CounterNetFramesSent = "net/frames-sent"
+	CounterNetFramesRecv = "net/frames-recv"
+	CounterNetBytesSent  = "net/bytes-sent"
+	CounterNetBytesRecv  = "net/bytes-recv"
+	CounterNetDials      = "net/dials"
+	CounterNetDialNanos  = "net/dial-nanos"
+	CounterNetReconnects = "net/reconnects"
+	CounterNetChaosDrops = "net/chaos-drops"
+	CounterNetQueueDrops = "net/queue-drops"
+)
+
 // eventKind distinguishes the record types in a rank's event buffer.
 type eventKind uint8
 
