@@ -75,7 +75,11 @@ func main() {
 			// Allocation counts are deterministic for a fixed input, unlike
 			// ns/op, so they make a sharp regression gate for the gated
 			// kernels even on noisy CI machines.
-			if err := obs.CompareKernelAllocs(base, rec, *gatePrefix, *maxRegr); err != nil {
+			skipped, err := obs.CompareKernelAllocs(base, rec, *gatePrefix, *maxRegr)
+			for _, name := range skipped {
+				fmt.Printf("%s: kernel %s: no baseline, skipped\n", *validateF, name)
+			}
+			if err != nil {
 				log.Fatalf("alloc regression vs %s: %v", *baselineF, err)
 			}
 			fmt.Printf("%s: %s kernel allocs/op within %.0f%% of baseline %s\n",

@@ -1,0 +1,80 @@
+package balance
+
+import (
+	"repro/internal/linear"
+	"repro/internal/octant"
+)
+
+// SubtreeNewKeys is the new subtree balance algorithm (Figure 7) operating
+// natively on packed Morton keys: Reduce, coarse-neighborhood closure with
+// preclusion tagging, and completion all run in the key domain, so the hot
+// loop is bit arithmetic plus two-word compares and no coordinate structs
+// are materialized.  The output set is identical to SubtreeNew's on the
+// unpacked octants — the differential suite pins this.
+func SubtreeNewKeys(root octant.Key, S []octant.Key, k int) []octant.Key {
+	if len(S) == 0 || (len(S) == 1 && S[0] == root) {
+		return []octant.Key{root}
+	}
+	// Hoist the direction set: the struct path's CoarseNeighborhood
+	// allocates it (and the neighbor slice) per octant.
+	dirs := octant.Directions(int(root.Dim()), k)
+
+	R := linear.ReduceKeys(S)
+	rnew := make(map[octant.Key]struct{})
+	prec := make(map[octant.Key]struct{})
+	work := make([]octant.Key, len(R))
+	copy(work, R)
+
+	rootLevel := root.Level()
+	for len(work) > 0 {
+		o := work[len(work)-1]
+		work = work[:len(work)-1]
+		if o.Level() < rootLevel+2 {
+			continue // coarse neighborhood would leave the subtree
+		}
+		p := o.Parent()
+		for _, d := range dirs {
+			s0 := p.Neighbor(d)
+			if !root.IsAncestor(s0) {
+				continue
+			}
+			s := s0.Sibling(0) // equivalent to s0 under preclusion
+			_, inNew := rnew[s]
+			if !inNew {
+				inR := false
+				i, ok := linear.PrecludingMemberKeys(R, s)
+				switch {
+				case ok && R[i] == s:
+					inR = true
+				case ok && octant.KeyPrecluded(R[i], s):
+					// An input octant is precluded by the new octant s.
+					prec[R[i]] = struct{}{}
+				}
+				if !inR {
+					rnew[s] = struct{}{}
+					work = append(work, s)
+				}
+			}
+			if octant.KeyPrecluded(s, o) {
+				prec[s] = struct{}{}
+			}
+		}
+	}
+
+	final := make([]octant.Key, 0, len(R)+len(rnew))
+	for _, o := range R {
+		if _, p := prec[o]; !p {
+			final = append(final, o)
+		}
+	}
+	for o := range rnew {
+		if _, p := prec[o]; !p {
+			final = append(final, o)
+		}
+	}
+	linear.SortKeys(final)
+	// New octants added at different times can overlap; keep the finest,
+	// whose completion regenerates the coarser ones.
+	final = linear.LinearizeKeys(final)
+	return linear.CompleteKeys(root, final)
+}

@@ -106,6 +106,13 @@ type BalanceOptions struct {
 	// responses, and the notify pattern).  The balanced forest is
 	// bit-identical under every codec; only the byte volume changes.
 	Codec WireCodec
+	// KeyLocal routes the Local balance (phase 1) through the packed
+	// Morton-key representation: chunks are converted to keys once, the
+	// whole subtree balance runs on keys, and coordinates materialize
+	// only at the chunk boundary.  Applies to the paper's new algorithm;
+	// the old Local stage always runs on structs.  The balanced forest
+	// is bit-identical either way.
+	KeyLocal bool
 }
 
 // PhaseTimes records wall-clock durations of the one-pass balance phases as
@@ -245,9 +252,14 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 	// they go to the pool as-is; a chunk is never subdivided further
 	// because balance interactions couple everything inside it.
 	ps := beginPhase(c, "local-balance")
+	keyLocal := opt.KeyLocal && localAlgo == AlgoNew
 	runParallel(len(f.Local), func(i int) {
 		tc := &f.Local[i]
-		tc.Leaves = localBalanceChunk(root, tc.Leaves, k, localAlgo)
+		if keyLocal {
+			tc.Leaves = localBalanceChunkKeys(tc.Leaves, k)
+		} else {
+			tc.Leaves = localBalanceChunk(root, tc.Leaves, k, localAlgo)
+		}
 	})
 	times.LocalBalance = ps.end()
 

@@ -1,0 +1,51 @@
+package forest
+
+import (
+	"repro/internal/balance"
+	"repro/internal/octant"
+)
+
+// This file is the key-native Local balance path (BalanceOptions.KeyLocal):
+// each rank-local chunk is packed into Morton keys once at the chunk
+// boundary, the whole subtree balance — Reduce, neighborhood closure,
+// sort, completion, range clipping — runs on packed keys, and coordinates
+// are materialized again only when the balanced chunk is stored back.  The
+// result is bit-identical to the struct path; the harness checksum sweep
+// and the forest differential tests pin that.
+
+// localBalanceChunkKeys is localBalanceChunk on packed keys, for the
+// paper's new algorithm.
+func localBalanceChunkKeys(leaves []octant.Octant, k int) []octant.Octant {
+	if len(leaves) <= 1 {
+		return leaves
+	}
+	keys := octant.AppendKeys(make([]octant.Key, 0, len(leaves)), leaves)
+	sub := octant.NearestCommonAncestorKeys(keys[0], keys[len(keys)-1])
+	bal := balance.SubtreeNewKeys(sub, keys, k)
+	bal = clipToRangeKeys(bal, keys[0], keys[len(keys)-1])
+	return octant.AppendOctants(leaves[:0], bal)
+}
+
+// clipToRangeKeys keeps the keys lying within the curve range spanned by
+// the original first and last leaves.
+func clipToRangeKeys(keys []octant.Key, first, last octant.Key) []octant.Key {
+	fd := first.FirstDescendant(octant.MaxLevel)
+	ld := last.LastDescendant(octant.MaxLevel)
+	out := keys[:0]
+	for _, o := range keys {
+		if octant.KeyCompare(o.FirstDescendant(octant.MaxLevel), fd) >= 0 &&
+			octant.KeyCompare(o.LastDescendant(octant.MaxLevel), ld) <= 0 {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// BalanceChunksKeys is BalanceChunks routed through the key-native Local
+// balance (the paper's new algorithm only).  Exported for the kernel
+// micro-benchmarks; Balance with KeyLocal set runs the same code path.
+func BalanceChunksKeys(chunks [][]octant.Octant, k, workers int) {
+	parallelFor(workers, len(chunks), func(i int) {
+		chunks[i] = localBalanceChunkKeys(chunks[i], k)
+	})
+}

@@ -385,6 +385,70 @@ func EncodeOctantList(b []byte, octs []octant.Octant, codec WireCodec) []byte {
 	return e.b
 }
 
+// EncodeKeyList encodes a packed-key list in the identical byte format as
+// EncodeOctantList: coordinates materialize from each key only at the wire
+// boundary, so payloads are interchangeable between the representations
+// byte for byte and the committed codec fuzz corpus stays valid.
+func EncodeKeyList(b []byte, keys []octant.Key, codec WireCodec) []byte {
+	if codec != WireV1 {
+		b = slices.Grow(b, 4+octantWireSize*len(keys))
+		b = comm.AppendInt32(b, int32(len(keys)))
+		for _, k := range keys {
+			b = appendOctant(b, k.Octant())
+		}
+		return b
+	}
+	dim := int8(2)
+	if len(keys) > 0 {
+		dim = keys[0].Dim()
+	}
+	e := wireEnc{b: append(b, byte(dim)), codec: codec, dim: dim}
+	e.count(len(keys))
+	for _, k := range keys {
+		e.oct(k.Octant())
+	}
+	return e.b
+}
+
+// DecodeKeyList decodes a list written by EncodeKeyList (or, equivalently,
+// EncodeOctantList) into packed keys, packing each octant as it leaves the
+// wire.  Same error behavior as DecodeOctantList.
+func DecodeKeyList(b []byte, codec WireCodec) ([]octant.Key, int, error) {
+	if codec != WireV1 {
+		if len(b) < 4 {
+			return nil, 0, errors.New("forest: truncated octant list")
+		}
+		n, off := comm.Int32At(b, 0)
+		if n < 0 || int(n) > (len(b)-4)/octantWireSize {
+			return nil, 0, fmt.Errorf("forest: octant count %d exceeds %d payload bytes", n, len(b)-4)
+		}
+		keys := make([]octant.Key, n)
+		for i := range keys {
+			var o octant.Octant
+			o, off = octantAt(b, off)
+			keys[i] = octant.KeyOf(o)
+		}
+		return keys, off, nil
+	}
+	if len(b) == 0 {
+		return nil, 0, errors.New("forest: truncated octant list")
+	}
+	dim := int8(b[0])
+	if dim != 2 && dim != 3 {
+		return nil, 0, fmt.Errorf("forest: octant list dim %d (want 2 or 3)", dim)
+	}
+	d := wireDec{b: b, off: 1, codec: codec, dim: dim}
+	n := d.count(d.minOct())
+	keys := make([]octant.Key, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		keys = append(keys, octant.KeyOf(d.oct()))
+	}
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	return keys, d.off, nil
+}
+
 // DecodeOctantList decodes a list written by EncodeOctantList and returns it
 // with the offset just past it.  Malformed input — truncated varints, counts
 // exceeding the payload, out-of-range coordinates — is reported as an error,

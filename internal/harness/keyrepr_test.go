@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/forest"
+)
+
+// TestKeyNativeChecksumInvariance requires the balanced forest to be
+// bit-identical whether the Local balance runs on octant structs or on
+// packed Morton keys (Scenario.KeyNative), across the same configuration
+// sweep the codec-invariance test uses — P in {1, 4, 13}, 3D fractal,
+// masked periodic 2D, graded with a worker pool — plus a WireV1 leg, so
+// the key-native path also runs over the compact codec.  Every leg passes
+// the full differential check inside Run (oracle diff, audit,
+// CheckForest), so this is the correctness guarantee of
+// BalanceOptions.KeyLocal, not just a checksum smoke test.
+func TestKeyNativeChecksumInvariance(t *testing.T) {
+	for _, base := range codecInvarianceScenarios() {
+		for _, v1 := range []bool{false, true} {
+			sc := base
+			if v1 {
+				sc.Codec = forest.WireV1
+			}
+			sc = sc.Normalized()
+			ref := Run(sc)
+			if ref.Err != nil {
+				t.Fatalf("struct leg: %v failed: %v", sc, ref.Err)
+			}
+			ksc := sc
+			ksc.KeyNative = true
+			res := Run(ksc)
+			if res.Err != nil {
+				t.Fatalf("key-native leg: %v failed: %v", ksc, res.Err)
+			}
+			if res.Checksum != ref.Checksum {
+				t.Fatalf("key-native checksum %#x != struct checksum %#x for %v",
+					res.Checksum, ref.Checksum, ksc)
+			}
+		}
+	}
+}
+
+// TestKeyNativeChecksumInvarianceUnderChaos re-runs one key-native
+// scenario per rank count on the fault-injecting transport: the key
+// representation only changes rank-local compute, so transport faults
+// must not perturb the balanced forest under either representation.
+func TestKeyNativeChecksumInvarianceUnderChaos(t *testing.T) {
+	for _, p := range []int{4, 13} {
+		base := Scenario{
+			Dim: 2, K: 2, NX: 3, NY: 3, NZ: 1, PeriodicX: true,
+			MaskPct: 20, MaskSeed: 0xc0dec,
+			Ranks: p, BaseLevel: 1, MaxLevel: 5,
+			Refine: RefRandom, RefineSeed: 0xbeef, RefinePct: 25,
+			Partition: PartLevelWeighted,
+		}
+		base = base.Normalized()
+		ref := Run(base)
+		if ref.Err != nil {
+			t.Fatalf("struct leg: %v failed: %v", base, ref.Err)
+		}
+		for _, chaos := range []bool{false, true} {
+			sc := base
+			sc.KeyNative = true
+			if chaos {
+				sc = sc.WithChaos(uint64(7000*p) + 1)
+			}
+			res := Run(sc)
+			if res.Err != nil {
+				t.Fatalf("key-native (chaos=%v): %v failed: %v", chaos, sc, res.Err)
+			}
+			if res.Checksum != ref.Checksum {
+				t.Fatalf("key-native (chaos=%v): checksum %#x != struct %#x for %v",
+					chaos, res.Checksum, ref.Checksum, sc)
+			}
+		}
+	}
+}
+
+// TestKeyNativeReplayFlags pins the shrinker's replay hint: a scenario
+// whose KeyNative differs from its seed's own draw must carry the
+// -key-native pin in the printed replay command.
+func TestKeyNativeReplayFlags(t *testing.T) {
+	sc := FromSeed(1)
+	sc.KeyNative = !sc.KeyNative
+	want := " -key-native on"
+	if !sc.KeyNative {
+		want = " -key-native off"
+	}
+	if got := replayFlags(sc); !strings.Contains(got, want) {
+		t.Fatalf("replayFlags(%v) = %q, want it to contain %q", sc, got, want)
+	}
+	if got := replayFlags(FromSeed(1)); strings.Contains(got, "-key-native") {
+		t.Fatalf("replayFlags of an unmodified seed carries a spurious pin: %q", got)
+	}
+}

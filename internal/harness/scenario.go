@@ -133,6 +133,13 @@ type Scenario struct {
 	// cross-check verify that on every scenario that samples WireV1.
 	Codec forest.WireCodec
 
+	// KeyNative routes the Local balance through the packed Morton-key
+	// representation (forest.BalanceOptions.KeyLocal).  The balanced
+	// forest must be bit-identical under either representation — the
+	// oracle diff and the checksum cross-check verify that on every
+	// scenario that samples it.
+	KeyNative bool
+
 	// ChaosSeed, when non-zero, runs the scenario on a seeded
 	// comm.ChaosTransport (message drops, duplication, delay/reordering
 	// and per-rank stalls) instead of the perfect transport.  The
@@ -308,6 +315,12 @@ func Random(rng *rand.Rand) Scenario {
 	if rng.Intn(2) == 0 {
 		sc.Codec = forest.WireV1
 	}
+	// Half of the scenarios run the Local balance on packed Morton keys, so
+	// representation invariance is exercised across the whole lattice.
+	// (Sampled last, after Codec, per the same seed-stability convention.)
+	if rng.Intn(2) == 0 {
+		sc.KeyNative = true
+	}
 	return sc.Normalized()
 }
 
@@ -422,7 +435,7 @@ func (sc Scenario) Refiner() otest.RefineFunc {
 
 // Options returns the forest.BalanceOptions the scenario selects.
 func (sc Scenario) Options() forest.BalanceOptions {
-	return forest.BalanceOptions{Algo: sc.Algo, Notify: sc.Notify, MaxRanges: sc.MaxRanges, Workers: sc.Workers, Codec: sc.Codec}
+	return forest.BalanceOptions{Algo: sc.Algo, Notify: sc.Notify, MaxRanges: sc.MaxRanges, Workers: sc.Workers, Codec: sc.Codec, KeyLocal: sc.KeyNative}
 }
 
 // String is a compact one-line description for logs.
@@ -471,9 +484,13 @@ func (sc Scenario) String() string {
 	if sc.Codec != forest.WireV0 {
 		codec = fmt.Sprintf(" codec=%v", sc.Codec)
 	}
-	return fmt.Sprintf("seed=%d dim=%d k=%d brick=%dx%dx%d per=%s mask=%s P=%d lvl=%d..%d ref=%v part=%v algo=%v notify=%d%s%s%s%s",
+	keys := ""
+	if sc.KeyNative {
+		keys = " keys"
+	}
+	return fmt.Sprintf("seed=%d dim=%d k=%d brick=%dx%dx%d per=%s mask=%s P=%d lvl=%d..%d ref=%v part=%v algo=%v notify=%d%s%s%s%s%s",
 		sc.Seed, sc.Dim, sc.K, sc.NX, sc.NY, sc.NZ, per, mask,
-		sc.Ranks, sc.BaseLevel, sc.MaxLevel, sc.Refine, sc.Partition, sc.Algo, sc.Notify, wk, codec, chaos, crash)
+		sc.Ranks, sc.BaseLevel, sc.MaxLevel, sc.Refine, sc.Partition, sc.Algo, sc.Notify, wk, codec, keys, chaos, crash)
 }
 
 // GoLiteral renders the scenario as a Go composite literal, used by the
@@ -501,6 +518,9 @@ func (sc Scenario) GoLiteral() string {
 	}
 	if sc.Codec != 0 {
 		add("Codec: %d,", int(sc.Codec))
+	}
+	if sc.KeyNative {
+		add("KeyNative: true,")
 	}
 	if sc.ChaosSeed != 0 {
 		add("ChaosSeed: %#x, ChaosCanary: %v,", sc.ChaosSeed, sc.ChaosCanary)

@@ -44,6 +44,20 @@ func List() []Kernel {
 		{"WireDecodeV1", benchWireDecode(forest.WireV1)},
 		{"TraverseSearch", benchTraverseSearch},
 		{"GhostBuild", benchGhostBuild},
+		{"MortonKeyEncode", benchMortonKeyEncode},
+		{"MortonKeyDecode", benchMortonKeyDecode},
+		{"KeyCarry3", benchKeyCarry3},
+		{"SortOctants", benchSortOctants},
+		{"SortKeys", benchSortKeys},
+		{"LowerBoundOctants", benchLowerBoundOctants},
+		{"LowerBoundKeys", benchLowerBoundKeys},
+		{"OverlapRangeOctants", benchOverlapRangeOctants},
+		{"OverlapRangeKeys", benchOverlapRangeKeys},
+		{"LocalBalanceKeysSerial", benchLocalBalanceKeys(1)},
+		{"LocalBalanceKeysPar4", benchLocalBalanceKeys(4)},
+		{"TraverseSearchKeys", benchTraverseSearchKeys},
+		{"WireEncodeKeysV1", benchWireEncodeKeys(forest.WireV1)},
+		{"WireDecodeKeysV1", benchWireDecodeKeys(forest.WireV1)},
 	}
 }
 

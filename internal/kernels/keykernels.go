@@ -1,0 +1,226 @@
+package kernels
+
+// Key-native kernel benchmarks: each pairs with a struct kernel over the
+// same canned input so BENCH_local.json records the packed-representation
+// win directly — Morton encode/decode against KeyOf/Octant, comparison
+// sorts and binary searches against their integer-compare twins, the
+// chunked Local balance pipeline against its key-routed variant, and the
+// WireV1 list codec against the key-list boundary materialization.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/forest"
+	"repro/internal/linear"
+	"repro/internal/octant"
+	"repro/internal/traverse"
+)
+
+func cannedKeys() []octant.Key {
+	return octant.AppendKeys(nil, canned())
+}
+
+func benchMortonKeyEncode(b *testing.B) {
+	leaves := canned()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for _, o := range leaves {
+			sink += octant.KeyOf(o).Lo
+		}
+	}
+	_ = sink
+	perOp(b, len(leaves))
+}
+
+func benchMortonKeyDecode(b *testing.B) {
+	keys := cannedKeys()
+	b.ResetTimer()
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			sink += k.Octant().X
+		}
+	}
+	_ = sink
+	perOp(b, len(keys))
+}
+
+// benchKeyCarry3 measures the key-native successor step — the single
+// carry-propagating 128-bit add that replaces the per-axis Carry3 chain —
+// over every canned leaf that has a successor at its level.
+func benchKeyCarry3(b *testing.B) {
+	root := octant.KeyOf(octant.Root(cannedDim))
+	var keys []octant.Key
+	for _, k := range cannedKeys() {
+		if k != root.LastDescendant(k.Level()) {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		b.Fatal("kernels: no canned keys with successors")
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			sink += k.Successor().Lo
+		}
+	}
+	_ = sink
+	perOp(b, len(keys))
+}
+
+// shuffled returns a deterministic permutation of the canned chunk; the
+// sort kernels re-sort a copy of it every iteration.
+func shuffled() []octant.Octant {
+	leaves := canned()
+	rng := rand.New(rand.NewSource(1234))
+	rng.Shuffle(len(leaves), func(i, j int) {
+		leaves[i], leaves[j] = leaves[j], leaves[i]
+	})
+	return leaves
+}
+
+func benchSortOctants(b *testing.B) {
+	src := shuffled()
+	work := make([]octant.Octant, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, src)
+		linear.Sort(work)
+	}
+	perOp(b, len(src))
+}
+
+func benchSortKeys(b *testing.B) {
+	src := octant.AppendKeys(nil, shuffled())
+	work := make([]octant.Key, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, src)
+		linear.SortKeys(work)
+	}
+	perOp(b, len(src))
+}
+
+func benchLowerBoundOctants(b *testing.B) {
+	leaves := canned()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for _, q := range leaves {
+			sink += linear.LowerBound(leaves, q)
+		}
+	}
+	_ = sink
+	perOp(b, len(leaves))
+}
+
+func benchLowerBoundKeys(b *testing.B) {
+	keys := cannedKeys()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for _, q := range keys {
+			sink += linear.LowerBoundKeys(keys, q)
+		}
+	}
+	_ = sink
+	perOp(b, len(keys))
+}
+
+func benchOverlapRangeOctants(b *testing.B) {
+	leaves := canned()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for _, q := range leaves {
+			lo, hi := linear.OverlapRange(leaves, q)
+			sink += hi - lo
+		}
+	}
+	_ = sink
+	perOp(b, len(leaves))
+}
+
+func benchOverlapRangeKeys(b *testing.B) {
+	keys := cannedKeys()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for _, q := range keys {
+			lo, hi := linear.OverlapRangeKeys(keys, q)
+			sink += hi - lo
+		}
+	}
+	_ = sink
+	perOp(b, len(keys))
+}
+
+// benchLocalBalanceKeys mirrors benchLocalBalance over the same chunked
+// input, routed through the key-native Local balance.
+func benchLocalBalanceKeys(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		src := localBalanceInput()
+		work := make([][]octant.Octant, len(src))
+		for j := range src {
+			work[j] = make([]octant.Octant, 0, 2*len(src[j])+16)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range src {
+				work[j] = append(work[j][:0], src[j]...)
+			}
+			forest.BalanceChunksKeys(work, cannedK, workers)
+		}
+	}
+}
+
+func benchTraverseSearchKeys(b *testing.B) {
+	keys := cannedKeys()
+	root := octant.KeyOf(octant.Root(cannedDim))
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		var st traverse.Stats
+		traverse.SearchKeys(root, keys, func(w octant.Key, lo, hi int, isLeaf bool) bool {
+			return true
+		}, &st)
+		sink += st.Leaves
+	}
+	_ = sink
+	perOp(b, len(keys))
+}
+
+func benchWireEncodeKeys(codec forest.WireCodec) func(b *testing.B) {
+	return func(b *testing.B) {
+		keys := cannedKeys()
+		var buf []byte
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = forest.EncodeKeyList(buf[:0], keys, codec)
+		}
+		b.ReportMetric(float64(len(buf))/float64(len(keys)), "bytes/oct")
+		perOp(b, len(keys))
+	}
+}
+
+func benchWireDecodeKeys(codec forest.WireCodec) func(b *testing.B) {
+	return func(b *testing.B) {
+		keys := cannedKeys()
+		enc := forest.EncodeKeyList(nil, keys, codec)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dec, _, err := forest.DecodeKeyList(enc, codec)
+			if err != nil {
+				b.Fatalf("kernels: key wire decode: %v", err)
+			}
+			if len(dec) != len(keys) {
+				b.Fatalf("kernels: key wire decode returned %d of %d keys", len(dec), len(keys))
+			}
+		}
+		perOp(b, len(keys))
+	}
+}

@@ -189,10 +189,11 @@ func (run BenchRun) validate() error {
 // allocate more than maxRegressPct percent over the baseline record.
 // Allocation counts are deterministic for a fixed input — unlike ns/op,
 // which wobbles with machine load — so they make a sharp CI gate for the
-// local-balance hot path.  Kernels present on only one side are ignored
-// (renames must not fail unrelated changes); an empty prefix gates every
-// common kernel.
-func CompareKernelAllocs(baseline, cur *BenchRecord, prefix string, maxRegressPct float64) error {
+// local-balance hot path.  Kernels matching the prefix but absent from the
+// baseline are NOT compared; they come back in skipped so the caller can
+// say so explicitly — a silently vacuous gate once hid exactly the
+// regression it existed to catch.  An empty prefix gates every kernel.
+func CompareKernelAllocs(baseline, cur *BenchRecord, prefix string, maxRegressPct float64) (skipped []string, err error) {
 	base := make(map[string]KernelResult, len(baseline.Kernels))
 	for _, k := range baseline.Kernels {
 		base[k.Name] = k
@@ -204,19 +205,20 @@ func CompareKernelAllocs(baseline, cur *BenchRecord, prefix string, maxRegressPc
 		}
 		b, ok := base[k.Name]
 		if !ok {
+			skipped = append(skipped, k.Name)
 			continue
 		}
 		compared++
 		limit := float64(b.AllocsPerOp) * (1 + maxRegressPct/100)
 		if float64(k.AllocsPerOp) > limit {
-			return fmt.Errorf("kernel %s: %d allocs/op exceeds baseline %d by more than %.0f%%",
+			return skipped, fmt.Errorf("kernel %s: %d allocs/op exceeds baseline %d by more than %.0f%%",
 				k.Name, k.AllocsPerOp, b.AllocsPerOp, maxRegressPct)
 		}
 	}
 	if compared == 0 {
-		return fmt.Errorf("no kernels matching prefix %q common to both records — the gate compared nothing", prefix)
+		return skipped, fmt.Errorf("no kernels matching prefix %q common to both records — the gate compared nothing", prefix)
 	}
-	return nil
+	return skipped, nil
 }
 
 // WriteBenchRecord validates and writes the record as indented JSON.

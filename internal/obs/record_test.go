@@ -93,3 +93,58 @@ func TestWriteBenchRecordRefusesInvalid(t *testing.T) {
 		t.Fatal("WriteBenchRecord wrote an invalid record")
 	}
 }
+
+// kernelRecord builds a minimal valid record carrying the given kernels.
+func kernelRecord(names ...string) *obs.BenchRecord {
+	r := validRecord()
+	r.Kernels = nil
+	for _, n := range names {
+		r.Kernels = append(r.Kernels, obs.KernelResult{
+			Name: n, NsPerOp: 10, AllocsPerOp: 4, Iterations: 100,
+		})
+	}
+	return r
+}
+
+func TestCompareKernelAllocs(t *testing.T) {
+	base := kernelRecord("LocalBalanceSerial", "LocalBalancePar4")
+
+	t.Run("passes within limit", func(t *testing.T) {
+		cur := kernelRecord("LocalBalanceSerial", "LocalBalancePar4")
+		skipped, err := obs.CompareKernelAllocs(base, cur, "LocalBalance", 10)
+		if err != nil || len(skipped) != 0 {
+			t.Fatalf("skipped %v, err %v; want none", skipped, err)
+		}
+	})
+
+	t.Run("fails on regression", func(t *testing.T) {
+		cur := kernelRecord("LocalBalanceSerial")
+		cur.Kernels[0].AllocsPerOp = 50
+		if _, err := obs.CompareKernelAllocs(base, cur, "LocalBalance", 10); err == nil {
+			t.Fatal("regression not flagged")
+		}
+	})
+
+	t.Run("reports kernels missing from baseline as skipped", func(t *testing.T) {
+		cur := kernelRecord("LocalBalanceSerial", "LocalBalanceKeysSerial", "LocalBalanceKeysPar4")
+		skipped, err := obs.CompareKernelAllocs(base, cur, "LocalBalance", 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"LocalBalanceKeysSerial", "LocalBalanceKeysPar4"}
+		if !reflect.DeepEqual(skipped, want) {
+			t.Fatalf("skipped %v, want %v", skipped, want)
+		}
+	})
+
+	t.Run("errors when nothing compared", func(t *testing.T) {
+		cur := kernelRecord("SortKeys")
+		skipped, err := obs.CompareKernelAllocs(base, cur, "Sort", 10)
+		if err == nil {
+			t.Fatal("vacuous gate not flagged")
+		}
+		if !reflect.DeepEqual(skipped, []string{"SortKeys"}) {
+			t.Fatalf("skipped %v, want [SortKeys]", skipped)
+		}
+	})
+}

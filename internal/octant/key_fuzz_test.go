@@ -1,0 +1,50 @@
+package octant
+
+import "testing"
+
+// FuzzKeyDecode drives the key decode path with arbitrary word pairs: any
+// pair KeyFromBits accepts must unpack to a well-formed octant that packs
+// back to the identical key, compare equal to itself, and agree with the
+// struct representation on its basic relations.
+func FuzzKeyDecode(f *testing.F) {
+	for _, dim := range []int{2, 3} {
+		for _, o := range []Octant{
+			Root(dim),
+			Root(dim).LastDescendant(MaxLevel),
+			{X: -Len(1), Level: 1, Dim: int8(dim)},
+			{X: RootLen, Y: -Len(2), Level: 2, Dim: int8(dim)},
+		} {
+			k := KeyOf(o)
+			f.Add(k.Hi, k.Lo)
+		}
+	}
+	f.Add(uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, hi, lo uint64) {
+		k, ok := KeyFromBits(hi, lo)
+		if !ok {
+			return
+		}
+		o := k.Octant()
+		if err := o.Check(); err != nil {
+			t.Fatalf("valid key %#x/%#x unpacks to invalid octant %v: %v", hi, lo, o, err)
+		}
+		if KeyOf(o) != k {
+			t.Fatalf("key %#x/%#x round trip: octant %v repacks to %v", hi, lo, o, KeyOf(o))
+		}
+		if KeyCompare(k, k) != 0 {
+			t.Fatalf("key %#x/%#x not equal to itself", hi, lo)
+		}
+		if o.Level > 0 {
+			if got, want := k.Parent().Octant(), o.Parent(); got != want {
+				t.Fatalf("key %#x/%#x parent %v, want %v", hi, lo, got, want)
+			}
+		}
+		if o.Level < MaxLevel {
+			last := k.LastDescendant(MaxLevel)
+			if KeyCompare(k, last) >= 0 {
+				t.Fatalf("key %#x/%#x does not precede its last descendant", hi, lo)
+			}
+		}
+	})
+}

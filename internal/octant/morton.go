@@ -33,11 +33,21 @@ func Less(o, r Octant) bool { return Compare(o, r) < 0 }
 
 // mortonDigit extracts the z-order digit of o at coordinate bit position
 // bit: x contributes bit 0, y bit 1, z bit 2, matching child-id order.
+//
+// Coordinates are read in the sign-shifted unsigned domain (bit 31
+// flipped, the monotone int32 -> uint32 order embedding).  Out-of-root
+// octants have negative coordinates, and reading the raw two's-complement
+// sign bit would make the "most significant differing bit" race in Compare
+// rank negative coordinates ABOVE positive ones, inverting the curve order
+// across the root boundary.  XOR is invariant under the flip, so only the
+// digit extraction needs it; bits below 31 — everything inside the root —
+// are untouched.
 func mortonDigit(o Octant, bit uint) int {
-	d := int(o.X>>bit) & 1
-	d |= (int(o.Y>>bit) & 1) << 1
+	const signFlip = uint32(1) << 31
+	d := int((uint32(o.X)^signFlip)>>bit) & 1
+	d |= (int((uint32(o.Y)^signFlip)>>bit) & 1) << 1
 	if o.Dim == 3 {
-		d |= (int(o.Z>>bit) & 1) << 2
+		d |= (int((uint32(o.Z)^signFlip)>>bit) & 1) << 2
 	}
 	return d
 }

@@ -1,0 +1,106 @@
+package traverse
+
+// Key-native traversal: the same implicit-octree descent as Search, but on
+// packed Morton keys.  Window splitting uses the integer-compare lower
+// bound (linear.LowerBoundKeys), so descending a node costs a handful of
+// 128-bit compares instead of per-digit coordinate inspection.
+
+import (
+	"repro/internal/linear"
+	"repro/internal/octant"
+)
+
+// VisitKeys is the node callback of SearchKeys; see Visit for the
+// contract.  w is the current node as a packed key and leaves[lo:hi] is
+// its non-empty window.
+type VisitKeys func(w octant.Key, lo, hi int, isLeaf bool) bool
+
+// SearchKeys descends the implicit octree of the sorted key array leaves
+// below root, invoking visit on every node it does not prune.  It is
+// Search on packed keys: same node order, same windows, same prune
+// semantics.  st may be nil.
+func SearchKeys(root octant.Key, leaves []octant.Key, visit VisitKeys, st *Stats) {
+	if st == nil {
+		st = new(Stats)
+	}
+	lo, hi := linear.DescendantRangeKeys(leaves, root)
+	if lo >= hi {
+		return
+	}
+	searchNodeKeys(root, leaves, lo, hi, visit, st)
+}
+
+// searchNodeKeys handles one node with a non-empty window leaves[lo:hi].
+func searchNodeKeys(w octant.Key, leaves []octant.Key, lo, hi int, visit VisitKeys, st *Stats) {
+	if hi-lo == 1 && leaves[lo] == w {
+		st.Leaves++
+		visit(w, lo, hi, true)
+		return
+	}
+	st.Nodes++
+	if !visit(w, lo, hi, false) {
+		st.Pruned++
+		return
+	}
+	descendKeys(w, leaves, lo, hi, func(c octant.Key, clo, chi int) {
+		searchNodeKeys(c, leaves, clo, chi, visit, st)
+	})
+}
+
+// descendKeys splits the window leaves[lo:hi] of node w among w's children
+// and invokes fn for each child with a non-empty window; the mirror of
+// descend.  All elements of the window must be strict descendants of w.
+func descendKeys(w octant.Key, leaves []octant.Key, lo, hi int, fn func(c octant.Key, clo, chi int)) {
+	n := octant.NumChildren(int(w.Dim()))
+	clo := lo
+	for ci := 0; ci < n; ci++ {
+		c := w.Child(ci)
+		chi := hi
+		if ci+1 < n {
+			// Descendants of child ci all precede child ci+1 on the curve
+			// (ancestors-first Morton order), so the window boundary is a
+			// single lower-bound search within the parent window.
+			chi = clo + linear.LowerBoundKeys(leaves[clo:hi], w.Child(ci+1))
+		}
+		if chi > clo {
+			fn(c, clo, chi)
+		}
+		clo = chi
+	}
+}
+
+// SplitTasksKeys is SplitTasks on packed keys: it splits the implicit
+// octree below root into independent subtree windows in curve order,
+// holding at most ceil(n/maxTasks) leaves each where splittable.
+func SplitTasksKeys(root octant.Key, leaves []octant.Key, maxTasks int) []TaskKeys {
+	lo, hi := linear.DescendantRangeKeys(leaves, root)
+	if lo >= hi {
+		return nil
+	}
+	if maxTasks < 2 {
+		return []TaskKeys{{Root: root, Lo: lo, Hi: hi}}
+	}
+	per := (hi - lo + maxTasks - 1) / maxTasks
+	if per < 1 {
+		per = 1
+	}
+	var out []TaskKeys
+	var split func(w octant.Key, lo, hi int)
+	split = func(w octant.Key, lo, hi int) {
+		if hi-lo <= per || (hi-lo == 1 && leaves[lo] == w) {
+			out = append(out, TaskKeys{Root: w, Lo: lo, Hi: hi})
+			return
+		}
+		descendKeys(w, leaves, lo, hi, func(c octant.Key, clo, chi int) {
+			split(c, clo, chi)
+		})
+	}
+	split(root, lo, hi)
+	return out
+}
+
+// TaskKeys is one disjoint subtree window of a key traversal frontier.
+type TaskKeys struct {
+	Root   octant.Key
+	Lo, Hi int
+}

@@ -1,0 +1,76 @@
+package traverse
+
+import (
+	"testing"
+
+	"repro/internal/octant"
+)
+
+// TestSearchKeysMirrorsSearch runs the struct and key traversals side by
+// side with identical prune policies (including a box-based prune in the
+// key callback via materialized coordinates) and pins node sequence,
+// windows, leaf flags, and stats.
+func TestSearchKeysMirrorsSearch(t *testing.T) {
+	type event struct {
+		w      octant.Octant
+		lo, hi int
+		isLeaf bool
+	}
+	for name, leaves := range meshes(t) {
+		root := octant.Root(int(leaves[0].Dim))
+		keys := octant.AppendKeys(nil, leaves)
+		// Prune subtrees outside the insulation box of a mid-curve leaf so
+		// the test exercises the pruned path, not just a full walk.
+		box := InsulationBox(leaves[len(leaves)/2])
+		prune := func(w octant.Octant, isLeaf bool) bool {
+			return isLeaf || box.IntersectsOctant(w)
+		}
+
+		var want, got []event
+		var stW, stK Stats
+		Search(root, leaves, func(w octant.Octant, lo, hi int, isLeaf bool) bool {
+			want = append(want, event{w, lo, hi, isLeaf})
+			return prune(w, isLeaf)
+		}, &stW)
+		SearchKeys(octant.KeyOf(root), keys, func(w octant.Key, lo, hi int, isLeaf bool) bool {
+			o := w.Octant()
+			got = append(got, event{o, lo, hi, isLeaf})
+			return prune(o, isLeaf)
+		}, &stK)
+
+		if len(got) != len(want) {
+			t.Fatalf("%s: SearchKeys made %d visits, Search %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: visit %d: key path %+v != struct path %+v", name, i, got[i], want[i])
+			}
+		}
+		if stK != stW {
+			t.Fatalf("%s: stats diverge: key %+v struct %+v", name, stK, stW)
+		}
+	}
+}
+
+// TestSplitTasksKeysMirrorsSplitTasks pins the key task frontier to the
+// struct one at several fan-outs.
+func TestSplitTasksKeysMirrorsSplitTasks(t *testing.T) {
+	for name, leaves := range meshes(t) {
+		root := octant.Root(int(leaves[0].Dim))
+		keys := octant.AppendKeys(nil, leaves)
+		for _, maxTasks := range []int{1, 2, 7, 64} {
+			want := SplitTasks(root, leaves, maxTasks)
+			got := SplitTasksKeys(octant.KeyOf(root), keys, maxTasks)
+			if len(got) != len(want) {
+				t.Fatalf("%s maxTasks %d: %d key tasks vs %d struct tasks",
+					name, maxTasks, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Root.Octant() != want[i].Root || got[i].Lo != want[i].Lo || got[i].Hi != want[i].Hi {
+					t.Fatalf("%s maxTasks %d: task %d: key %+v struct %+v",
+						name, maxTasks, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
