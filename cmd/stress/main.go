@@ -79,7 +79,7 @@ func main() {
 		shrinkBud = flag.Int("shrink", 80, "run budget for shrinking a failing scenario")
 		workersF  = flag.Int("workers", -1, "pin the rank-local worker pool size for every scenario (-1 = scenario-chosen)")
 		codecF    = flag.String("codec", "", "pin the wire codec for every scenario: v0 or v1 (default scenario-chosen)")
-		keyNatF   = flag.String("key-native", "", "pin the key-native Local balance for every scenario: on or off (default scenario-chosen)")
+		keyNatF   = flag.String("key-native", "", "pin the chunk representation for every scenario: on = resident packed keys (default pipeline), off = struct-resident oracle (default scenario-chosen)")
 		verbose   = flag.Bool("v", false, "print every scenario as it runs")
 
 		// Multi-process mode (net.go): run one pinned scenario as a world

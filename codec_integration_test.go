@@ -119,7 +119,7 @@ func TestChaosWireBytesCoverLogical(t *testing.T) {
 			trees := make([][]octbalance.Octant, conn.NumTrees())
 			for _, f := range forests {
 				for _, tc := range f.Local {
-					trees[tc.Tree] = append(trees[tc.Tree], tc.Leaves...)
+					trees[tc.Tree] = append(trees[tc.Tree], tc.Octants()...)
 				}
 			}
 			sums = append(sums, forest.ChecksumGlobal(trees))

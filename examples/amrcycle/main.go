@@ -75,7 +75,7 @@ func main() {
 		// Gather the final mesh for export.
 		mu.Lock()
 		for _, tc := range f.Local {
-			finalTrees[tc.Tree] = append(finalTrees[tc.Tree], tc.Leaves...)
+			finalTrees[tc.Tree] = append(finalTrees[tc.Tree], tc.Octants()...)
 		}
 		mu.Unlock()
 	})

@@ -53,7 +53,7 @@ func main() {
 	var total int64
 	for r := 0; r < ranks; r++ {
 		for _, tc := range chunks[r] {
-			trees[tc.Tree] = append(trees[tc.Tree], tc.Leaves...)
+			trees[tc.Tree] = append(trees[tc.Tree], tc.Octants()...)
 		}
 		total += counts[r]
 	}

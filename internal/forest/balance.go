@@ -106,13 +106,15 @@ type BalanceOptions struct {
 	// responses, and the notify pattern).  The balanced forest is
 	// bit-identical under every codec; only the byte volume changes.
 	Codec WireCodec
-	// KeyLocal routes the Local balance (phase 1) through the packed
-	// Morton-key representation: chunks are converted to keys once, the
-	// whole subtree balance runs on keys, and coordinates materialize
-	// only at the chunk boundary.  Applies to the paper's new algorithm;
-	// the old Local stage always runs on structs.  The balanced forest
-	// is bit-identical either way.
-	KeyLocal bool
+	// StructLocal routes the Local balance (phase 1) through the legacy
+	// octant-struct pipeline: the resident key chunks are materialized as
+	// coordinate structs, balanced there, and packed back.  The zero value
+	// runs the key-resident path — the chunk representation itself — with
+	// no conversion at all.  The struct pipeline survives as the
+	// differential oracle (harness, stress -key-native off); the old Local
+	// stage (AlgoOld) always takes it.  The balanced forest is
+	// bit-identical either way.
+	StructLocal bool
 }
 
 // PhaseTimes records wall-clock durations of the one-pass balance phases as
@@ -205,7 +207,14 @@ var PreclusionFaultLevels int
 // of the query octant r: only octants at least two levels finer than r can
 // split r (Section IV).
 func precluded(o, r octant.Octant) bool {
-	return int(o.Level) < int(r.Level)+2+PreclusionFaultLevels
+	return precludedLevel(o.Level, r)
+}
+
+// precludedLevel is precluded on a packed leaf's level alone — the only
+// field the test reads, so the key-native response path never unpacks
+// precluded candidates.
+func precludedLevel(lv int8, r octant.Octant) bool {
+	return int(lv) < int(r.Level)+2+PreclusionFaultLevels
 }
 
 // query identifies one balance query: a leaf octant r expressed in the
@@ -252,13 +261,14 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 	// they go to the pool as-is; a chunk is never subdivided further
 	// because balance interactions couple everything inside it.
 	ps := beginPhase(c, "local-balance")
-	keyLocal := opt.KeyLocal && localAlgo == AlgoNew
+	structLocal := opt.StructLocal || localAlgo != AlgoNew
 	runParallel(len(f.Local), func(i int) {
 		tc := &f.Local[i]
-		if keyLocal {
-			tc.Leaves = localBalanceChunkKeys(tc.Leaves, k)
+		if structLocal {
+			octs := localBalanceChunk(root, tc.Octants(), k, localAlgo)
+			tc.Leaves = octant.AppendKeys(tc.Leaves[:0], octs)
 		} else {
-			tc.Leaves = localBalanceChunk(root, tc.Leaves, k, localAlgo)
+			tc.Leaves = localBalanceChunkKeys(tc.Leaves, k)
 		}
 	})
 	times.LocalBalance = ps.end()
@@ -283,7 +293,7 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 	for ci := range f.Local {
 		tc := &f.Local[ci]
 		for _, li := range boundary[ci] {
-			r := tc.Leaves[li]
+			r := tc.Leaves[li].Octant()
 			for _, d := range dirs {
 				ins := r.Neighbor(d)
 				ti, ins2, shift, ok := f.Conn.Canonicalize(tc.Tree, ins)
@@ -441,10 +451,11 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 		}
 		runParallel(len(jobs), func(i int) {
 			j := &jobs[i]
-			linear.Sort(j.seeds)
-			seeds := dedupOctants(j.seeds)
-			sub := balance.SubtreeNew(j.r, seeds, k)
-			if len(sub) == 1 && sub[0] == j.r {
+			seeds := octant.AppendKeys(make([]octant.Key, 0, len(j.seeds)), j.seeds)
+			linear.SortKeys(seeds)
+			seeds = dedupKeys(seeds)
+			sub := balance.SubtreeNewKeys(j.rk, seeds, k)
+			if len(sub) == 1 && sub[0] == j.rk {
 				return // no split forced; keep the leaf
 			}
 			j.sub = sub
@@ -455,7 +466,7 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 				return
 			}
 			tc := &f.Local[i]
-			tc.Leaves = spliceReplace(tc.Leaves, jobs[lo:hi])
+			tc.Leaves = spliceReplaceKeys(tc.Leaves, jobs[lo:hi])
 		})
 	} else {
 		runParallel(len(f.Local), func(i int) {
@@ -464,7 +475,8 @@ func (f *Forest) Balance(c *comm.Comm, k int, opt BalanceOptions) PhaseTimes {
 			if len(groups) == 0 {
 				return
 			}
-			tc.Leaves = rebalanceOld(root, tc.Leaves, groups, k)
+			octs := rebalanceOld(root, tc.Octants(), groups, k)
+			tc.Leaves = octant.AppendKeys(tc.Leaves[:0], octs)
 		})
 	}
 	times.Rebalance = ps.end()
@@ -599,7 +611,7 @@ func (f *Forest) respondQueries(qs []query, k int, algo Algo, workers int, par f
 		st = new(traverse.Stats)
 	}
 	results := make([][]octant.Octant, len(qs))
-	root := octant.Root(f.Conn.dim)
+	rootKey := octant.KeyOf(octant.Root(f.Conn.dim))
 	maxTasks := 1
 	if workers > 1 {
 		maxTasks = 4 * workers
@@ -618,15 +630,15 @@ func (f *Forest) respondQueries(qs []query, k int, algo Algo, workers int, par f
 		if len(qidx) == 0 {
 			continue
 		}
-		tasks := traverse.SplitTasks(root, tc.Leaves, maxTasks)
+		tasks := traverse.SplitTasksKeys(rootKey, tc.Leaves, maxTasks)
 		taskHits := make([][]respHit, len(tasks))
 		taskStats := make([]traverse.Stats, len(tasks))
 		par(len(tasks), func(i int) {
 			t := tasks[i]
 			var out []respHit
-			traverse.SearchBoundary(t.Root, tc.Leaves[t.Lo:t.Hi], boxes, func(li, bi int) {
+			traverse.SearchBoundaryKeys(t.Root, tc.Leaves[t.Lo:t.Hi], boxes, func(li, bi int) {
 				abs := int32(t.Lo + li)
-				if precluded(tc.Leaves[abs], qs[qidx[bi]].R) {
+				if precludedLevel(tc.Leaves[abs].Level(), qs[qidx[bi]].R) {
 					return
 				}
 				out = append(out, respHit{qi: qidx[bi], li: abs})
@@ -666,7 +678,7 @@ func (f *Forest) respondQueries(qs []query, k int, algo Algo, workers int, par f
 		leaves := f.chunkFor(q.Tree).Leaves
 		var resp []octant.Octant
 		for _, h := range hits[lo:hi] {
-			o := leaves[h.li]
+			o := leaves[h.li].Octant()
 			if algo == AlgoNew {
 				if seeds, splits := balance.Seeds(o, q.R, k); splits {
 					resp = append(resp, seeds...)
@@ -696,13 +708,25 @@ func (f *Forest) respondQueries(qs []query, k int, algo Algo, workers int, par f
 // matters because rank-local interactions that cross a tree boundary still
 // become self queries.  Soundness follows the same lattice-alignment
 // argument as (*Forest).ghostPrunable.
-func (f *Forest) queryPrunable(dirs []octant.Dir, t int32, w octant.Octant, me int) bool {
-	if first, last := f.OwnersOfRegion(t, w); first != me || last != me {
+//
+// w and the insulation grid are packed: the cell fan comes from the batch
+// neighbor kernel (octant.KeyNeighbors into buf, len(dirs) entries), and
+// cells still inside the root — for which Canonicalize is the identity —
+// take the key-native owner lookup without ever materializing coordinates.
+// Only cells crossing the root boundary unpack for the connectivity map.
+func (f *Forest) queryPrunable(ot *ownerTable, dirs []octant.Dir, buf []octant.Key, t int32, w octant.Key, me int) bool {
+	if first, last := ot.ownersOfRegionKey(t, w); first != me || last != me {
 		return false
 	}
-	for _, d := range dirs {
-		cell := w.Neighbor(d)
-		ti, cell2, _, ok := f.Conn.Canonicalize(t, cell)
+	octant.KeyNeighbors(w, dirs, buf)
+	for _, cell := range buf[:len(dirs)] {
+		if cell.InsideRoot() {
+			if first, last := ot.ownersOfRegionKey(t, cell); first != me || last != me {
+				return false
+			}
+			continue
+		}
+		ti, cell2, _, ok := f.Conn.Canonicalize(t, cell.Octant())
 		if !ok {
 			continue // domain boundary: no interaction
 		}
@@ -726,18 +750,19 @@ func (f *Forest) queryPrunable(dirs []octant.Dir, t int32, w octant.Octant, me i
 // for a fixed task count (the query sets are identical at any count).
 func (f *Forest) queryBoundaryLeaves(me, workers int, par func(int, func(int))) ([][]int32, traverse.Stats) {
 	dirs := octant.Directions(f.Conn.dim, f.Conn.dim)
-	root := octant.Root(f.Conn.dim)
+	rootKey := octant.KeyOf(octant.Root(f.Conn.dim))
+	ot := f.ownerTable() // warmed serially; workers only read it
 	maxTasks := 1
 	if workers > 1 {
 		maxTasks = 4 * workers
 	}
 	type boundaryTask struct {
 		chunk int
-		t     traverse.Task
+		t     traverse.TaskKeys
 	}
 	var tasks []boundaryTask
 	for ci := range f.Local {
-		for _, t := range traverse.SplitTasks(root, f.Local[ci].Leaves, maxTasks) {
+		for _, t := range traverse.SplitTasksKeys(rootKey, f.Local[ci].Leaves, maxTasks) {
 			tasks = append(tasks, boundaryTask{chunk: ci, t: t})
 		}
 	}
@@ -747,12 +772,13 @@ func (f *Forest) queryBoundaryLeaves(me, workers int, par func(int, func(int))) 
 		tk := tasks[i]
 		tc := &f.Local[tk.chunk]
 		var idx []int32
-		traverse.Search(tk.t.Root, tc.Leaves[tk.t.Lo:tk.t.Hi], func(w octant.Octant, lo, _ int, isLeaf bool) bool {
+		buf := make([]octant.Key, len(dirs))
+		traverse.SearchKeys(tk.t.Root, tc.Leaves[tk.t.Lo:tk.t.Hi], func(w octant.Key, lo, _ int, isLeaf bool) bool {
 			if isLeaf {
 				idx = append(idx, int32(tk.t.Lo+lo))
 				return true
 			}
-			return !f.queryPrunable(dirs, tc.Tree, w, me)
+			return !f.queryPrunable(ot, dirs, buf, tc.Tree, w, me)
 		}, &taskStats[i])
 		taskIdx[i] = idx
 	})
@@ -775,15 +801,28 @@ func dedupOctants(octs []octant.Octant) []octant.Octant {
 	return out
 }
 
+func dedupKeys(keys []octant.Key) []octant.Key {
+	out := keys[:0]
+	for i, k := range keys {
+		if i == 0 || k != keys[i-1] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
 // rebalanceJob is one unit of the paper's Local rebalance: the seeds
 // received for query octant r are balanced inside r (reconstructing
 // Tk(o) ∩ r for all influencing octants o at once), and the resulting
 // subtree replaces r in the partition.  Jobs are independent, so Balance
 // hands them to the worker pool; sub stays nil when r need not split.
+// rk is r packed, the form the subtree reconstruction and the splice
+// merge operate on.
 type rebalanceJob struct {
 	r     octant.Octant
+	rk    octant.Key
 	seeds []octant.Octant
-	sub   []octant.Octant
+	sub   []octant.Key
 }
 
 // appendRebalanceJobs flattens one tree's response groups into jobs, sorted
@@ -793,22 +832,22 @@ type rebalanceJob struct {
 func appendRebalanceJobs(jobs []rebalanceJob, groups map[octant.Octant][]octant.Octant) []rebalanceJob {
 	start := len(jobs)
 	for r, seeds := range groups {
-		jobs = append(jobs, rebalanceJob{r: r, seeds: seeds})
+		jobs = append(jobs, rebalanceJob{r: r, rk: octant.KeyOf(r), seeds: seeds})
 	}
 	added := jobs[start:]
-	slices.SortFunc(added, func(a, b rebalanceJob) int { return octant.Compare(a.r, b.r) })
+	slices.SortFunc(added, func(a, b rebalanceJob) int { return octant.KeyCompare(a.rk, b.rk) })
 	return jobs
 }
 
-// spliceReplace merges the reconstructed subtrees into the tree's leaf
+// spliceReplaceKeys merges the reconstructed subtrees into the tree's leaf
 // array: each job's subtree replaces the leaf it was built for.  jobs must
-// be sorted by r.  Every r is expected to be a current leaf — queries are
+// be sorted by rk.  Every r is expected to be a current leaf — queries are
 // built from the phase-1 leaves, which do not change until this phase, and
-// SubtreeNew(r, ...) returns a complete subtree of r — so replacing r by
-// its subtree in place preserves sortedness and linearity without the
-// global sort+linearize pass this merge used to run.  Should an r ever not
-// match a leaf, the general merge handles it.
-func spliceReplace(leaves []octant.Octant, jobs []rebalanceJob) []octant.Octant {
+// SubtreeNewKeys(rk, ...) returns a complete subtree of rk — so replacing
+// the leaf by its subtree in place preserves sortedness and linearity
+// without the global sort+linearize pass this merge used to run.  Should
+// an r ever not match a leaf, the general merge handles it.
+func spliceReplaceKeys(leaves []octant.Key, jobs []rebalanceJob) []octant.Key {
 	grow := 0
 	for i := range jobs {
 		if jobs[i].sub != nil {
@@ -818,13 +857,13 @@ func spliceReplace(leaves []octant.Octant, jobs []rebalanceJob) []octant.Octant 
 	if grow == 0 {
 		return leaves
 	}
-	out := make([]octant.Octant, 0, len(leaves)+grow)
+	out := make([]octant.Key, 0, len(leaves)+grow)
 	j, matched := 0, 0
 	for _, leaf := range leaves {
-		for j < len(jobs) && octant.Compare(jobs[j].r, leaf) < 0 {
+		for j < len(jobs) && octant.KeyLess(jobs[j].rk, leaf) {
 			j++ // r is not a leaf; resolved by the fallback below
 		}
-		if j < len(jobs) && jobs[j].r == leaf {
+		if j < len(jobs) && jobs[j].rk == leaf {
 			if sub := jobs[j].sub; sub != nil {
 				out = append(out, sub...)
 			} else {
@@ -839,13 +878,13 @@ func spliceReplace(leaves []octant.Octant, jobs []rebalanceJob) []octant.Octant 
 	if matched == len(jobs) {
 		return out
 	}
-	merged := make([]octant.Octant, 0, len(leaves)+grow+len(jobs))
+	merged := make([]octant.Key, 0, len(leaves)+grow+len(jobs))
 	merged = append(merged, leaves...)
 	for i := range jobs {
 		merged = append(merged, jobs[i].sub...)
 	}
-	linear.Sort(merged)
-	return linear.Linearize(merged)
+	linear.SortKeys(merged)
+	return linear.LinearizeKeys(merged)
 }
 
 // rebalanceOld is the pre-paper Local rebalance: the whole partition chunk

@@ -156,7 +156,7 @@ func (f *Forest) EncodeSnapshot(b []byte, epoch int) []byte {
 	b = comm.AppendUvarint(b, uint64(len(f.Local)))
 	for _, tc := range f.Local {
 		b = comm.AppendVarint(b, int64(tc.Tree))
-		b = EncodeOctantList(b, tc.Leaves, WireV1)
+		b = EncodeKeyList(b, tc.Leaves, WireV1)
 	}
 	return b
 }
@@ -227,7 +227,7 @@ func (f *Forest) RestoreSnapshot(b []byte) (int, error) {
 			return 0, fmt.Errorf("forest: checkpoint chunk tree %d out of order or range", tree)
 		}
 		prevTree = tree
-		leaves, n, err := DecodeOctantList(b[off:], WireV1)
+		leaves, n, err := DecodeKeyList(b[off:], WireV1)
 		if err != nil {
 			return 0, err
 		}

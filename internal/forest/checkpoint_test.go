@@ -1,10 +1,10 @@
 package forest
 
 import (
+	"slices"
 	"testing"
 
 	"repro/internal/comm"
-	"repro/internal/otest"
 )
 
 func forestStateEqual(a, b *Forest) bool {
@@ -17,7 +17,7 @@ func forestStateEqual(a, b *Forest) bool {
 		}
 	}
 	for i := range a.Local {
-		if a.Local[i].Tree != b.Local[i].Tree || !otest.Equal(a.Local[i].Leaves, b.Local[i].Leaves) {
+		if a.Local[i].Tree != b.Local[i].Tree || !slices.Equal(a.Local[i].Leaves, b.Local[i].Leaves) {
 			return false
 		}
 	}

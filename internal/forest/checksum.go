@@ -15,8 +15,8 @@ import (
 func (f *Forest) Checksum(c *comm.Comm) uint64 {
 	var local uint64
 	for _, tc := range f.Local {
-		for _, o := range tc.Leaves {
-			local ^= leafDigest(tc.Tree, o)
+		for _, k := range tc.Leaves {
+			local ^= leafDigest(tc.Tree, k.Octant())
 		}
 	}
 	var global uint64

@@ -24,6 +24,12 @@ func PosOf(t int32, o octant.Octant) Pos {
 	return Pos{Tree: t, X: o.X, Y: o.Y, Z: o.Z}
 }
 
+// PosOfKey returns the global position of the leaf with packed key k in
+// tree t.
+func PosOfKey(t int32, k octant.Key) Pos {
+	return PosOf(t, k.Octant())
+}
+
 // anchor returns the MaxLevel octant at p's coordinates.
 func (p Pos) anchor(dim int) octant.Octant {
 	return octant.Octant{X: p.X, Y: p.Y, Z: p.Z, Level: octant.MaxLevel, Dim: int8(dim)}
@@ -39,10 +45,27 @@ func ComparePos(a, b Pos, dim int) int {
 
 // TreeChunk is the local storage for one tree: a sorted linear array of the
 // leaves this rank owns within that tree (a contiguous segment of the
-// tree's space-filling curve).
+// tree's space-filling curve).  Leaves are resident as packed Morton keys —
+// the representation every balance, ghost, traversal, partition and
+// checksum hot path operates on directly — and are materialized as octant
+// structs only at true edges (on-disk io, VTK, mesh numbering) via Octants.
 type TreeChunk struct {
 	Tree   int32
-	Leaves []octant.Octant
+	Leaves []octant.Key
+}
+
+// Octants materializes the chunk's leaves as octant structs, freshly
+// allocated — the conversion edge for legacy struct-based consumers.  The
+// resident representation stays the packed keys; mutate those, not the
+// returned slice.
+func (tc *TreeChunk) Octants() []octant.Octant {
+	return octant.AppendOctants(make([]octant.Octant, 0, len(tc.Leaves)), tc.Leaves)
+}
+
+// NewTreeChunk packs a sorted octant slice into a key-resident chunk — the
+// inverse conversion edge of Octants.
+func NewTreeChunk(tree int32, leaves []octant.Octant) TreeChunk {
+	return TreeChunk{Tree: tree, Leaves: octant.AppendKeys(make([]octant.Key, 0, len(leaves)), leaves)}
 }
 
 // Forest is one rank's view of a distributed forest of octrees.  All
@@ -77,6 +100,13 @@ type Forest struct {
 	// negative value uses one worker per available CPU.  Results are
 	// bit-identical at every worker count.
 	Workers int
+
+	// otab caches the key-native owner table derived from GFP; otabSrc and
+	// otabLen detect wholesale GFP replacement (GFP is never mutated in
+	// place).  See ownerTable.
+	otab    *ownerTable
+	otabSrc *Pos
+	otabLen int
 }
 
 // NewUniform builds a forest uniformly refined to the given level,
@@ -101,10 +131,11 @@ func NewUniform(conn *Connectivity, c *comm.Comm, level int) *Forest {
 		if remaining := hi - g; first+remaining < last {
 			last = first + remaining
 		}
-		leaves := make([]octant.Octant, 0, last-first)
-		for m := first; m < last; m++ {
-			leaves = append(leaves, octant.FromMortonIndex(conn.dim, level, uint64(m)))
-		}
+		// One unpacked Morton-index seed, then a key-native successor run:
+		// the carry add on the hoisted interleave generates the whole
+		// uniform streak without touching coordinates again.
+		firstKey := octant.KeyOf(octant.FromMortonIndex(conn.dim, level, uint64(first)))
+		leaves := octant.AppendKeySuccessors(make([]octant.Key, 0, last-first), firstKey, int(last-first))
 		f.Local = append(f.Local, TreeChunk{Tree: t, Leaves: leaves})
 		g += last - first
 	}
@@ -128,7 +159,7 @@ func (f *Forest) FirstPos() (Pos, bool) {
 		return Pos{}, false
 	}
 	tc := f.Local[0]
-	return PosOf(tc.Tree, tc.Leaves[0]), true
+	return PosOfKey(tc.Tree, tc.Leaves[0]), true
 }
 
 // SyncGFP recomputes the global first positions and the global leaf count.
@@ -173,11 +204,82 @@ func (f *Forest) SyncGFP(c *comm.Comm) {
 	}
 	f.GFP = gfp
 	f.NumGlobal = total
+	f.rebuildOwnerTable()
 }
 
 // endPos is the sentinel one past the last position of the forest.
 func endPos(conn *Connectivity) Pos {
 	return Pos{Tree: conn.NumTrees(), X: 0, Y: 0, Z: 0}
+}
+
+// ownerEntry is one GFP entry in key form: the tree id and the packed
+// MaxLevel anchor key, so the partition binary search runs on two-word
+// compares instead of unpacked coordinate tuples.
+type ownerEntry struct {
+	tree int32
+	key  octant.Key
+}
+
+// ownerTable is the key-native view of GFP.  KeyCompare agrees in sign
+// with octant.Compare on MaxLevel anchors (the PR 9 invariant, pinned by
+// the octant tests), so every lookup answers exactly as the Pos-based
+// OwnerOf.
+type ownerTable struct {
+	entries []ownerEntry
+}
+
+// rebuildOwnerTable derives the key-native owner table from GFP.  Called
+// whenever the forest itself replaces GFP; ownerTable() rebuilds lazily
+// for forests whose GFP was assigned directly (clones, restored
+// snapshots, test literals).
+func (f *Forest) rebuildOwnerTable() {
+	dim := f.Conn.dim
+	entries := make([]ownerEntry, len(f.GFP))
+	for i, p := range f.GFP {
+		entries[i] = ownerEntry{tree: p.Tree, key: octant.KeyOf(p.anchor(dim))}
+	}
+	f.otab = &ownerTable{entries: entries}
+	f.otabSrc = nil
+	f.otabLen = len(f.GFP)
+	if len(f.GFP) > 0 {
+		f.otabSrc = &f.GFP[0]
+	}
+}
+
+// ownerTable returns the key-native owner table for the current GFP,
+// rebuilding it if GFP was replaced wholesale since the last build.  NOT
+// goroutine-safe: collective entry points call it once before fanning out
+// over the worker pool, and workers only read the returned table.
+func (f *Forest) ownerTable() *ownerTable {
+	if f.otab == nil || f.otabLen != len(f.GFP) ||
+		(len(f.GFP) > 0 && f.otabSrc != &f.GFP[0]) {
+		f.rebuildOwnerTable()
+	}
+	return f.otab
+}
+
+// ownerOfKey returns the rank owning the MaxLevel position key k in tree
+// t: the last r with entries[r] <= (t, k).
+func (ot *ownerTable) ownerOfKey(t int32, k octant.Key) int {
+	lo, hi := 0, len(ot.entries)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		e := ot.entries[mid]
+		if e.tree < t || (e.tree == t && !octant.KeyLess(k, e.key)) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// ownersOfRegionKey returns the inclusive rank range whose partitions
+// overlap the in-root region with packed key w in tree t — OwnersOfRegion
+// without unpacking.
+func (ot *ownerTable) ownersOfRegionKey(t int32, w octant.Key) (first, last int) {
+	return ot.ownerOfKey(t, w.FirstDescendant(octant.MaxLevel)),
+		ot.ownerOfKey(t, w.LastDescendant(octant.MaxLevel))
 }
 
 // OwnerOf returns the rank owning the given global position.
@@ -214,19 +316,21 @@ func (f *Forest) Refine(c *comm.Comm, maxLevel int, fn func(tree int32, o octant
 	defer c.Tracer().Begin(c.Rank(), "refine", "forest").End()
 	for i := range f.Local {
 		tc := &f.Local[i]
-		out := make([]octant.Octant, 0, len(tc.Leaves))
-		var rec func(o octant.Octant)
-		rec = func(o octant.Octant) {
-			if int(o.Level) < maxLevel && fn(tc.Tree, o) {
-				for ci := 0; ci < octant.NumChildren(f.Conn.dim); ci++ {
-					rec(o.Child(ci))
+		out := make([]octant.Key, 0, len(tc.Leaves))
+		var rec func(k octant.Key)
+		rec = func(k octant.Key) {
+			if int(k.Level()) < maxLevel && fn(tc.Tree, k.Octant()) {
+				var kids [8]octant.Key
+				n := octant.KeyChildren(k, &kids)
+				for ci := 0; ci < n; ci++ {
+					rec(kids[ci])
 				}
 				return
 			}
-			out = append(out, o)
+			out = append(out, k)
 		}
-		for _, o := range tc.Leaves {
-			rec(o)
+		for _, k := range tc.Leaves {
+			rec(k)
 		}
 		tc.Leaves = out
 	}
@@ -243,19 +347,24 @@ func (f *Forest) Refine(c *comm.Comm, maxLevel int, fn func(tree int32, o octant
 func (f *Forest) Coarsen(c *comm.Comm, fn func(tree int32, family []octant.Octant) bool) {
 	defer c.Tracer().Begin(c.Rank(), "coarsen", "forest").End()
 	nc := octant.NumChildren(f.Conn.dim)
+	fam := make([]octant.Octant, 0, nc)
 	for i := range f.Local {
 		tc := &f.Local[i]
 		for {
-			out := make([]octant.Octant, 0, len(tc.Leaves))
+			out := make([]octant.Key, 0, len(tc.Leaves))
 			changed := false
 			j := 0
 			for j < len(tc.Leaves) {
-				if j+nc <= len(tc.Leaves) && tc.Leaves[j].Level > 0 && tc.Leaves[j].ChildID() == 0 &&
-					octant.IsFamily(tc.Leaves[j:j+nc]) && fn(tc.Tree, tc.Leaves[j:j+nc]) {
-					out = append(out, tc.Leaves[j].Parent())
-					j += nc
-					changed = true
-					continue
+				// The structural family test runs entirely on the packed
+				// keys; the octants materialize only for approved callbacks.
+				if j+nc <= len(tc.Leaves) && octant.KeysAreFamily(tc.Leaves[j:j+nc]) {
+					fam = octant.AppendOctants(fam[:0], tc.Leaves[j:j+nc])
+					if fn(tc.Tree, fam) {
+						out = append(out, tc.Leaves[j].Parent())
+						j += nc
+						changed = true
+						continue
+					}
 				}
 				out = append(out, tc.Leaves[j])
 				j++
@@ -270,9 +379,10 @@ func (f *Forest) Coarsen(c *comm.Comm, fn func(tree int32, family []octant.Octan
 }
 
 // Validate checks structural invariants of the local forest state: chunks
-// in ascending tree order, leaves sorted, linear and inside their root.
+// in ascending tree order, leaves sorted, linear, well-formed keys of the
+// forest's dimension, and inside their root.
 func (f *Forest) Validate() error {
-	root := octant.Root(f.Conn.dim)
+	rootKey := octant.KeyOf(octant.Root(f.Conn.dim))
 	for i, tc := range f.Local {
 		if i > 0 && tc.Tree <= f.Local[i-1].Tree {
 			return fmt.Errorf("forest: tree chunks out of order (%d after %d)", tc.Tree, f.Local[i-1].Tree)
@@ -283,15 +393,19 @@ func (f *Forest) Validate() error {
 		if len(tc.Leaves) == 0 {
 			return fmt.Errorf("forest: empty chunk for tree %d", tc.Tree)
 		}
-		if !linear.IsLinear(tc.Leaves) {
+		if !linear.IsLinearKeys(tc.Leaves) {
 			return fmt.Errorf("forest: tree %d leaves not linear", tc.Tree)
 		}
-		for _, o := range tc.Leaves {
-			if err := o.Check(); err != nil {
-				return fmt.Errorf("forest: tree %d: %w", tc.Tree, err)
+		for _, k := range tc.Leaves {
+			if _, ok := octant.KeyFromBits(k.Hi, k.Lo); !ok {
+				return fmt.Errorf("forest: tree %d leaf key %#x/%#x malformed", tc.Tree, k.Hi, k.Lo)
 			}
-			if !root.IsAncestorOrEqual(o) {
-				return fmt.Errorf("forest: tree %d leaf %v outside root", tc.Tree, o)
+			if int(k.Dim()) != f.Conn.dim {
+				return fmt.Errorf("forest: tree %d leaf %v has dimension %d, want %d",
+					tc.Tree, k.Octant(), k.Dim(), f.Conn.dim)
+			}
+			if !rootKey.IsAncestorOrEqual(k) {
+				return fmt.Errorf("forest: tree %d leaf %v outside root", tc.Tree, k.Octant())
 			}
 		}
 	}

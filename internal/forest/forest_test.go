@@ -33,7 +33,7 @@ func gather(conn *Connectivity, forests []*Forest) [][]octant.Octant {
 	trees := make([][]octant.Octant, conn.NumTrees())
 	for _, f := range forests {
 		for _, tc := range f.Local {
-			trees[tc.Tree] = append(trees[tc.Tree], tc.Leaves...)
+			trees[tc.Tree] = append(trees[tc.Tree], tc.Octants()...)
 		}
 	}
 	return trees
@@ -169,7 +169,7 @@ func TestOwnerOfConsistency(t *testing.T) {
 	for r, f := range forests {
 		for _, tc := range f.Local {
 			for _, o := range tc.Leaves {
-				if owner := f0.OwnerOf(PosOf(tc.Tree, o)); owner != r {
+				if owner := f0.OwnerOf(PosOfKey(tc.Tree, o)); owner != r {
 					t.Fatalf("leaf %v of tree %d: OwnerOf = %d, want %d", o, tc.Tree, owner, r)
 				}
 			}
@@ -264,7 +264,7 @@ func TestPartitionPreservesOrderAndWeights(t *testing.T) {
 		var w int64
 		for _, tc := range f.Local {
 			for _, o := range tc.Leaves {
-				w += int64(1 + o.Level)
+				w += int64(1 + o.Level())
 			}
 		}
 		weights = append(weights, w)
@@ -509,7 +509,7 @@ func TestBalancePreservesGFPValidity(t *testing.T) {
 	for r, f := range forests {
 		for _, tc := range f.Local {
 			for _, o := range tc.Leaves {
-				if owner := forests[0].OwnerOf(PosOf(tc.Tree, o)); owner != r {
+				if owner := forests[0].OwnerOf(PosOfKey(tc.Tree, o)); owner != r {
 					t.Fatalf("after balance, leaf %v owned by %d but OwnerOf says %d", o, r, owner)
 				}
 			}

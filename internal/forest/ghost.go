@@ -69,13 +69,23 @@ func compareGhostSends(a, b GhostSend) int {
 // boundary), each cell canonicalizes to the same target tree as any of its
 // subcubes, and the owner range of a subregion is contained in the owner
 // range of its enclosing region.
-func (f *Forest) ghostPrunable(dirs []octant.Dir, t int32, w octant.Octant, me int) bool {
-	if first, last := f.OwnersOfRegion(t, w); first != me || last != me {
+//
+// Like queryPrunable, the node and its insulation grid stay packed: the
+// cell fan is the batch neighbor kernel and in-root cells (Canonicalize is
+// the identity there) take the key-native owner lookup directly.
+func (f *Forest) ghostPrunable(ot *ownerTable, dirs []octant.Dir, buf []octant.Key, t int32, w octant.Key, me int) bool {
+	if first, last := ot.ownersOfRegionKey(t, w); first != me || last != me {
 		return false
 	}
-	for _, d := range dirs {
-		cell := w.Neighbor(d)
-		ti, cell2, _, ok := f.Conn.Canonicalize(t, cell)
+	octant.KeyNeighbors(w, dirs, buf)
+	for _, cell := range buf[:len(dirs)] {
+		if cell.InsideRoot() {
+			if first, last := ot.ownersOfRegionKey(t, cell); first != me || last != me {
+				return false
+			}
+			continue
+		}
+		ti, cell2, _, ok := f.Conn.Canonicalize(t, cell.Octant())
 		if !ok {
 			continue // outside the domain: no receiver there
 		}
@@ -100,7 +110,8 @@ func (f *Forest) ghostPrunable(dirs []octant.Dir, t int32, w octant.Octant, me i
 // the differential tests.
 func (f *Forest) GhostScan(me int) ([]GhostSend, traverse.Stats) {
 	dirs := octant.Directions(f.Conn.dim, f.Conn.dim)
-	root := octant.Root(f.Conn.dim)
+	rootKey := octant.KeyOf(octant.Root(f.Conn.dim))
+	ot := f.ownerTable() // warmed serially; workers only read it
 	workers := f.localWorkers()
 	maxTasks := 1
 	if workers > 1 {
@@ -108,12 +119,12 @@ func (f *Forest) GhostScan(me int) ([]GhostSend, traverse.Stats) {
 	}
 	type ghostTask struct {
 		tree   int32
-		leaves []octant.Octant
-		t      traverse.Task
+		leaves []octant.Key
+		t      traverse.TaskKeys
 	}
 	var tasks []ghostTask
 	for _, tc := range f.Local {
-		for _, t := range traverse.SplitTasks(root, tc.Leaves, maxTasks) {
+		for _, t := range traverse.SplitTasksKeys(rootKey, tc.Leaves, maxTasks) {
 			tasks = append(tasks, ghostTask{tree: tc.Tree, leaves: tc.Leaves, t: t})
 		}
 	}
@@ -122,22 +133,37 @@ func (f *Forest) GhostScan(me int) ([]GhostSend, traverse.Stats) {
 	parallelFor(workers, len(tasks), func(i int) {
 		tk := tasks[i]
 		var out []GhostSend
-		traverse.Search(tk.t.Root, tk.leaves[tk.t.Lo:tk.t.Hi], func(w octant.Octant, _, _ int, isLeaf bool) bool {
+		buf := make([]octant.Key, len(dirs))
+		traverse.SearchKeys(tk.t.Root, tk.leaves[tk.t.Lo:tk.t.Hi], func(w octant.Key, _, _ int, isLeaf bool) bool {
 			if !isLeaf {
-				return !f.ghostPrunable(dirs, tk.tree, w, me)
+				return !f.ghostPrunable(ot, dirs, buf, tk.tree, w, me)
 			}
-			for _, d := range dirs {
-				n := w.Neighbor(d)
-				ti, n2, _, ok := f.Conn.Canonicalize(tk.tree, n)
-				if !ok {
-					continue
+			// The surviving leaf fans its insulation grid through the
+			// batch neighbor kernel; it is unpacked (once) only if some
+			// cell actually produces a send.
+			var wo octant.Octant
+			unpacked := false
+			octant.KeyNeighbors(w, dirs, buf)
+			for _, n := range buf[:len(dirs)] {
+				var first, last int
+				if n.InsideRoot() {
+					first, last = ot.ownersOfRegionKey(tk.tree, n)
+				} else {
+					ti, n2, _, ok := f.Conn.Canonicalize(tk.tree, n.Octant())
+					if !ok {
+						continue
+					}
+					first, last = f.OwnersOfRegion(ti, n2)
 				}
-				first, last := f.OwnersOfRegion(ti, n2)
 				for rank := first; rank <= last; rank++ {
 					if rank == me {
 						continue
 					}
-					out = append(out, GhostSend{Rank: rank, Tree: tk.tree, Oct: w})
+					if !unpacked {
+						wo = w.Octant()
+						unpacked = true
+					}
+					out = append(out, GhostSend{Rank: rank, Tree: tk.tree, Oct: wo})
 				}
 			}
 			return true
@@ -245,12 +271,12 @@ func (f *Forest) adjacentToLocal(t int32, o octant.Octant) bool {
 		if tc == nil {
 			continue
 		}
-		lo, hi := linear.OverlapRange(tc.Leaves, n2)
+		lo, hi := linear.OverlapRangeKeys(tc.Leaves, octant.KeyOf(n2))
+		// Verify true adjacency in a common frame (o expressed in the
+		// neighbor tree's coordinates).
+		oin := shift.Apply(o)
 		for _, leaf := range tc.Leaves[lo:hi] {
-			// Verify true adjacency in a common frame (o expressed in
-			// the neighbor tree's coordinates).
-			oin := shift.Apply(o)
-			if octant.Adjacency(oin, leaf) >= 1 {
+			if octant.Adjacency(oin, leaf.Octant()) >= 1 {
 				return true
 			}
 		}

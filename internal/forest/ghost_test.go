@@ -18,7 +18,7 @@ func bruteGhost(conn *Connectivity, forests []*Forest, r int) map[GhostOctant]bo
 	want := make(map[GhostOctant]bool)
 	global := gather(conn, forests)
 	for _, tc := range mine.Local {
-		for _, leaf := range tc.Leaves {
+		for _, leaf := range tc.Octants() {
 			for gt := int32(0); gt < conn.NumTrees(); gt++ {
 				for _, g := range global[gt] {
 					own := owner(gt, g)
@@ -113,7 +113,7 @@ func TestGhostLayerBalancedLevels(t *testing.T) {
 		f := forests[r]
 		for _, g := range ghosts[r].Octants {
 			if tc := f.chunkFor(g.Tree); tc != nil {
-				for _, leaf := range tc.Leaves {
+				for _, leaf := range tc.Octants() {
 					if octant.Adjacency(leaf, g.Oct) >= 1 {
 						if d := int(leaf.Level) - int(g.Oct.Level); d < -1 || d > 1 {
 							t.Fatalf("rank %d: ghost %v vs local %v: level gap %d", r, g.Oct, leaf, d)

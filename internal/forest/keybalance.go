@@ -5,25 +5,23 @@ import (
 	"repro/internal/octant"
 )
 
-// This file is the key-native Local balance path (BalanceOptions.KeyLocal):
-// each rank-local chunk is packed into Morton keys once at the chunk
-// boundary, the whole subtree balance — Reduce, neighborhood closure,
-// sort, completion, range clipping — runs on packed keys, and coordinates
-// are materialized again only when the balanced chunk is stored back.  The
-// result is bit-identical to the struct path; the harness checksum sweep
-// and the forest differential tests pin that.
+// This file is the key-resident Local balance path — the default since the
+// chunk representation itself became packed Morton keys.  The whole
+// subtree balance — Reduce, neighborhood closure, sort, completion, range
+// clipping — runs on the resident keys with no conversion at either end.
+// BalanceOptions.StructLocal selects the legacy octant-struct pipeline
+// instead, which survives as the differential oracle: the harness checksum
+// sweep and the forest differential tests pin the two bit-identical.
 
-// localBalanceChunkKeys is localBalanceChunk on packed keys, for the
-// paper's new algorithm.
-func localBalanceChunkKeys(leaves []octant.Octant, k int) []octant.Octant {
+// localBalanceChunkKeys is localBalanceChunk on the resident packed keys,
+// for the paper's new algorithm.
+func localBalanceChunkKeys(leaves []octant.Key, k int) []octant.Key {
 	if len(leaves) <= 1 {
 		return leaves
 	}
-	keys := octant.AppendKeys(make([]octant.Key, 0, len(leaves)), leaves)
-	sub := octant.NearestCommonAncestorKeys(keys[0], keys[len(keys)-1])
-	bal := balance.SubtreeNewKeys(sub, keys, k)
-	bal = clipToRangeKeys(bal, keys[0], keys[len(keys)-1])
-	return octant.AppendOctants(leaves[:0], bal)
+	sub := octant.NearestCommonAncestorKeys(leaves[0], leaves[len(leaves)-1])
+	bal := balance.SubtreeNewKeys(sub, leaves, k)
+	return clipToRangeKeys(bal, leaves[0], leaves[len(leaves)-1])
 }
 
 // clipToRangeKeys keeps the keys lying within the curve range spanned by
@@ -41,10 +39,10 @@ func clipToRangeKeys(keys []octant.Key, first, last octant.Key) []octant.Key {
 	return out
 }
 
-// BalanceChunksKeys is BalanceChunks routed through the key-native Local
+// BalanceChunksKeys is BalanceChunks routed through the key-resident Local
 // balance (the paper's new algorithm only).  Exported for the kernel
-// micro-benchmarks; Balance with KeyLocal set runs the same code path.
-func BalanceChunksKeys(chunks [][]octant.Octant, k, workers int) {
+// micro-benchmarks; Balance without StructLocal runs the same code path.
+func BalanceChunksKeys(chunks [][]octant.Key, k, workers int) {
 	parallelFor(workers, len(chunks), func(i int) {
 		chunks[i] = localBalanceChunkKeys(chunks[i], k)
 	})

@@ -28,12 +28,12 @@ func runSmallBalance(t *testing.T, opt BalanceOptions) [][]TreeChunk {
 	return out
 }
 
-// TestKeyLocalBalanceBitIdentical pins the KeyLocal path to the struct
-// path chunk-for-chunk, serial and pooled.
+// TestKeyLocalBalanceBitIdentical pins the default key-resident path to
+// the struct oracle pipeline chunk-for-chunk, serial and pooled.
 func TestKeyLocalBalanceBitIdentical(t *testing.T) {
 	for _, workers := range []int{0, 3} {
-		want := runSmallBalance(t, BalanceOptions{Workers: workers})
-		got := runSmallBalance(t, BalanceOptions{Workers: workers, KeyLocal: true})
+		want := runSmallBalance(t, BalanceOptions{Workers: workers, StructLocal: true})
+		got := runSmallBalance(t, BalanceOptions{Workers: workers})
 		for r := range want {
 			if len(got[r]) != len(want[r]) {
 				t.Fatalf("workers %d rank %d: %d chunks vs %d", workers, r, len(got[r]), len(want[r]))
@@ -88,9 +88,9 @@ func TestBalanceChunksKeysMatchesStruct(t *testing.T) {
 	for _, dim := range []int{2, 3} {
 		for trial := 0; trial < 5; trial++ {
 			a := randomChunks(rng, dim, 5, 7)
-			b := make([][]octant.Octant, len(a))
+			b := make([][]octant.Key, len(a))
 			for i := range a {
-				b[i] = append([]octant.Octant(nil), a[i]...)
+				b[i] = octant.AppendKeys(nil, a[i])
 			}
 			BalanceChunks(a, dim, AlgoNew, 4)
 			BalanceChunksKeys(b, dim, 4)
@@ -99,8 +99,8 @@ func TestBalanceChunksKeysMatchesStruct(t *testing.T) {
 					t.Fatalf("dim %d chunk %d: %d vs %d leaves", dim, i, len(a[i]), len(b[i]))
 				}
 				for j := range a[i] {
-					if a[i][j] != b[i][j] {
-						t.Fatalf("dim %d chunk %d leaf %d: %v != %v", dim, i, j, a[i][j], b[i][j])
+					if a[i][j] != b[i][j].Octant() {
+						t.Fatalf("dim %d chunk %d leaf %d: %v != %v", dim, i, j, a[i][j], b[i][j].Octant())
 					}
 				}
 			}

@@ -48,8 +48,9 @@ func (f *Forest) LeafNeighbors(rank int, ghost *GhostLayer, tree int32, leaf oct
 		leafIn := shift.Apply(leaf)
 		// Local candidates.
 		if tc := f.chunkFor(ti); tc != nil {
-			lo, hi := linear.OverlapRange(tc.Leaves, region2)
-			for _, cand := range tc.Leaves[lo:hi] {
+			lo, hi := linear.OverlapRangeKeys(tc.Leaves, octant.KeyOf(region2))
+			for _, candK := range tc.Leaves[lo:hi] {
+				cand := candK.Octant()
 				if c := octant.Adjacency(leafIn, cand); c >= 1 && c <= k {
 					add(LeafNeighbor{
 						Tree: ti, Leaf: cand, InFrame: inv.Apply(cand),

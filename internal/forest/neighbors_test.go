@@ -17,7 +17,7 @@ func TestLeafNeighborsSerial(t *testing.T) {
 	})
 	f := forests[0]
 	for _, tc := range f.Local {
-		for _, leaf := range tc.Leaves {
+		for _, leaf := range tc.Octants() {
 			nbs := f.LeafNeighbors(0, nil, tc.Tree, leaf, 2)
 			if len(nbs) == 0 {
 				t.Fatalf("leaf %v has no neighbors", leaf)
@@ -45,7 +45,7 @@ func TestLeafNeighborsFaceCountUniform(t *testing.T) {
 	forests := runForest(t, conn, 1, 3, nil)
 	f := forests[0]
 	tc := f.Local[0]
-	for _, leaf := range tc.Leaves {
+	for _, leaf := range tc.Octants() {
 		interior := leaf.X > 0 && leaf.Y > 0 &&
 			leaf.X+leaf.Len() < octant.RootLen && leaf.Y+leaf.Len() < octant.RootLen
 		if !interior {
@@ -73,7 +73,7 @@ func TestLeafNeighborsCrossTreeAndGhost(t *testing.T) {
 	sawGhost, sawCrossTree := false, false
 	for r, f := range forests {
 		for _, tc := range f.Local {
-			for _, leaf := range tc.Leaves {
+			for _, leaf := range tc.Octants() {
 				nbs := f.LeafNeighbors(r, ghosts[r], tc.Tree, leaf, 2)
 				// A uniform level-2 interior leaf must see all 8
 				// neighbors when ghosts are supplied.
@@ -117,7 +117,7 @@ func TestLeafNeighborsCompleteWithGhosts(t *testing.T) {
 	})[0]
 	for r, f := range forests {
 		for _, tc := range f.Local {
-			for _, leaf := range tc.Leaves {
+			for _, leaf := range tc.Octants() {
 				got := f.LeafNeighbors(r, ghosts[r], tc.Tree, leaf, 2)
 				want := serial.LeafNeighbors(0, nil, tc.Tree, leaf, 2)
 				if len(got) != len(want) {

@@ -22,10 +22,12 @@ func (f *Forest) Partition(c *comm.Comm, weight func(tree int32, o octant.Octant
 	weights := make([][]int64, len(f.Local))
 	for i, tc := range f.Local {
 		ws := make([]int64, len(tc.Leaves))
-		for j, o := range tc.Leaves {
+		for j, k := range tc.Leaves {
 			w := int64(1)
 			if weight != nil {
-				w = weight(tc.Tree, o)
+				// Unpack only on the weighted path; unit weights never
+				// materialize coordinates.
+				w = weight(tc.Tree, k.Octant())
 				if w <= 0 {
 					panic("forest: leaf weights must be positive")
 				}
@@ -78,8 +80,8 @@ func (f *Forest) Partition(c *comm.Comm, weight func(tree int32, o octant.Octant
 				e := encFor(runDest)
 				e.tree(tc.Tree)
 				e.count(end - runStart)
-				for _, o := range tc.Leaves[runStart:end] {
-					e.oct(o)
+				for _, k := range tc.Leaves[runStart:end] {
+					e.oct(k.Octant())
 				}
 			}
 		}
@@ -157,11 +159,11 @@ func decodeChunks(b []byte, codec WireCodec, dim int8) []TreeChunk {
 	d := wireDec{b: b, codec: codec, dim: dim}
 	for d.more() {
 		t := d.tree()
-		octs := d.octs()
+		keys := d.keys()
 		if d.err != nil {
 			break
 		}
-		chunks = append(chunks, TreeChunk{Tree: t, Leaves: octs})
+		chunks = append(chunks, TreeChunk{Tree: t, Leaves: keys})
 	}
 	if d.err != nil {
 		panic("forest: corrupt partition payload: " + d.err.Error())

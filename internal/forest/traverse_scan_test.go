@@ -15,7 +15,7 @@ func bruteGhostSends(f *Forest, me int) []GhostSend {
 	dirs := octant.Directions(f.Conn.dim, f.Conn.dim)
 	set := make(map[GhostSend]bool)
 	for _, tc := range f.Local {
-		for _, o := range tc.Leaves {
+		for _, o := range tc.Octants() {
 			for _, d := range dirs {
 				n := o.Neighbor(d)
 				ti, n2, _, ok := f.Conn.Canonicalize(tc.Tree, n)
@@ -130,7 +130,7 @@ func TestQueryBoundaryLeavesComplete(t *testing.T) {
 						prev = li
 						listed[li] = true
 					}
-					for li, r := range tc.Leaves {
+					for li, r := range tc.Octants() {
 						generates := false
 						for _, d := range dirs {
 							ins := r.Neighbor(d)

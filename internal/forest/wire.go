@@ -353,6 +353,24 @@ func (d *wireDec) octs() []octant.Octant {
 	return octs
 }
 
+// keys decodes an octant list straight into packed keys, pre-sized from the
+// decoded count (which d.count has already bounded against the remaining
+// payload, so a corrupt prefix cannot provoke an oversized allocation).
+func (d *wireDec) keys() []octant.Key {
+	n := d.count(d.minOct())
+	if d.err != nil {
+		return nil
+	}
+	keys := make([]octant.Key, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		keys = append(keys, octant.KeyOf(d.oct()))
+	}
+	if d.err != nil {
+		return nil
+	}
+	return keys
+}
+
 // bytes decodes a length-prefixed opaque blob.  The result aliases the
 // payload buffer; callers retaining it must not recycle the buffer.
 func (d *wireDec) bytes() []byte {

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/comm"
 	"repro/internal/forest"
@@ -44,14 +45,22 @@ func auditOwnership(c *comm.Comm, f *forest.Forest) error {
 		}
 	}
 	for _, tc := range f.Local {
-		for _, o := range tc.Leaves {
-			pos := forest.PosOf(tc.Tree, o)
+		// Owner ranks land in an SoA array parallel to the key slice: the
+		// lookup loop touches only packed keys and the int32 column, and the
+		// failure formatting (which unpacks) stays off the scan.
+		owners := make([]int32, len(tc.Leaves))
+		for i, k := range tc.Leaves {
+			pos := forest.PosOfKey(tc.Tree, k)
 			if forest.ComparePos(pos, f.GFP[rank], dim) < 0 ||
 				forest.ComparePos(pos, f.GFP[rank+1], dim) >= 0 {
-				return fmt.Errorf("audit: leaf %v of tree %d outside rank %d's GFP window", o, tc.Tree, rank)
+				return fmt.Errorf("audit: leaf %v of tree %d outside rank %d's GFP window", k.Octant(), tc.Tree, rank)
 			}
-			if owner := f.OwnerOf(pos); owner != rank {
-				return fmt.Errorf("audit: leaf %v of tree %d held by rank %d but OwnerOf says %d", o, tc.Tree, rank, owner)
+			owners[i] = int32(f.OwnerOf(pos))
+		}
+		for i, o := range owners {
+			if int(o) != rank {
+				return fmt.Errorf("audit: leaf %v of tree %d held by rank %d but OwnerOf says %d",
+					tc.Leaves[i].Octant(), tc.Tree, rank, o)
 			}
 		}
 	}
@@ -127,9 +136,11 @@ func gatherGlobal(c *comm.Comm, f *forest.Forest) [][]octant.Octant {
 	dim := f.Conn.Dim()
 	var buf []byte
 	for _, tc := range f.Local {
+		buf = slices.Grow(buf, 8+16*len(tc.Leaves))
 		buf = comm.AppendInt32(buf, tc.Tree)
 		buf = comm.AppendInt32(buf, int32(len(tc.Leaves)))
-		for _, o := range tc.Leaves {
+		for _, k := range tc.Leaves {
+			o := k.Octant()
 			buf = comm.AppendInt32(buf, o.X)
 			buf = comm.AppendInt32(buf, o.Y)
 			buf = comm.AppendInt32(buf, o.Z)
@@ -143,6 +154,7 @@ func gatherGlobal(c *comm.Comm, f *forest.Forest) [][]octant.Octant {
 			var t, n int32
 			t, off = comm.Int32At(b, off)
 			n, off = comm.Int32At(b, off)
+			trees[t] = slices.Grow(trees[t], int(n))
 			for i := int32(0); i < n; i++ {
 				var x, y, z, l int32
 				x, off = comm.Int32At(b, off)
@@ -242,14 +254,30 @@ func auditGhost(c *comm.Comm, f *forest.Forest, ghost *forest.GhostLayer, global
 		numLocal += int64(len(tc.Leaves))
 	}
 
+	// The brute-force scans below touch every (ghost, local leaf) pair, so
+	// the local chunks materialize once into per-chunk octant arrays instead
+	// of unpacking a key per pair.
+	localOcts := make([][]octant.Octant, len(f.Local))
+	for i := range f.Local {
+		localOcts[i] = f.Local[i].Octants()
+	}
+
 	adj := newTreeAdj(f.Conn)
 	checkAdjacency := int64(len(ghost.Octants))*numLocal <= auditGhostWork
-	got := make(map[forest.GhostOctant]bool, len(ghost.Octants))
-	for _, g := range ghost.Octants {
-		if got[g] {
-			return fmt.Errorf("audit: duplicate ghost %v of tree %d", g.Oct, g.Tree)
+	for gi, g := range ghost.Octants {
+		if gi > 0 {
+			prev := ghost.Octants[gi-1]
+			c := int(prev.Tree) - int(g.Tree)
+			if c == 0 {
+				c = octant.Compare(prev.Oct, g.Oct)
+			}
+			if c > 0 {
+				return fmt.Errorf("audit: ghost layer not sorted at %v of tree %d", g.Oct, g.Tree)
+			}
+			if prev == g {
+				return fmt.Errorf("audit: duplicate ghost %v of tree %d", g.Oct, g.Tree)
+			}
 		}
-		got[g] = true
 		if g.Tree < 0 || g.Tree >= f.Conn.NumTrees() {
 			return fmt.Errorf("audit: ghost with invalid tree %d", g.Tree)
 		}
@@ -266,11 +294,11 @@ func auditGhost(c *comm.Comm, f *forest.Forest, ghost *forest.GhostLayer, global
 			continue
 		}
 		adjacent := false
-		for _, tc := range f.Local {
+		for ci, tc := range f.Local {
 			if tc.Tree != g.Tree && len(adj.pairShifts(tc.Tree, g.Tree)) == 0 {
 				continue
 			}
-			for _, l := range tc.Leaves {
+			for _, l := range localOcts[ci] {
 				if adj.adjacent(tc.Tree, l, g.Tree, g.Oct) {
 					adjacent = true
 					break
@@ -286,9 +314,28 @@ func auditGhost(c *comm.Comm, f *forest.Forest, ghost *forest.GhostLayer, global
 	}
 
 	// Completeness direction, budget permitting (local decision: no
-	// collectives below this point).
+	// collectives below this point).  Ghost presence is answered by binary
+	// search over the (tree, curve)-sorted layer rather than a hash map per
+	// candidate: the sorted slice is the SoA the layer already ships in.
 	if f.NumGlobal*numLocal > auditGhostWork {
 		return nil
+	}
+	inGhost := func(g forest.GhostOctant) bool {
+		lo, hi := 0, len(ghost.Octants)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			m := ghost.Octants[mid]
+			c := int(m.Tree) - int(g.Tree)
+			if c == 0 {
+				c = octant.Compare(m.Oct, g.Oct)
+			}
+			if c < 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo < len(ghost.Octants) && ghost.Octants[lo] == g
 	}
 	for t2 := range global {
 		for _, o := range global[t2] {
@@ -297,11 +344,11 @@ func auditGhost(c *comm.Comm, f *forest.Forest, ghost *forest.GhostLayer, global
 				continue
 			}
 			adjacent := false
-			for _, tc := range f.Local {
+			for ci, tc := range f.Local {
 				if tc.Tree != int32(t2) && len(adj.pairShifts(tc.Tree, int32(t2))) == 0 {
 					continue
 				}
-				for _, l := range tc.Leaves {
+				for _, l := range localOcts[ci] {
 					if adj.adjacent(tc.Tree, l, int32(t2), o) {
 						adjacent = true
 						break
@@ -311,7 +358,7 @@ func auditGhost(c *comm.Comm, f *forest.Forest, ghost *forest.GhostLayer, global
 					break
 				}
 			}
-			if adjacent && !got[forest.GhostOctant{Tree: int32(t2), Oct: o, Owner: owner}] {
+			if adjacent && !inGhost(forest.GhostOctant{Tree: int32(t2), Oct: o, Owner: owner}) {
 				return fmt.Errorf("audit: remote leaf %v of tree %d (rank %d) is adjacent to the local partition but missing from the ghost layer", o, t2, owner)
 			}
 		}

@@ -85,9 +85,9 @@ func refAdjacentToLocal(f *forest.Forest, t int32, o octant.Octant) bool {
 			continue
 		}
 		oin := shift.Apply(o)
-		lo, hi := linear.OverlapRange(tc.Leaves, n2)
+		lo, hi := linear.OverlapRangeKeys(tc.Leaves, octant.KeyOf(n2))
 		for _, leaf := range tc.Leaves[lo:hi] {
-			if octant.Adjacency(oin, leaf) >= 1 {
+			if octant.Adjacency(oin, leaf.Octant()) >= 1 {
 				return true
 			}
 		}

@@ -321,19 +321,19 @@ const pairwiseCheckMaxLeaves = 1500
 func snapshotChunks(f *forest.Forest) []forest.TreeChunk {
 	out := make([]forest.TreeChunk, len(f.Local))
 	for i, tc := range f.Local {
-		out[i] = forest.TreeChunk{Tree: tc.Tree, Leaves: append([]octant.Octant(nil), tc.Leaves...)}
+		out[i] = forest.TreeChunk{Tree: tc.Tree, Leaves: append([]octant.Key(nil), tc.Leaves...)}
 	}
 	return out
 }
 
 // gatherChunks assembles per-rank chunk snapshots into global per-tree leaf
-// arrays.  Ranks hold ascending curve segments, so appending in rank order
-// yields sorted trees.
+// arrays, materializing the keys at this oracle edge.  Ranks hold ascending
+// curve segments, so appending in rank order yields sorted trees.
 func gatherChunks(conn *forest.Connectivity, perRank [][]forest.TreeChunk) [][]octant.Octant {
 	trees := make([][]octant.Octant, conn.NumTrees())
 	for _, chunks := range perRank {
 		for _, tc := range chunks {
-			trees[tc.Tree] = append(trees[tc.Tree], tc.Leaves...)
+			trees[tc.Tree] = octant.AppendOctants(trees[tc.Tree], tc.Leaves)
 		}
 	}
 	return trees

@@ -133,11 +133,11 @@ type Scenario struct {
 	// cross-check verify that on every scenario that samples WireV1.
 	Codec forest.WireCodec
 
-	// KeyNative routes the Local balance through the packed Morton-key
-	// representation (forest.BalanceOptions.KeyLocal).  The balanced
-	// forest must be bit-identical under either representation — the
-	// oracle diff and the checksum cross-check verify that on every
-	// scenario that samples it.
+	// KeyNative runs the balance on the resident packed Morton keys (the
+	// default pipeline); false pins the struct-resident oracle instead
+	// (forest.BalanceOptions.StructLocal).  The balanced forest must be
+	// bit-identical under either representation — the oracle diff and the
+	// checksum cross-check verify that on every scenario that samples it.
 	KeyNative bool
 
 	// ChaosSeed, when non-zero, runs the scenario on a seeded
@@ -435,7 +435,7 @@ func (sc Scenario) Refiner() otest.RefineFunc {
 
 // Options returns the forest.BalanceOptions the scenario selects.
 func (sc Scenario) Options() forest.BalanceOptions {
-	return forest.BalanceOptions{Algo: sc.Algo, Notify: sc.Notify, MaxRanges: sc.MaxRanges, Workers: sc.Workers, Codec: sc.Codec, KeyLocal: sc.KeyNative}
+	return forest.BalanceOptions{Algo: sc.Algo, Notify: sc.Notify, MaxRanges: sc.MaxRanges, Workers: sc.Workers, Codec: sc.Codec, StructLocal: !sc.KeyNative}
 }
 
 // String is a compact one-line description for logs.

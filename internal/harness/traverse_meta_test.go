@@ -54,6 +54,7 @@ func checkNoFalsePrune(sc Scenario, f *forest.Forest) error {
 	const numQueries = 6
 	type pair struct{ li, qi int }
 	for _, tc := range f.Local {
+		leaves := tc.Octants()
 		regions := make([]octant.Octant, numQueries)
 		boxes := make([]traverse.Box, numQueries)
 		for i := range boxes {
@@ -65,7 +66,7 @@ func checkNoFalsePrune(sc Scenario, f *forest.Forest) error {
 		}
 		want := make(map[pair]bool)
 		matched := make(map[int]bool) // leaf indices with at least one oracle match
-		for li, leaf := range tc.Leaves {
+		for li, leaf := range leaves {
 			for qi, b := range boxes {
 				if b.IntersectsOctant(leaf) {
 					want[pair{li, qi}] = true
@@ -82,13 +83,13 @@ func checkNoFalsePrune(sc Scenario, f *forest.Forest) error {
 			for li := lo; li < hi; li++ {
 				if matched[li] {
 					pruneErr = fmt.Errorf("tree %d: pruned subtree %v (window [%d,%d)) contains oracle-matched leaf %v",
-						tc.Tree, w, lo, hi, tc.Leaves[li])
+						tc.Tree, w, lo, hi, leaves[li])
 					return
 				}
 			}
 		}}
 		var st traverse.Stats
-		traverse.SearchBoundaryHooks(root, tc.Leaves, boxes, func(li, qi int) {
+		traverse.SearchBoundaryHooks(root, leaves, boxes, func(li, qi int) {
 			got[pair{li, qi}] = true
 		}, &st, hooks)
 		if pruneErr != nil {
@@ -97,13 +98,13 @@ func checkNoFalsePrune(sc Scenario, f *forest.Forest) error {
 		for p := range want {
 			if !got[p] {
 				return fmt.Errorf("tree %d: oracle pair leaf=%v box=%v (of region %v) missed by the traversal",
-					tc.Tree, tc.Leaves[p.li], boxes[p.qi], regions[p.qi])
+					tc.Tree, leaves[p.li], boxes[p.qi], regions[p.qi])
 			}
 		}
 		for p := range got {
 			if !want[p] {
 				return fmt.Errorf("tree %d: traversal reported spurious pair leaf=%v box=%v",
-					tc.Tree, tc.Leaves[p.li], boxes[p.qi])
+					tc.Tree, leaves[p.li], boxes[p.qi])
 			}
 		}
 	}

@@ -58,6 +58,13 @@ func List() []Kernel {
 		{"TraverseSearchKeys", benchTraverseSearchKeys},
 		{"WireEncodeKeysV1", benchWireEncodeKeys(forest.WireV1)},
 		{"WireDecodeKeysV1", benchWireDecodeKeys(forest.WireV1)},
+		{"KeyCompareScalar", benchKeyCompareScalar},
+		{"KeyBatchCompare4", benchKeyBatchCompare4},
+		{"KeyBatchLowerBound", benchKeyBatchLowerBound},
+		{"NeighborsOctants", benchNeighborsOctants},
+		{"KeyBatchNeighbors", benchKeyBatchNeighbors},
+		{"SortKeysStd", benchSortKeysStd},
+		{"KeyBatchSortRadix", benchKeyBatchSortRadix},
 	}
 }
 
@@ -313,7 +320,7 @@ func ghostScanInput() (*forest.Forest, int) {
 	half := len(leaves) / 2
 	f := &forest.Forest{
 		Conn:  conn,
-		Local: []forest.TreeChunk{{Tree: 0, Leaves: leaves[:half]}},
+		Local: []forest.TreeChunk{forest.NewTreeChunk(0, leaves[:half])},
 		GFP: []forest.Pos{
 			forest.PosOf(0, leaves[0]),
 			forest.PosOf(0, leaves[half]),

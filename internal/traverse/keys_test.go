@@ -52,6 +52,40 @@ func TestSearchKeysMirrorsSearch(t *testing.T) {
 	}
 }
 
+// TestSearchBoundaryKeysMirrorsSearchBoundary pins the key dual traversal
+// to the struct one match-for-match and stat-for-stat: same boxes, same
+// leaves, identical (leaf, box) sequences.
+func TestSearchBoundaryKeysMirrorsSearchBoundary(t *testing.T) {
+	type hit struct{ li, qi int }
+	for name, leaves := range meshes(t) {
+		root := octant.Root(int(leaves[0].Dim))
+		keys := octant.AppendKeys(nil, leaves)
+		var boxes []Box
+		for i := 0; i < len(leaves); i += 1 + len(leaves)/7 {
+			boxes = append(boxes, InsulationBox(leaves[i]))
+		}
+		var want, got []hit
+		var stW, stK Stats
+		SearchBoundary(root, leaves, boxes, func(li, qi int) {
+			want = append(want, hit{li, qi})
+		}, &stW)
+		SearchBoundaryKeys(octant.KeyOf(root), keys, boxes, func(li, qi int) {
+			got = append(got, hit{li, qi})
+		}, &stK)
+		if len(got) != len(want) {
+			t.Fatalf("%s: key dual made %d matches, struct %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: match %d: key %+v != struct %+v", name, i, got[i], want[i])
+			}
+		}
+		if stK != stW {
+			t.Fatalf("%s: stats diverge: key %+v struct %+v", name, stK, stW)
+		}
+	}
+}
+
 // TestSplitTasksKeysMirrorsSplitTasks pins the key task frontier to the
 // struct one at several fan-outs.
 func TestSplitTasksKeysMirrorsSplitTasks(t *testing.T) {

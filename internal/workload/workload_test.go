@@ -45,11 +45,11 @@ func TestFractalLevelSpread(t *testing.T) {
 		f.Refine(c, 6, Fractal(6))
 		for _, tc := range f.Local {
 			for _, o := range tc.Leaves {
-				if o.Level < minL {
-					minL = o.Level
+				if o.Level() < minL {
+					minL = o.Level()
 				}
-				if o.Level > maxL {
-					maxL = o.Level
+				if o.Level() > maxL {
+					maxL = o.Level()
 				}
 			}
 		}
@@ -93,7 +93,7 @@ func TestIceSheetRefinementIsGraded(t *testing.T) {
 		f.Refine(c, 7, is.Refine)
 		for _, tc := range f.Local {
 			for _, o := range tc.Leaves {
-				hist[o.Level]++
+				hist[o.Level()]++
 			}
 		}
 	})

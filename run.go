@@ -232,7 +232,7 @@ func GatherGlobal(conn *Connectivity, ranks, baseLevel int, fn func(c *Comm, f *
 	trees := make([][]octant.Octant, conn.NumTrees())
 	for _, f := range forests {
 		for _, tc := range f.Local {
-			trees[tc.Tree] = append(trees[tc.Tree], tc.Leaves...)
+			trees[tc.Tree] = octant.AppendOctants(trees[tc.Tree], tc.Leaves)
 		}
 	}
 	return trees
